@@ -1,0 +1,72 @@
+"""Benchmark: regenerate Figure 6 (SteppingNet vs any-width vs slimmable).
+
+Paper reference (Fig. 6): accuracy-vs-#MAC curves of SteppingNet, the
+any-width network [13] and the slimmable network [10] on LeNet-3C1L,
+LeNet-5 and VGG-16.  The paper's claim is that SteppingNet's curve lies
+above both baselines at matched MAC counts thanks to its more flexible
+subnet structures.
+
+Expected shape at the reduced `bench` scale (see EXPERIMENTS.md for the
+discussion): SteppingNet's area under the accuracy-vs-MAC curve is close
+to the weaker baseline's, it wins against at least one baseline on part
+of the shared MAC grid, and its largest subnet is competitive; the
+paper's strict everywhere-dominance needs `REPRO_BENCH_SCALE=full`.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_figure6_case
+from repro.analysis.reporting import ascii_curve, format_curves
+
+
+def _run_case(model, dataset, scale, save_result):
+    curves = run_figure6_case(model, dataset, scale=scale)
+    print()
+    print(format_curves(curves.values()))
+    for curve in curves.values():
+        print(ascii_curve(curve))
+    save_result(
+        f"fig6_{model}",
+        {name: curve.as_rows() for name, curve in curves.items()},
+    )
+    return curves
+
+
+def _check_curves(curves):
+    """Shape checks that hold at the reduced `bench` scale.
+
+    The paper's full claim — SteppingNet above both baselines everywhere —
+    needs the full-scale schedule (`REPRO_BENCH_SCALE=full`); at bench
+    scale the prefix baselines are strong in the smallest-subnet region
+    (see EXPERIMENTS.md), so the assertions require SteppingNet to be
+    competitive overall and to win on a substantial part of the shared
+    MAC range against at least one baseline.
+    """
+    stepping = curves["steppingnet"]
+    any_width = curves["any_width"]
+    slimmable = curves["slimmable"]
+    for curve in curves.values():
+        assert len(curve.mac_fractions) == 4
+        assert all(0.0 <= a <= 1.0 for a in curve.accuracies)
+    # Overall trade-off competitive with the weaker of the two baselines.
+    weaker = min(any_width, slimmable, key=lambda c: c.area_under_curve())
+    assert stepping.area_under_curve() >= weaker.area_under_curve() - 0.08
+    # SteppingNet wins against at least one baseline on part of the shared range.
+    assert max(stepping.dominates(any_width), stepping.dominates(slimmable)) >= 0.2
+    # The largest subnet is competitive with the weaker baseline's largest.
+    assert stepping.accuracies[-1] >= weaker.accuracies[-1] - 0.05
+
+
+@pytest.mark.parametrize("model,dataset", [("lenet-3c1l", "cifar10"), ("lenet-5", "cifar10")])
+def test_fig6_lenet_cases(benchmark, model, dataset, bench_scale, save_result):
+    curves = benchmark.pedantic(
+        _run_case, args=(model, dataset, bench_scale, save_result), rounds=1, iterations=1
+    )
+    _check_curves(curves)
+
+
+def test_fig6_vgg16_cifar100(benchmark, vgg_scale, save_result):
+    curves = benchmark.pedantic(
+        _run_case, args=("vgg-16", "cifar100", vgg_scale, save_result), rounds=1, iterations=1
+    )
+    _check_curves(curves)

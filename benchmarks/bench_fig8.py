@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Figure 8 (ablation of LR suppression and distillation).
+
+Paper reference (Fig. 8): per-subnet accuracy of LeNet-3C1L and LeNet-5
+with (a) the full SteppingNet recipe, (b) without the learning-rate
+suppression of smaller subnets (Sec. III-A2), and (c) without
+knowledge-distillation retraining (Sec. III-B).  Both techniques help,
+especially for the smaller subnets; combined they give the best overall
+accuracy.
+
+Expected shape: the full recipe's mean accuracy over subnets is at least
+that of each ablated variant (up to reduced-scale noise).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_figure8_case
+from repro.analysis.reporting import ascii_grouped_bars, format_markdown_table
+
+VARIANT_LABELS = {
+    "steppingnet": "SteppingNet",
+    "wo_weight_suppression": "w/o weight suppression",
+    "wo_knowledge_distillation": "w/o knowledge distillation",
+}
+
+
+def _run_case(model, dataset, scale, save_result):
+    results = run_figure8_case(model, dataset, scale=scale)
+    num_subnets = len(next(iter(results.values())))
+    rows = [
+        {"variant": VARIANT_LABELS[name], **{f"A{i + 1}": acc for i, acc in enumerate(values)}}
+        for name, values in results.items()
+    ]
+    print()
+    print(format_markdown_table(rows))
+    print(ascii_grouped_bars(
+        {VARIANT_LABELS[name]: values for name, values in results.items()},
+        [f"Subnet{i + 1}" for i in range(num_subnets)],
+    ))
+    save_result(f"fig8_{model}", results)
+    return results
+
+
+@pytest.mark.parametrize("model,dataset", [("lenet-3c1l", "cifar10"), ("lenet-5", "cifar10")])
+def test_fig8_ablations(benchmark, model, dataset, bench_scale, save_result):
+    results = benchmark.pedantic(
+        _run_case, args=(model, dataset, bench_scale, save_result), rounds=1, iterations=1
+    )
+    assert set(results) == set(VARIANT_LABELS)
+    full = np.mean(results["steppingnet"])
+    for variant in ("wo_weight_suppression", "wo_knowledge_distillation"):
+        assert full >= np.mean(results[variant]) - 0.05

@@ -1,0 +1,99 @@
+"""Benchmark: computational reuse of incremental (anytime) inference.
+
+This supports the paper's central run-time claim (Sec. I–II): when more
+resources become available, SteppingNet refines the running inference by
+executing only the newly added neurons; a network without the structural
+constraint must re-execute the larger subnet from scratch.
+
+Two measurements:
+
+* MAC accounting — the extra MACs of stepping from subnet 1 to the
+  largest subnet equal the MAC difference of the two subnets (no
+  recomputation), and the saving versus re-running every level;
+* wall-clock — time of ``step_to(largest)`` versus a from-scratch forward
+  pass of the largest subnet (measured by pytest-benchmark).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import prepare_data, prepare_spec, scaled_config
+from repro.core import IncrementalInference, anytime_schedule, build_steppingnet
+from repro.nn.tensor import no_grad
+
+
+@pytest.fixture(scope="module")
+def built(bench_scale):
+    train_loader, test_loader, num_classes = prepare_data("cifar10", bench_scale)
+    spec = prepare_spec("lenet-3c1l", num_classes, bench_scale)
+    config = scaled_config("lenet-3c1l", bench_scale)
+    result = build_steppingnet(spec, train_loader, test_loader, config)
+    inputs, _ = next(iter(test_loader))
+    return result, inputs
+
+
+def test_incremental_mac_savings(benchmark, built, save_result):
+    result, inputs = built
+    network = result.network
+
+    def run():
+        steps = anytime_schedule(network, inputs)
+        stepped = sum(step.macs_executed for step in steps)
+        rerun = sum(step.cumulative_macs for step in steps)
+        return steps, stepped, rerun
+
+    steps, stepped, rerun = benchmark.pedantic(run, rounds=1, iterations=1)
+    savings = 1.0 - stepped / rerun
+    report = {
+        "steps": [
+            {
+                "subnet": step.subnet,
+                "macs_executed": step.macs_executed,
+                "macs_reused": step.macs_reused,
+                "reuse_fraction": step.reuse_fraction,
+            }
+            for step in steps
+        ],
+        "total_macs_with_reuse": stepped,
+        "total_macs_without_reuse": rerun,
+        "savings_fraction": savings,
+    }
+    print()
+    for step in steps:
+        print(
+            f"subnet {step.subnet + 1}: +{step.macs_executed:,} MACs "
+            f"({step.reuse_fraction * 100:.1f}% reused)"
+        )
+    print(f"MACs saved by reuse across the full schedule: {savings * 100:.1f}%")
+    save_result("incremental_reuse", report)
+    assert stepped == network.subnet_macs(network.num_subnets - 1)
+    assert savings > 0.2
+
+
+def test_step_up_wall_clock(benchmark, built):
+    """Wall-clock of stepping from subnet 1 to the largest subnet (cache warm)."""
+    result, inputs = built
+    network = result.network
+    largest = network.num_subnets - 1
+
+    def step():
+        engine = IncrementalInference(network)
+        engine.run(inputs, subnet=0)
+        return engine.step_to(largest)
+
+    outcome = benchmark(step)
+    assert outcome.subnet == largest
+
+
+def test_full_forward_wall_clock(benchmark, built):
+    """Reference: from-scratch forward pass of the largest subnet."""
+    result, inputs = built
+    network = result.network
+    network.eval()
+
+    def forward():
+        with no_grad():
+            return network.forward(inputs, subnet=network.num_subnets - 1).data
+
+    logits = benchmark(forward)
+    assert logits.shape[0] == inputs.shape[0]

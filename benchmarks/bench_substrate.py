@@ -1,0 +1,79 @@
+"""Microbenchmarks of the numpy substrate.
+
+Not a paper artefact, but useful context for every other benchmark: the
+cost of the substrate's convolution forward/backward and of one masked
+subnet forward pass determines how the reduced experiment scales map to
+wall-clock time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SteppingNetwork
+from repro.models import lenet_3c1l
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def conv_inputs():
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((16, 16, 16, 16)))
+    w = Tensor(rng.standard_normal((32, 16, 3, 3)), requires_grad=True)
+    b = Tensor(rng.standard_normal(32), requires_grad=True)
+    return x, w, b
+
+
+def test_conv2d_forward(benchmark, conv_inputs):
+    x, w, b = conv_inputs
+    with no_grad():
+        out = benchmark(lambda: F.conv2d(x, w, b, stride=1, padding=1))
+    assert out.shape == (16, 32, 16, 16)
+
+
+def test_conv2d_forward_backward(benchmark, conv_inputs):
+    x, w, b = conv_inputs
+
+    def run():
+        w.grad = None
+        b.grad = None
+        out = F.conv2d(x, w, b, stride=1, padding=1)
+        out.sum().backward()
+        return out
+
+    out = benchmark(run)
+    assert w.grad is not None
+    assert out.shape == (16, 32, 16, 16)
+
+
+@pytest.fixture(scope="module")
+def stepping_network():
+    spec = lenet_3c1l(num_classes=10, input_shape=(3, 32, 32), width_scale=0.5)
+    network = SteppingNetwork(spec, num_subnets=4, rng=np.random.default_rng(0))
+    # Spread units across subnets so masked execution is representative.
+    for block in network.parametric_blocks():
+        if block.is_output:
+            continue
+        units = block.layer.assignment.num_units
+        assignment = np.minimum(np.arange(units) * 4 // max(units, 1), 3)
+        block.layer.assignment.set_assignment(assignment)
+    network.eval()
+    return network
+
+
+@pytest.mark.parametrize("subnet", [0, 3])
+def test_subnet_forward(benchmark, stepping_network, subnet):
+    x = np.random.default_rng(1).standard_normal((8, 3, 32, 32))
+
+    def forward():
+        with no_grad():
+            return stepping_network.forward(x, subnet=subnet).data
+
+    logits = benchmark(forward)
+    assert logits.shape == (8, 10)
+
+
+def test_mac_accounting_overhead(benchmark, stepping_network):
+    """Cost of computing the per-subnet MAC report (pure mask arithmetic)."""
+    macs = benchmark(lambda: [stepping_network.subnet_macs(i) for i in range(4)])
+    assert macs == sorted(macs)

@@ -1,0 +1,53 @@
+"""Benchmark: regenerate Table I (per-subnet accuracy and MAC ratios).
+
+Paper reference (Table I): for each of LeNet-3C1L/CIFAR-10,
+LeNet-5/CIFAR-10 and VGG-16/CIFAR-100, four nested subnets are
+constructed with the budgets of Sec. IV; the table reports the original
+network's accuracy, each subnet's accuracy A1..A4 and its MAC ratio
+M1/Mt..M4/Mt.
+
+Expected shape (checked by the assertions, since absolute numbers depend
+on the synthetic substrate): MAC ratios respect the budgets, accuracy
+increases from A1 to A4, and A4 approaches the original accuracy.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_table1_case
+from repro.analysis.metrics import monotonic_violations
+from repro.analysis.reporting import format_table1
+
+
+def _run_case(model, dataset, scale, save_result):
+    row = run_table1_case(model, dataset, scale=scale)
+    print()
+    print(format_table1([row]))
+    save_result(f"table1_{model}", row)
+    return row
+
+
+def _check_row(row, budgets):
+    fractions = [row[f"M{i}/Mt"] for i in range(1, len(budgets) + 1)]
+    accuracies = [row[f"A{i}"] for i in range(1, len(budgets) + 1)]
+    for fraction, budget in zip(fractions, budgets):
+        assert fraction <= budget + 0.02
+    assert fractions == sorted(fractions)
+    # Incremental accuracy enhancement (allow one small dip at reduced scale).
+    assert monotonic_violations(accuracies, tolerance=0.05) <= 1
+    # The largest subnet comes close to the original network.
+    assert accuracies[-1] >= row["orig_accuracy"] - 0.2
+
+
+@pytest.mark.parametrize("model,dataset", [("lenet-3c1l", "cifar10"), ("lenet-5", "cifar10")])
+def test_table1_lenet_cases(benchmark, model, dataset, bench_scale, save_result):
+    row = benchmark.pedantic(
+        _run_case, args=(model, dataset, bench_scale, save_result), rounds=1, iterations=1
+    )
+    _check_row(row, row["mac_budgets"])
+
+
+def test_table1_vgg16_cifar100(benchmark, vgg_scale, save_result):
+    row = benchmark.pedantic(
+        _run_case, args=("vgg-16", "cifar100", vgg_scale, save_result), rounds=1, iterations=1
+    )
+    _check_row(row, row["mac_budgets"])

@@ -1,0 +1,45 @@
+"""Compare SteppingNet against the slimmable and any-width baselines (Fig. 6).
+
+Trains all three shared-weight approaches on the same synthetic dataset
+under the same MAC budgets and prints their accuracy-vs-MAC curves, plus
+which method dominates on a common MAC grid.  This is a runnable,
+small-scale version of the experiment behind the paper's Figure 6; the
+full benchmark lives in ``benchmarks/bench_fig6.py``.
+
+Run with:  python examples/baseline_comparison.py
+"""
+
+from repro.analysis.experiments import SMOKE, run_figure6_case
+from repro.analysis.reporting import ascii_curve, format_curves, format_experiment_header
+
+
+def main() -> None:
+    print(format_experiment_header(
+        "SteppingNet vs. any-width vs. slimmable (Fig. 6, small scale)",
+        "All methods share weights across subnets and are evaluated at the same MAC budgets.",
+    ))
+    curves = run_figure6_case("lenet-3c1l", "cifar10", scale=SMOKE)
+
+    print(format_curves(curves.values()))
+    print()
+    for curve in curves.values():
+        print(ascii_curve(curve))
+        print()
+
+    stepping = curves["steppingnet"]
+    for name in ("any_width", "slimmable"):
+        share = stepping.dominates(curves[name])
+        print(
+            f"SteppingNet is at least as accurate as {curves[name].label} on "
+            f"{share * 100:.0f}% of the shared MAC range."
+        )
+    print(
+        "\nArea under the accuracy-vs-MAC curve (higher is better):\n"
+        + "\n".join(
+            f"  {curve.label:<16s} {curve.area_under_curve():.4f}" for curve in curves.values()
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

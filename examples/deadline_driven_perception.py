@@ -1,0 +1,103 @@
+"""Deadline-driven perception on a platform that loses half its compute mid-run.
+
+The scenario: a perception stack classifies one camera frame every 100 ms
+and must deliver *some* label within 90 ms.  Halfway through the run the
+platform switches into a power-saving mode and only 30 % of the MAC
+throughput remains.  The script compares three deployments of the same
+trained SteppingNet:
+
+* ``steppingnet``  — anytime execution with computational reuse: after the
+  smallest subnet answers, remaining time is spent stepping up, paying
+  only the delta MACs of each larger subnet;
+* ``recompute``    — slimmable-style deployment: switching to a larger
+  subnet re-executes it from scratch;
+* ``static-small`` — always run only the smallest subnet (never misses a
+  deadline, never improves).
+
+Run with:  python examples/deadline_driven_perception.py
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import SMOKE, minimum_image_size, prepare_data, prepare_spec, scaled_config
+from repro.analysis.reporting import format_experiment_header, format_markdown_table
+from repro.core import build_steppingnet
+from repro.runtime import (
+    AnytimeExecutor,
+    FixedSubnetPolicy,
+    GreedyPolicy,
+    RecomputeExecutor,
+    periodic_requests,
+    simulate_stream,
+)
+from repro.runtime.platform import PlatformSpec
+from repro.runtime.traces import power_mode_switch_trace
+
+FRAME_PERIOD = 0.100   # a new frame every 100 ms
+DEADLINE = 0.090       # each frame must be answered within 90 ms
+MODEL = "lenet-3c1l"
+
+
+def main() -> None:
+    print(format_experiment_header(
+        "Deadline-driven perception",
+        "SteppingNet reuse vs recompute vs a static small subnet under a mid-run power-mode switch",
+    ))
+
+    # 1. Train a small SteppingNet (smoke scale: seconds on a laptop).
+    scale = SMOKE
+    size = max(scale.image_size, minimum_image_size(MODEL))
+    train_loader, test_loader, num_classes = prepare_data("cifar10", scale, image_size=size)
+    spec = prepare_spec(MODEL, num_classes, scale, image_size=size)
+    result = build_steppingnet(spec, train_loader, test_loader, scaled_config(MODEL, scale))
+    network = result.network
+    print(f"subnet accuracies: {['%.2f' % a for a in result.subnet_accuracies]}")
+
+    # 2. A platform sized so the largest subnet takes ~60% of the deadline at
+    #    full throughput, and a trace that halves into power-saving mode.
+    largest_macs = network.subnet_macs(network.num_subnets - 1)
+    platform = PlatformSpec(
+        "example-soc",
+        peak_macs_per_second=largest_macs / (0.6 * DEADLINE),
+        power_modes={"normal": 1.0, "saver": 0.3},
+    )
+    trace = power_mode_switch_trace(
+        platform, "normal", "saver", switch_time=10 * FRAME_PERIOD, name="power-switch"
+    )
+
+    # 3. A periodic stream of frames from the held-out set.
+    images, labels = test_loader.full_batch()
+    requests = periodic_requests(
+        images, labels, frame_period=FRAME_PERIOD, relative_deadline=DEADLINE, batch_size=8
+    )
+
+    deployments = {
+        "steppingnet": AnytimeExecutor(network, trace, GreedyPolicy()),
+        "recompute": RecomputeExecutor(network, trace, GreedyPolicy()),
+        "static-small": AnytimeExecutor(network, trace, FixedSubnetPolicy(subnet=0)),
+    }
+
+    rows = []
+    for name, executor in deployments.items():
+        summary = simulate_stream(executor, requests)
+        rows.append(
+            {
+                "deployment": name,
+                "subnet@deadline": round(summary.mean_subnet_at_deadline, 2),
+                "accuracy@deadline": round(summary.mean_accuracy_at_deadline, 3),
+                "miss rate": round(summary.deadline_miss_rate, 3),
+                "MMAC/frame": round(summary.mean_macs_per_frame / 1e6, 3),
+            }
+        )
+
+    print()
+    print(format_markdown_table(rows))
+    print()
+    print(
+        "SteppingNet reaches larger subnets by the deadline than the recompute "
+        "deployment on the same trace, because each step-up only pays the delta MACs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Quickstart: build a SteppingNet and run anytime inference.
+
+This walks through the whole pipeline on a small synthetic CIFAR-10-like
+dataset in under a minute on a laptop:
+
+1. pick an architecture (LeNet-3C1L) and MAC budgets,
+2. run the SteppingNet design flow (teacher training, subnet
+   construction, knowledge-distillation retraining),
+3. inspect the accuracy / MAC trade-off of the resulting subnets,
+4. run incremental inference: start with the smallest subnet and step up
+   without recomputing anything.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.analysis.experiments import SMOKE, prepare_data, prepare_spec, scaled_config
+from repro.analysis.reporting import format_experiment_header, format_markdown_table
+from repro.core import IncrementalInference, build_steppingnet
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Data and architecture.  SMOKE keeps everything tiny; swap in
+    #    BENCH or FULL (repro.analysis.experiments) for larger runs.
+    # ------------------------------------------------------------------
+    scale = SMOKE
+    train_loader, test_loader, num_classes = prepare_data("cifar10", scale)
+    spec = prepare_spec("lenet-3c1l", num_classes, scale)
+    config = scaled_config("lenet-3c1l", scale)
+
+    print(format_experiment_header("SteppingNet quickstart", spec.describe()))
+    print(f"MAC budgets (fractions of the original network): {config.mac_budgets}")
+
+    # ------------------------------------------------------------------
+    # 2. The full design flow: teacher -> construction -> distillation.
+    # ------------------------------------------------------------------
+    result = build_steppingnet(spec, train_loader, test_loader, config)
+
+    # ------------------------------------------------------------------
+    # 3. Accuracy / MAC trade-off of the constructed subnets.
+    # ------------------------------------------------------------------
+    rows = [
+        {
+            "subnet": index + 1,
+            "accuracy": accuracy,
+            "mac_fraction": fraction,
+        }
+        for index, (accuracy, fraction) in enumerate(
+            zip(result.subnet_accuracies, result.mac_fractions)
+        )
+    ]
+    print()
+    print(f"original (teacher) accuracy: {result.teacher_accuracy:.4f}")
+    print(format_markdown_table(rows))
+
+    # ------------------------------------------------------------------
+    # 4. Anytime inference with exact reuse.
+    # ------------------------------------------------------------------
+    inputs, labels = next(iter(test_loader))
+    engine = IncrementalInference(result.network)
+    step = engine.run(inputs, subnet=0)
+    print()
+    print("incremental inference on one batch:")
+    print(
+        f"  subnet 1: {step.macs_executed:>10,} MACs executed, "
+        f"accuracy {float((step.predictions == labels).mean()):.3f}"
+    )
+    for level in range(1, result.network.num_subnets):
+        step = engine.step_to(level)
+        accuracy = float((step.predictions == labels).mean())
+        print(
+            f"  subnet {level + 1}: {step.macs_executed:>10,} extra MACs "
+            f"({step.reuse_fraction * 100:5.1f}% of work reused), accuracy {accuracy:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+A ``setup.py`` is kept alongside ``pyproject.toml`` so that editable
+installs work in fully offline environments where the ``wheel`` package
+(required by PEP 660 editable builds) is unavailable.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "SteppingNet reproduction: stepping neural networks with "
+        "incremental accuracy enhancement (DATE 2023)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis", "scipy"]},
+)

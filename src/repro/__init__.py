@@ -1,0 +1,46 @@
+"""SteppingNet reproduction.
+
+Reproduction of "SteppingNet: A Stepping Neural Network with Incremental
+Accuracy Enhancement" (Sun et al., DATE 2023) including the numpy
+deep-learning substrate, the SteppingNet design flow, the slimmable and
+any-width baselines, and the benchmark harness that regenerates the
+paper's tables and figures.
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch numpy autograd engine, layers, optimizers, losses.
+``repro.data``
+    Synthetic CIFAR-like datasets, loaders and transforms.
+``repro.models``
+    Architecture specs (LeNet-3C1L, LeNet-5, VGG-16, ...) and dense builders.
+``repro.core``
+    SteppingNet itself: subnet assignment, importance-driven construction,
+    revivable pruning, knowledge-distillation retraining and the
+    incremental inference engine.
+``repro.baselines``
+    The slimmable network, the any-width network and the static
+    width-multiplier baseline the paper compares against.
+``repro.analysis``
+    Metrics, experiment runners and report/table emitters used by the
+    benchmarks.
+``repro.runtime``
+    Resource-varying platform simulation: traces, latency models, step-up
+    policies, anytime executors and frame-stream simulation.
+"""
+
+from . import analysis, baselines, core, data, models, nn, runtime, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "data",
+    "models",
+    "core",
+    "baselines",
+    "analysis",
+    "runtime",
+    "utils",
+    "__version__",
+]

@@ -1,0 +1,105 @@
+"""Report emitters: markdown tables and ASCII curves for the benchmark harness.
+
+The paper's evaluation consists of one table (Table I) and three figures
+(Fig. 6, 7, 8).  Since this reproduction is terminal-first, figures are
+emitted as aligned data tables plus simple ASCII charts; the underlying
+row data is also returned so tests can assert on it and EXPERIMENTS.md
+can embed it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .metrics import AccuracyMacCurve
+
+
+def format_markdown_table(rows: Sequence[Mapping[str, object]], columns: Optional[List[str]] = None) -> str:
+    """Render a list of dict rows as a GitHub-flavoured markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    header = "| " + " | ".join(columns) + " |"
+    separator = "| " + " | ".join("---" for _ in columns) + " |"
+    body = ["| " + " | ".join(fmt(row.get(col, "")) for col in columns) + " |" for row in rows]
+    return "\n".join([header, separator] + body)
+
+
+def format_table1(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render Table I rows (one per network) in the paper's column layout."""
+    columns = ["network", "dataset", "orig_accuracy"]
+    if rows:
+        subnet_columns = sorted(
+            key for key in rows[0].keys() if key.startswith("A") and key[1:].isdigit()
+        )
+        for index, _ in enumerate(subnet_columns, start=1):
+            columns.extend([f"A{index}", f"M{index}/Mt"])
+    return format_markdown_table(rows, columns=[c for c in columns if any(c in r for r in rows)])
+
+
+def format_curves(curves: Iterable[AccuracyMacCurve]) -> str:
+    """Render several accuracy-vs-MAC curves as one combined markdown table."""
+    rows: List[Dict[str, object]] = []
+    for curve in curves:
+        rows.extend(curve.as_rows())
+    return format_markdown_table(rows, columns=["method", "mac_fraction", "accuracy"])
+
+
+def ascii_curve(
+    curve: AccuracyMacCurve,
+    width: int = 50,
+    accuracy_range: Optional[tuple] = None,
+) -> str:
+    """A one-line-per-point ASCII bar chart of an accuracy-vs-MAC curve."""
+    if not curve.accuracies:
+        return f"{curve.label}: (empty)"
+    low = min(curve.accuracies) if accuracy_range is None else accuracy_range[0]
+    high = max(curve.accuracies) if accuracy_range is None else accuracy_range[1]
+    span = max(high - low, 1e-9)
+    lines = [f"{curve.label}:"]
+    for mac, accuracy in zip(curve.mac_fractions, curve.accuracies):
+        filled = int(round((accuracy - low) / span * width))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"  MAC {mac * 100:6.2f}% |{bar}| acc {accuracy * 100:6.2f}%")
+    return "\n".join(lines)
+
+
+def ascii_grouped_bars(
+    groups: Mapping[str, Sequence[float]],
+    category_labels: Sequence[str],
+    width: int = 40,
+) -> str:
+    """ASCII rendition of Fig. 8-style grouped bars (variants x subnets)."""
+    all_values = [value for values in groups.values() for value in values]
+    if not all_values:
+        return "(no data)"
+    low, high = min(all_values), max(all_values)
+    span = max(high - low, 1e-9)
+    lines = []
+    for category_index, category in enumerate(category_labels):
+        lines.append(f"{category}:")
+        for label, values in groups.items():
+            if category_index >= len(values):
+                continue
+            value = values[category_index]
+            filled = int(round((value - low) / span * width))
+            bar = "#" * filled + "." * (width - filled)
+            lines.append(f"  {label:<28s} |{bar}| {value * 100:6.2f}%")
+    return "\n".join(lines)
+
+
+def format_experiment_header(title: str, description: str = "") -> str:
+    """Uniform section header used by the benchmark scripts' stdout reports."""
+    bar = "=" * max(len(title), 20)
+    lines = [bar, title, bar]
+    if description:
+        lines.append(description)
+    return "\n".join(lines)

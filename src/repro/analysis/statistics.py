@@ -1,0 +1,181 @@
+"""Multi-seed experiment statistics.
+
+Reduced-scale experiments on synthetic data are noisy; conclusions about
+which method wins should therefore be drawn from several seeds.  This
+module aggregates repeated runs (mean, standard deviation, confidence
+intervals, paired comparisons) without depending on anything heavier than
+numpy/scipy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Mean, spread and a normal-approximation confidence interval."""
+
+    mean: float
+    std: float
+    count: int
+    ci_low: float
+    ci_high: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "count": self.count,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+        }
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> SummaryStatistics:
+    """Summary statistics of repeated measurements.
+
+    The confidence interval uses the normal approximation
+    ``mean ± z * std / sqrt(n)``; for the handful of seeds typical here it
+    is meant as an error bar, not a formal test.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("values must not be empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    mean = float(data.mean())
+    std = float(data.std(ddof=1)) if data.size > 1 else 0.0
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    half_width = z * std / math.sqrt(data.size) if data.size > 1 else 0.0
+    return SummaryStatistics(
+        mean=mean,
+        std=std,
+        count=int(data.size),
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+    )
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    # Coefficients for the central and tail regions.
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p > p_high:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of comparing two methods run on the same seeds."""
+
+    mean_difference: float
+    wins: int
+    losses: int
+    ties: int
+    win_rate: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mean_difference": self.mean_difference,
+            "wins": self.wins,
+            "losses": self.losses,
+            "ties": self.ties,
+            "win_rate": self.win_rate,
+        }
+
+
+def paired_comparison(
+    method_a: Sequence[float],
+    method_b: Sequence[float],
+    tie_tolerance: float = 0.0,
+) -> PairedComparison:
+    """Per-seed comparison of two methods (positive difference: A better)."""
+    a = np.asarray(list(method_a), dtype=np.float64)
+    b = np.asarray(list(method_b), dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("both methods need the same non-zero number of runs")
+    if tie_tolerance < 0:
+        raise ValueError("tie_tolerance must be non-negative")
+    differences = a - b
+    wins = int((differences > tie_tolerance).sum())
+    losses = int((differences < -tie_tolerance).sum())
+    ties = int(a.size - wins - losses)
+    return PairedComparison(
+        mean_difference=float(differences.mean()),
+        wins=wins,
+        losses=losses,
+        ties=ties,
+        win_rate=wins / a.size,
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic=np.mean,
+    num_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Percentile bootstrap confidence interval of an arbitrary statistic."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("values must not be empty")
+    if num_resamples < 1:
+        raise ValueError("num_resamples must be positive")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    resamples = rng.integers(0, data.size, size=(num_resamples, data.size))
+    estimates = np.apply_along_axis(statistic, 1, data[resamples])
+    alpha = (1.0 - confidence) / 2.0
+    return {
+        "estimate": float(statistic(data)),
+        "ci_low": float(np.quantile(estimates, alpha)),
+        "ci_high": float(np.quantile(estimates, 1.0 - alpha)),
+    }
+
+
+def aggregate_curves(
+    curves: Sequence[Sequence[float]],
+) -> Dict[str, List[float]]:
+    """Point-wise mean/std/min/max over repeated accuracy curves of equal length."""
+    if not curves:
+        raise ValueError("curves must not be empty")
+    lengths = {len(curve) for curve in curves}
+    if len(lengths) != 1:
+        raise ValueError("all curves must have the same number of points")
+    stacked = np.asarray([list(curve) for curve in curves], dtype=np.float64)
+    return {
+        "mean": stacked.mean(axis=0).tolist(),
+        "std": stacked.std(axis=0, ddof=1).tolist() if stacked.shape[0] > 1 else [0.0] * stacked.shape[1],
+        "min": stacked.min(axis=0).tolist(),
+        "max": stacked.max(axis=0).tolist(),
+    }

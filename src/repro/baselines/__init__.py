@@ -1,0 +1,34 @@
+"""Baselines the paper compares SteppingNet against."""
+
+from .any_width import AnyWidthResult, build_any_width_network, train_any_width
+from .common import calibrate_width_fractions, set_prefix_assignments
+from .slimmable import (
+    SlimmableNetwork,
+    SlimmableResult,
+    SwitchableBatchNorm,
+    build_slimmable_network,
+    train_slimmable,
+)
+from .width_multiplier import (
+    WidthMultiplierResult,
+    calibrate_multipliers,
+    mac_fraction_for_multiplier,
+    train_width_multiplier_family,
+)
+
+__all__ = [
+    "set_prefix_assignments",
+    "calibrate_width_fractions",
+    "AnyWidthResult",
+    "build_any_width_network",
+    "train_any_width",
+    "SlimmableNetwork",
+    "SlimmableResult",
+    "SwitchableBatchNorm",
+    "build_slimmable_network",
+    "train_slimmable",
+    "WidthMultiplierResult",
+    "calibrate_multipliers",
+    "mac_fraction_for_multiplier",
+    "train_width_multiplier_family",
+]

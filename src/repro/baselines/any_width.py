@@ -1,0 +1,115 @@
+"""Any-width network baseline (Vu et al., CVPR 2020; paper reference [13]).
+
+The any-width network shares SteppingNet's incremental property — no
+synapse runs from a unit that only exists in a larger subnet into a unit
+of a smaller subnet — but obtains it with a *rigid* structural pattern:
+subnets are nested width prefixes of every layer (the lower-triangular
+connectivity of Fig. 1(b)).  Because the pattern is fixed a priori, the
+subnet structures are not adapted to the data, which is the flexibility
+gap SteppingNet exploits (Fig. 6).
+
+Implementation: a :class:`~repro.core.network.SteppingNetwork` with the
+structural constraint *enabled* and a calibrated prefix assignment that
+is never changed by importance-driven construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import SteppingConfig
+from ..core.network import SteppingNetwork
+from ..data.loaders import DataLoader
+from ..models.spec import ArchitectureSpec
+from ..utils.rng import new_generator
+from .common import calibrate_width_fractions
+
+
+@dataclass
+class AnyWidthResult:
+    """Trained any-width baseline and its evaluation summary."""
+
+    network: SteppingNetwork
+    width_fractions: List[float]
+    subnet_accuracies: List[float]
+    mac_fractions: List[float]
+
+
+def build_any_width_network(
+    spec: ArchitectureSpec,
+    mac_budgets: Sequence[float],
+    rng: Optional[np.random.Generator] = None,
+    min_units_per_layer: int = 1,
+) -> SteppingNetwork:
+    """Build an any-width network whose prefix subnets match the MAC budgets."""
+    network = SteppingNetwork(
+        spec,
+        num_subnets=len(mac_budgets),
+        enforce_incremental=True,
+        min_units_per_layer=min_units_per_layer,
+        rng=rng,
+    )
+    calibrate_width_fractions(network, mac_budgets, reference_macs=spec.total_macs())
+    network.assignment.validate()
+    return network
+
+
+def train_any_width(
+    spec: ArchitectureSpec,
+    train_loader: DataLoader,
+    test_loader: DataLoader,
+    config: Optional[SteppingConfig] = None,
+    epochs: Optional[int] = None,
+) -> AnyWidthResult:
+    """Train and evaluate the any-width baseline under the given MAC budgets.
+
+    Training mirrors the shared-weight recipe used for SteppingNet's
+    construction phase (every subnet trained on every batch, ascending
+    order) so that the Fig. 6 comparison isolates the effect of the
+    subnet *structures* rather than the training budget.
+    """
+    from ..core.trainer import evaluate_all_subnets, make_optimizer, train_subnets_round
+
+    config = config or SteppingConfig()
+    rng = new_generator(config.seed)
+    network = build_any_width_network(
+        spec, config.mac_budgets, rng=rng, min_units_per_layer=config.min_units_per_layer
+    )
+    optimizer = make_optimizer(network, config.training)
+    total_batches = (epochs if epochs is not None else config.retrain_epochs) * max(1, len(train_loader))
+    train_subnets_round(
+        network,
+        train_loader,
+        optimizer,
+        num_batches=total_batches,
+        beta=config.beta,
+        use_lr_suppression=config.use_lr_suppression,
+    )
+    accuracies = evaluate_all_subnets(network, test_loader)
+    reference = spec.total_macs()
+    mac_fractions = [network.subnet_macs(i) / reference for i in range(network.num_subnets)]
+    width_fractions = _installed_fractions(network)
+    return AnyWidthResult(
+        network=network,
+        width_fractions=width_fractions,
+        subnet_accuracies=accuracies,
+        mac_fractions=mac_fractions,
+    )
+
+
+def _installed_fractions(network: SteppingNetwork) -> List[float]:
+    """Recover the per-subnet width fractions actually installed on the network."""
+    fractions = []
+    hidden_blocks = [b for b in network.parametric_blocks() if not b.is_output]
+    if not hidden_blocks:
+        return [1.0] * network.num_subnets
+    for subnet in range(network.num_subnets):
+        ratios = [
+            block.layer.assignment.active_count(subnet) / block.layer.assignment.num_units
+            for block in hidden_blocks
+        ]
+        fractions.append(float(np.mean(ratios)))
+    return fractions

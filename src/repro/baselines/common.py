@@ -1,0 +1,86 @@
+"""Shared machinery for the shared-weight baselines.
+
+Both the slimmable network [10] and the any-width network [13] execute
+*prefix* subnets: subnet ``i`` uses the first ``f_i`` fraction of every
+layer's units.  The helpers here install such prefix assignments on a
+:class:`~repro.core.network.SteppingNetwork` and calibrate the width
+fractions so that every subnet lands on (at most) the same MAC budget as
+the SteppingNet subnets it is compared against — the comparison in the
+paper's Fig. 6 is at equal #MAC.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.network import SteppingNetwork
+
+
+def set_prefix_assignments(network: SteppingNetwork, width_fractions: Sequence[float]) -> None:
+    """Assign the first ``f_i`` fraction of every hidden layer's units to subnet ``i``.
+
+    ``width_fractions`` must be non-decreasing with one entry per subnet.
+    Units beyond the largest fraction are marked unused.  The classifier
+    output layer keeps all its units in every subnet.
+    """
+    if len(width_fractions) != network.num_subnets:
+        raise ValueError("width_fractions must have one entry per subnet")
+    if any(f2 < f1 for f1, f2 in zip(width_fractions, width_fractions[1:])):
+        raise ValueError("width_fractions must be non-decreasing")
+    if any(not 0.0 < f <= 1.0 for f in width_fractions):
+        raise ValueError("width_fractions must lie in (0, 1]")
+    for block in network.parametric_blocks():
+        if block.is_output:
+            continue
+        layer = block.layer
+        num_units = layer.assignment.num_units
+        assignment = np.full(num_units, layer.assignment.UNUSED, dtype=np.int64)
+        for subnet in reversed(range(network.num_subnets)):
+            boundary = max(1, int(round(width_fractions[subnet] * num_units)))
+            assignment[:boundary] = np.minimum(assignment[:boundary], subnet)
+        layer.assignment.set_assignment(assignment)
+
+
+def calibrate_width_fractions(
+    network: SteppingNetwork,
+    mac_budgets: Sequence[float],
+    reference_macs: Optional[int] = None,
+    tolerance: float = 0.01,
+    max_iterations: int = 25,
+) -> List[float]:
+    """Find per-subnet uniform width fractions matching the MAC budgets.
+
+    For each subnet (in ascending order) a binary search over the uniform
+    width fraction finds the largest fraction whose MAC count stays at or
+    below ``budget * reference_macs``.  The resulting fractions are
+    installed on ``network`` and returned.
+    """
+    reference = reference_macs if reference_macs is not None else network.total_macs(apply_prune=False)
+    fractions = [1.0] * network.num_subnets
+    resolved: List[float] = []
+    minimum = 1e-3
+    for subnet, budget in enumerate(mac_budgets):
+        target = budget * reference
+        low = resolved[-1] if resolved else minimum
+        high = 1.0
+        best = low
+        for _ in range(max_iterations):
+            mid = 0.5 * (low + high)
+            candidate = resolved + [mid] * (network.num_subnets - len(resolved))
+            set_prefix_assignments(network, candidate)
+            macs = network.subnet_macs(subnet, apply_prune=False)
+            if macs <= target * (1.0 + tolerance):
+                best = mid
+                low = mid
+            else:
+                high = mid
+            if high - low < 1e-4:
+                break
+        resolved.append(best)
+    # Fill any remaining subnets (shouldn't happen) and install the result.
+    while len(resolved) < network.num_subnets:
+        resolved.append(1.0)
+    set_prefix_assignments(network, resolved)
+    return resolved

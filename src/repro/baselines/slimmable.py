@@ -1,0 +1,165 @@
+"""Slimmable network baseline (Yu et al., ICLR 2019; paper reference [10]).
+
+A slimmable network trains one set of weights that can execute at several
+widths.  Unlike SteppingNet and the any-width network it does *not*
+restrict connectivity: a neuron of a small width uses *all* active inputs
+of the currently selected width, so its pre-activation changes when the
+width changes.  Two consequences reproduced here:
+
+* each width needs its own batch-normalisation statistics (switchable
+  BN), because activation distributions differ per width;
+* intermediate results cannot be reused when stepping to a larger width —
+  the network must be re-executed from scratch, which is the
+  computational-reuse gap SteppingNet addresses.
+
+Implementation: a subclass of :class:`~repro.core.network.SteppingNetwork`
+with the structural constraint disabled, prefix width assignments, and
+per-subnet switchable batch norm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import SteppingConfig
+from ..core.layers import MaskedBatchNorm1d, MaskedBatchNorm2d
+from ..core.network import SteppingNetwork
+from ..data.loaders import DataLoader
+from ..models.spec import ArchitectureSpec
+from ..nn.modules.container import ModuleList
+from ..nn.modules.module import Module
+from ..nn.tensor import Tensor
+from ..utils.rng import new_generator
+from .common import calibrate_width_fractions
+
+
+class SwitchableBatchNorm(Module):
+    """One batch-norm copy per executable width (the slimmable trick)."""
+
+    def __init__(self, num_features: int, num_subnets: int, dims: int = 2) -> None:
+        super().__init__()
+        norm_cls = MaskedBatchNorm2d if dims == 2 else MaskedBatchNorm1d
+        self.copies = ModuleList([norm_cls(num_features) for _ in range(num_subnets)])
+        self.active_subnet = 0
+
+    def forward(self, x: Tensor, active_mask: np.ndarray) -> Tensor:
+        return self.copies[self.active_subnet](x, active_mask)
+
+
+class SlimmableNetwork(SteppingNetwork):
+    """Slimmable baseline: unconstrained prefix subnets with switchable BN."""
+
+    def __init__(
+        self,
+        spec: ArchitectureSpec,
+        num_subnets: int,
+        rng: Optional[np.random.Generator] = None,
+        min_units_per_layer: int = 1,
+    ) -> None:
+        super().__init__(
+            spec,
+            num_subnets=num_subnets,
+            enforce_incremental=False,
+            min_units_per_layer=min_units_per_layer,
+            rng=rng,
+        )
+        # Replace every single-copy norm with a per-width switchable norm.
+        for index, block in enumerate(self.blocks):
+            if block.norm is None:
+                continue
+            dims = 2 if block.kind == "conv" else 1
+            switchable = SwitchableBatchNorm(
+                block.norm.num_features, num_subnets, dims=dims
+            )
+            block.norm = switchable
+            self.add_module(f"switch_norm{index}", switchable)
+
+    def forward(self, x, subnet: Optional[int] = None, **kwargs):
+        level = subnet if subnet is not None else self.num_subnets - 1
+        for block in self.blocks:
+            if isinstance(block.norm, SwitchableBatchNorm):
+                block.norm.active_subnet = level
+        return super().forward(x, subnet=subnet, **kwargs)
+
+
+@dataclass
+class SlimmableResult:
+    """Trained slimmable baseline and its evaluation summary."""
+
+    network: SlimmableNetwork
+    width_fractions: List[float]
+    subnet_accuracies: List[float]
+    mac_fractions: List[float]
+
+
+def build_slimmable_network(
+    spec: ArchitectureSpec,
+    mac_budgets: Sequence[float],
+    rng: Optional[np.random.Generator] = None,
+    min_units_per_layer: int = 1,
+) -> SlimmableNetwork:
+    """Build a slimmable network whose widths match the MAC budgets."""
+    network = SlimmableNetwork(
+        spec,
+        num_subnets=len(mac_budgets),
+        rng=rng,
+        min_units_per_layer=min_units_per_layer,
+    )
+    calibrate_width_fractions(network, mac_budgets, reference_macs=spec.total_macs())
+    network.assignment.validate()
+    return network
+
+
+def train_slimmable(
+    spec: ArchitectureSpec,
+    train_loader: DataLoader,
+    test_loader: DataLoader,
+    config: Optional[SteppingConfig] = None,
+    epochs: Optional[int] = None,
+) -> SlimmableResult:
+    """Train and evaluate the slimmable baseline at the given MAC budgets."""
+    from ..core.trainer import evaluate_all_subnets, make_optimizer, train_subnets_round
+
+    config = config or SteppingConfig()
+    rng = new_generator(config.seed)
+    network = build_slimmable_network(
+        spec, config.mac_budgets, rng=rng, min_units_per_layer=config.min_units_per_layer
+    )
+    optimizer = make_optimizer(network, config.training)
+    total_batches = (epochs if epochs is not None else config.retrain_epochs) * max(1, len(train_loader))
+    # Standard slimmable training: every width trained on every batch.  No
+    # learning-rate suppression — that is a SteppingNet technique.
+    train_subnets_round(
+        network,
+        train_loader,
+        optimizer,
+        num_batches=total_batches,
+        beta=1.0,
+        use_lr_suppression=False,
+    )
+    accuracies = evaluate_all_subnets(network, test_loader)
+    reference = spec.total_macs()
+    mac_fractions = [network.subnet_macs(i) / reference for i in range(network.num_subnets)]
+    hidden_blocks = [b for b in network.parametric_blocks() if not b.is_output]
+    width_fractions = [
+        float(
+            np.mean(
+                [
+                    block.layer.assignment.active_count(subnet) / block.layer.assignment.num_units
+                    for block in hidden_blocks
+                ]
+            )
+        )
+        if hidden_blocks
+        else 1.0
+        for subnet in range(network.num_subnets)
+    ]
+    return SlimmableResult(
+        network=network,
+        width_fractions=width_fractions,
+        subnet_accuracies=accuracies,
+        mac_fractions=mac_fractions,
+    )

@@ -1,0 +1,99 @@
+"""Static width-multiplier baseline (MobileNet-style; paper references [5]–[7]).
+
+A family of *independent* networks scaled by a global width multiplier.
+Each operating point is a separate model with its own weights — the
+approach the paper criticises for requiring "a large offline table to
+store several models simultaneously" and for offering no computational
+reuse when resources change at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import TrainingConfig
+from ..core.trainer import evaluate_plain_model, train_plain_model
+from ..data.loaders import DataLoader
+from ..models.builder import PlainNetwork, build_plain_model
+from ..models.spec import ArchitectureSpec
+from ..utils.rng import new_generator
+
+
+@dataclass
+class WidthMultiplierResult:
+    """One independently trained model per width multiplier."""
+
+    multipliers: List[float]
+    models: List[PlainNetwork]
+    accuracies: List[float]
+    mac_fractions: List[float]
+    total_stored_parameters: int
+
+    def operating_points(self) -> List[Dict[str, float]]:
+        """(MAC fraction, accuracy) pairs, one per multiplier."""
+        return [
+            {"multiplier": m, "mac_fraction": f, "accuracy": a}
+            for m, f, a in zip(self.multipliers, self.mac_fractions, self.accuracies)
+        ]
+
+
+def mac_fraction_for_multiplier(spec: ArchitectureSpec, multiplier: float) -> float:
+    """MAC count of the scaled network relative to the unscaled one."""
+    return spec.with_width_multiplier(multiplier).total_macs() / spec.total_macs()
+
+
+def calibrate_multipliers(spec: ArchitectureSpec, mac_budgets: Sequence[float]) -> List[float]:
+    """Width multipliers whose MAC counts match the given budgets.
+
+    MACs grow roughly quadratically with a uniform width multiplier, so a
+    short binary search per budget suffices.
+    """
+    multipliers = []
+    for budget in mac_budgets:
+        low, high = 0.05, 1.5
+        best = low
+        for _ in range(30):
+            mid = 0.5 * (low + high)
+            if mac_fraction_for_multiplier(spec, mid) <= budget:
+                best = mid
+                low = mid
+            else:
+                high = mid
+        multipliers.append(best)
+    return multipliers
+
+
+def train_width_multiplier_family(
+    spec: ArchitectureSpec,
+    train_loader: DataLoader,
+    test_loader: DataLoader,
+    mac_budgets: Sequence[float],
+    epochs: int = 3,
+    training: Optional[TrainingConfig] = None,
+    seed: int = 0,
+) -> WidthMultiplierResult:
+    """Train one independent model per MAC budget and evaluate each."""
+    training = training or TrainingConfig()
+    multipliers = calibrate_multipliers(spec, mac_budgets)
+    models: List[PlainNetwork] = []
+    accuracies: List[float] = []
+    fractions: List[float] = []
+    total_parameters = 0
+    for index, multiplier in enumerate(multipliers):
+        scaled_spec = spec.with_width_multiplier(multiplier)
+        model = build_plain_model(scaled_spec, rng=new_generator(seed + index))
+        train_plain_model(model, train_loader, epochs, training)
+        models.append(model)
+        accuracies.append(evaluate_plain_model(model, test_loader))
+        fractions.append(scaled_spec.total_macs() / spec.total_macs())
+        total_parameters += model.num_parameters()
+    return WidthMultiplierResult(
+        multipliers=multipliers,
+        models=models,
+        accuracies=accuracies,
+        mac_fractions=fractions,
+        total_stored_parameters=total_parameters,
+    )

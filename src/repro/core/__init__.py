@@ -1,0 +1,84 @@
+"""SteppingNet core: subnet construction, retraining and incremental inference."""
+
+from .api import SteppingNetResult, build_stepping_network, build_steppingnet
+from .assignment import LayerAssignment, SubnetAssignment, prefix_assignment
+from .config import PAPER_CONFIGS, SteppingConfig, TrainingConfig, paper_config
+from .construction import ConstructionResult, IterationRecord, SubnetConstructor
+from .distillation import DistillationResult, retrain_with_distillation
+from .importance import ImportanceResult, evaluate_importance, magnitude_importance
+from .incremental import IncrementalInference, StepResult, anytime_schedule
+from .layers import (
+    MaskedBatchNorm1d,
+    MaskedBatchNorm2d,
+    SteppingConv2d,
+    SteppingLinear,
+    build_unit_mask,
+    build_weight_mask,
+)
+from .mac import MacReport, dense_macs, mac_report
+from .network import Block, SteppingNetwork
+from .pruning import (
+    PruningReport,
+    apply_unstructured_pruning,
+    pruning_summary,
+    revive_incoming_synapses,
+    revive_units,
+)
+from .trainer import (
+    apply_lr_suppression,
+    evaluate_all_subnets,
+    evaluate_plain_model,
+    evaluate_subnet,
+    make_optimizer,
+    suppression_factors,
+    train_plain_model,
+    train_subnets_round,
+)
+
+__all__ = [
+    "SteppingConfig",
+    "TrainingConfig",
+    "PAPER_CONFIGS",
+    "paper_config",
+    "LayerAssignment",
+    "SubnetAssignment",
+    "prefix_assignment",
+    "SteppingLinear",
+    "SteppingConv2d",
+    "MaskedBatchNorm1d",
+    "MaskedBatchNorm2d",
+    "build_unit_mask",
+    "build_weight_mask",
+    "SteppingNetwork",
+    "Block",
+    "ImportanceResult",
+    "evaluate_importance",
+    "magnitude_importance",
+    "PruningReport",
+    "apply_unstructured_pruning",
+    "pruning_summary",
+    "revive_units",
+    "revive_incoming_synapses",
+    "SubnetConstructor",
+    "ConstructionResult",
+    "IterationRecord",
+    "DistillationResult",
+    "retrain_with_distillation",
+    "IncrementalInference",
+    "StepResult",
+    "anytime_schedule",
+    "MacReport",
+    "mac_report",
+    "dense_macs",
+    "SteppingNetResult",
+    "build_steppingnet",
+    "build_stepping_network",
+    "train_subnets_round",
+    "train_plain_model",
+    "evaluate_subnet",
+    "evaluate_all_subnets",
+    "evaluate_plain_model",
+    "apply_lr_suppression",
+    "suppression_factors",
+    "make_optimizer",
+]

@@ -1,0 +1,250 @@
+"""Subnet assignment of neurons/filters.
+
+SteppingNet's central data structure is the mapping from every
+neuron/filter ("unit") of the expanded network to the *smallest subnet
+that contains it*.  Because subnets are nested, a unit assigned to subnet
+``s`` is a member of every subnet ``>= s``.  The construction algorithm
+(Sec. III-A) edits this assignment by moving low-importance units from a
+subnet into the next larger one; everything else — which weights are
+active in which subnet, how many MACs a subnet costs, what an
+incremental step has to compute — is derived from it.
+
+Invariants maintained here and checked by :meth:`SubnetAssignment.validate`:
+
+* nesting — the unit sets of subnets are monotonically growing;
+* minimum width — every layer keeps at least ``min_units`` units in the
+  smallest subnet so the forward signal path is never severed;
+* the structural "no new→old synapse" rule is not stored (it is derived
+  from the assignment when weight masks are built) but its precondition,
+  a valid per-unit subnet index, is enforced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+class LayerAssignment:
+    """Subnet membership of one parametric layer's output units.
+
+    Parameters
+    ----------
+    num_units:
+        Number of output neurons (linear) or filters (conv) of the layer.
+    num_subnets:
+        Total number of subnets ``N``.
+    name:
+        Identifier used in error messages and reports.
+    frozen:
+        When ``True`` units cannot be moved (used for the classifier
+        output layer, whose class logits exist in every subnet).
+    """
+
+    #: Sentinel level meaning "member of no subnet".  Units can be pushed out
+    #: of the largest subnet during construction (the paper caps the largest
+    #: subnet at e.g. 85 % of the original MACs); such units keep their
+    #: weights but are never executed.
+    UNUSED: int
+
+    def __init__(self, num_units: int, num_subnets: int, name: str = "", frozen: bool = False) -> None:
+        if num_units <= 0:
+            raise ValueError("num_units must be positive")
+        if num_subnets < 1:
+            raise ValueError("num_subnets must be at least 1")
+        self.num_units = int(num_units)
+        self.num_subnets = int(num_subnets)
+        self.name = name or "layer"
+        self.frozen = frozen
+        self.UNUSED = self.num_subnets
+        # Every unit starts in the smallest subnet (construction Fig. 5(a)).
+        self.unit_subnet = np.zeros(self.num_units, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def active_mask(self, subnet: int) -> np.ndarray:
+        """Boolean mask of units that are members of ``subnet``."""
+        self._check_subnet(subnet)
+        return self.unit_subnet <= subnet
+
+    def units_in_exactly(self, subnet: int) -> np.ndarray:
+        """Indices of units whose *smallest* containing subnet is ``subnet``."""
+        self._check_subnet(subnet)
+        return np.where(self.unit_subnet == subnet)[0]
+
+    def active_count(self, subnet: int) -> int:
+        return int(self.active_mask(subnet).sum())
+
+    def counts_per_subnet(self) -> np.ndarray:
+        """Number of units first appearing in each subnet (last entry: unused units)."""
+        return np.bincount(self.unit_subnet, minlength=self.num_subnets + 1)
+
+    def unused_units(self) -> np.ndarray:
+        """Indices of units that belong to no subnet."""
+        return np.where(self.unit_subnet >= self.num_subnets)[0]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def move_units(self, unit_indices: Iterable[int], to_subnet: int) -> None:
+        """Move units into ``to_subnet`` (the paper only moves to the next larger subnet).
+
+        ``to_subnet`` may also be :attr:`UNUSED` (``num_subnets``), which
+        removes the units from every subnet.
+        """
+        if self.frozen:
+            raise RuntimeError(f"layer '{self.name}' is frozen; its units cannot be moved")
+        if to_subnet != self.UNUSED:
+            self._check_subnet(to_subnet)
+        indices = np.asarray(list(unit_indices), dtype=int)
+        if indices.size == 0:
+            return
+        if indices.min() < 0 or indices.max() >= self.num_units:
+            raise IndexError(f"unit index out of range for layer '{self.name}'")
+        current = self.unit_subnet[indices]
+        if np.any(to_subnet < current):
+            raise ValueError(
+                f"cannot move units of layer '{self.name}' to a smaller subnet "
+                f"(from {current.max()} to {to_subnet}); that would break nesting"
+            )
+        self.unit_subnet[indices] = to_subnet
+
+    def set_assignment(self, unit_subnet: Sequence[int]) -> None:
+        """Overwrite the full assignment (used by the any-width baseline)."""
+        array = np.asarray(unit_subnet, dtype=np.int64)
+        if array.shape != (self.num_units,):
+            raise ValueError(
+                f"assignment for layer '{self.name}' must have shape ({self.num_units},), got {array.shape}"
+            )
+        if array.min() < 0 or array.max() > self.UNUSED:
+            raise ValueError("subnet indices out of range")
+        self.unit_subnet = array.copy()
+
+    def _check_subnet(self, subnet: int) -> None:
+        if not 0 <= subnet < self.num_subnets:
+            raise IndexError(
+                f"subnet index {subnet} out of range (layer '{self.name}' has {self.num_subnets} subnets)"
+            )
+
+    def __repr__(self) -> str:
+        counts = ", ".join(str(c) for c in self.counts_per_subnet())
+        return f"LayerAssignment(name={self.name!r}, units={self.num_units}, per_subnet=[{counts}])"
+
+
+class SubnetAssignment:
+    """Assignment for all parametric layers of a network, in forward order."""
+
+    def __init__(self, layers: Sequence[LayerAssignment], min_units: int = 1) -> None:
+        if not layers:
+            raise ValueError("SubnetAssignment requires at least one layer")
+        num_subnets = {layer.num_subnets for layer in layers}
+        if len(num_subnets) != 1:
+            raise ValueError("all layers must agree on the number of subnets")
+        self.layers: List[LayerAssignment] = list(layers)
+        self.num_subnets = layers[0].num_subnets
+        self.min_units = int(min_units)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> LayerAssignment:
+        return self.layers[index]
+
+    def by_name(self, name: str) -> LayerAssignment:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer assignment named '{name}'")
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check nesting and minimum-width invariants; raise on violation."""
+        for layer in self.layers:
+            if layer.unit_subnet.min() < 0 or layer.unit_subnet.max() > layer.UNUSED:
+                raise ValueError(f"layer '{layer.name}' has out-of-range subnet indices")
+            if not layer.frozen and layer.active_count(0) < min(self.min_units, layer.num_units):
+                raise ValueError(
+                    f"layer '{layer.name}' has {layer.active_count(0)} units in the smallest "
+                    f"subnet, below the minimum of {self.min_units}"
+                )
+        # Nesting is implied by the <= representation, but verify counts grow.
+        for layer in self.layers:
+            counts = [layer.active_count(i) for i in range(self.num_subnets)]
+            if any(b < a for a, b in zip(counts, counts[1:])):
+                raise AssertionError(f"nesting violated in layer '{layer.name}': {counts}")
+
+    def movable_units(self, layer_index: int, subnet: int) -> np.ndarray:
+        """Units of ``layer_index`` that may move from ``subnet`` to ``subnet + 1``.
+
+        Respects the frozen flag and the minimum-width rule: at least
+        ``min_units`` units must remain in every subnet level of the layer.
+        """
+        layer = self.layers[layer_index]
+        if layer.frozen or subnet >= self.num_subnets - 1:
+            return np.array([], dtype=int)
+        candidates = layer.units_in_exactly(subnet)
+        active_now = layer.active_count(subnet)
+        max_movable = max(0, active_now - self.min_units)
+        if max_movable == 0:
+            return np.array([], dtype=int)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, List[int]]:
+        """Per-layer unit counts for each subnet (cumulative membership)."""
+        return {
+            layer.name: [layer.active_count(i) for i in range(self.num_subnets)]
+            for layer in self.layers
+        }
+
+    def copy(self) -> "SubnetAssignment":
+        clones = []
+        for layer in self.layers:
+            clone = LayerAssignment(layer.num_units, layer.num_subnets, layer.name, layer.frozen)
+            clone.unit_subnet = layer.unit_subnet.copy()
+            clones.append(clone)
+        return SubnetAssignment(clones, min_units=self.min_units)
+
+    def __repr__(self) -> str:
+        lines = [f"SubnetAssignment(num_subnets={self.num_subnets})"]
+        for layer in self.layers:
+            lines.append(f"  {layer!r}")
+        return "\n".join(lines)
+
+
+def prefix_assignment(
+    num_units: int,
+    num_subnets: int,
+    fractions: Sequence[float],
+    name: str = "",
+    frozen: bool = False,
+) -> LayerAssignment:
+    """Regular prefix-block assignment used by the any-width baseline.
+
+    The first ``fractions[0] * num_units`` units belong to subnet 0, the
+    next block to subnet 1 and so on — the rigid structural pattern of
+    Fig. 1(b) that SteppingNet relaxes.
+    """
+    if len(fractions) != num_subnets:
+        raise ValueError("fractions must have one entry per subnet")
+    if any(f2 < f1 for f1, f2 in zip(fractions, fractions[1:])):
+        raise ValueError("fractions must be non-decreasing")
+    layer = LayerAssignment(num_units, num_subnets, name=name, frozen=frozen)
+    if frozen:
+        return layer
+    boundaries = [max(1, int(round(frac * num_units))) for frac in fractions]
+    boundaries[-1] = num_units
+    assignment = np.full(num_units, num_subnets - 1, dtype=np.int64)
+    start = 0
+    for subnet, end in enumerate(boundaries):
+        end = max(end, start)
+        assignment[start:end] = np.minimum(assignment[start:end], subnet)
+        start = end
+    layer.set_assignment(assignment)
+    return layer

@@ -1,0 +1,173 @@
+"""Configuration dataclasses for SteppingNet construction and retraining.
+
+Default hyper-parameter values follow Section IV of the paper:
+
+* four subnets,
+* MAC budgets expressed as fractions of the dense network's MAC count
+  (e.g. ``(0.10, 0.30, 0.50, 0.85)`` for LeNet-3C1L),
+* width-expansion ratio 1.8–2.0 before construction,
+* importance coefficients ``alpha_k`` growing by 1.5x per larger subnet,
+* learning-rate suppression factor ``beta = 0.9``,
+* knowledge-distillation blend ``gamma = 0.4``,
+* unstructured-pruning weight threshold ``1e-5``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Optimisation hyper-parameters shared by construction and retraining."""
+
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    batch_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+
+@dataclass(frozen=True)
+class SteppingConfig:
+    """Full configuration of the SteppingNet design flow (Fig. 3).
+
+    Attributes
+    ----------
+    mac_budgets:
+        Target MAC count of every subnet, as a fraction of the dense
+        (expanded) network's total MACs.  Must be strictly increasing.
+        The number of subnets ``N`` is ``len(mac_budgets)``.
+    expansion_ratio:
+        Width-expansion ratio applied to the original architecture before
+        construction (paper Sec. IV; 1.8 for LeNet-3C1L/VGG-16, 2.0 for
+        LeNet-5).
+    num_iterations:
+        ``Nt`` — the number of construction iterations.  The amount of
+        MACs moved out of subnet 1 per iteration is
+        ``(Pt - P1) / Nt``.
+    batches_per_iteration:
+        ``m`` — training mini-batches executed before each importance
+        evaluation.
+    alpha_base, alpha_growth:
+        Importance coefficients: ``alpha_k = alpha_base * alpha_growth**k``
+        (paper: base 1, growth 1.5).
+    beta:
+        Learning-rate suppression factor for smaller subnets while larger
+        subnets train (paper: 0.9).
+    gamma:
+        Cross-entropy weight in the knowledge-distillation loss, Eq. (4)
+        (paper: 0.4).
+    prune_threshold:
+        Magnitude threshold of the revivable unstructured pruning
+        (paper: 1e-5).
+    retrain_epochs:
+        Number of knowledge-distillation retraining epochs after
+        construction.
+    min_units_per_layer:
+        Lower bound on the number of units a layer keeps in the smallest
+        subnet so that signal flow is never severed.
+    normalize_importance:
+        Divide each layer's aggregated importance scores by their layer
+        mean before pooling units across layers for reallocation.  Raw
+        ``|∂L/∂r|`` magnitudes are not comparable between convolutional
+        filters and fully-connected neurons; without normalisation the
+        cheap FC layers are drained to a bottleneck first.
+    enforce_incremental:
+        Keep the paper's structural constraint (no synapse from a larger
+        subnet's neuron into a smaller subnet's neuron).  Disabling it
+        yields a slimmable-style network and is used by the baselines and
+        ablations.
+    teacher_epochs:
+        Epochs used to pre-train the dense teacher network.
+    seed:
+        RNG seed for the whole flow.
+    """
+
+    mac_budgets: Tuple[float, ...] = (0.10, 0.30, 0.50, 0.85)
+    expansion_ratio: float = 1.8
+    num_iterations: int = 20
+    batches_per_iteration: int = 4
+    alpha_base: float = 1.0
+    alpha_growth: float = 1.5
+    beta: float = 0.9
+    gamma: float = 0.4
+    prune_threshold: float = 1e-5
+    retrain_epochs: int = 5
+    min_units_per_layer: int = 1
+    normalize_importance: bool = True
+    enforce_incremental: bool = True
+    use_lr_suppression: bool = True
+    use_distillation: bool = True
+    teacher_epochs: int = 5
+    seed: int = 0
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+
+    def __post_init__(self) -> None:
+        if len(self.mac_budgets) < 2:
+            raise ValueError("SteppingNet needs at least two subnets")
+        if any(not 0.0 < b <= 1.0 for b in self.mac_budgets):
+            raise ValueError("mac_budgets must be fractions in (0, 1]")
+        if any(b2 <= b1 for b1, b2 in zip(self.mac_budgets, self.mac_budgets[1:])):
+            raise ValueError("mac_budgets must be strictly increasing")
+        if self.expansion_ratio <= 0:
+            raise ValueError("expansion_ratio must be positive")
+        if self.num_iterations <= 0:
+            raise ValueError("num_iterations must be positive")
+        if self.batches_per_iteration <= 0:
+            raise ValueError("batches_per_iteration must be positive")
+        if not 0.0 < self.beta <= 1.0:
+            raise ValueError("beta must be in (0, 1]")
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError("gamma must be in [0, 1]")
+        if self.alpha_growth <= 0:
+            raise ValueError("alpha_growth must be positive")
+        if self.min_units_per_layer < 1:
+            raise ValueError("min_units_per_layer must be at least 1")
+
+    @property
+    def num_subnets(self) -> int:
+        return len(self.mac_budgets)
+
+    def alphas(self) -> Tuple[float, ...]:
+        """Importance coefficients alpha_k for subnets 0..N-1 (Eq. 3)."""
+        return tuple(self.alpha_base * self.alpha_growth ** k for k in range(self.num_subnets))
+
+    def with_overrides(self, **kwargs) -> "SteppingConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+# Paper Table I / Section IV per-network configurations.
+PAPER_CONFIGS = {
+    "lenet-3c1l": SteppingConfig(
+        mac_budgets=(0.10, 0.30, 0.50, 0.85),
+        expansion_ratio=1.8,
+    ),
+    "lenet-5": SteppingConfig(
+        mac_budgets=(0.15, 0.30, 0.60, 0.85),
+        expansion_ratio=2.0,
+    ),
+    "vgg-16": SteppingConfig(
+        mac_budgets=(0.20, 0.40, 0.50, 0.70),
+        expansion_ratio=1.8,
+    ),
+}
+
+
+def paper_config(model_name: str) -> SteppingConfig:
+    """Return the per-network configuration used in the paper's Table I."""
+    key = model_name.lower()
+    if key not in PAPER_CONFIGS:
+        raise KeyError(
+            f"no paper configuration for '{model_name}'; available: {sorted(PAPER_CONFIGS)}"
+        )
+    return PAPER_CONFIGS[key]

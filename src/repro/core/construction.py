@@ -1,0 +1,269 @@
+"""Subnet construction by neuron reallocation (paper Sec. III-A, Fig. 3 & 5).
+
+The constructor starts from the expanded original network assigned
+entirely to subnet 1 and repeats, for ``Nt`` iterations:
+
+1. train all subnets for ``m`` mini-batches (with learning-rate
+   suppression of smaller subnets),
+2. evaluate every unit's importance to every subnet (Eq. 1–3),
+3. for each subnet ``i`` whose MAC count exceeds its budget ``P_i`` —
+   and, for ``i > 0``, whose MAC headroom over subnet ``i-1`` exceeds the
+   budget headroom ``P_i - P_{i-1}`` (the spacing rule illustrated with
+   Fig. 5(d)) — move the least-important units of subnet ``i`` into
+   subnet ``i+1`` until roughly ``(Pt - P1)/Nt`` MACs have been moved,
+4. re-apply revivable unstructured pruning and revive the synapses of
+   every unit that changed subnet.
+
+The loop stops early once every subnet satisfies its budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.loaders import DataLoader
+from ..utils.logging import MetricHistory, get_logger
+from .config import SteppingConfig
+from .importance import ImportanceResult, evaluate_importance
+from .network import SteppingNetwork
+from .pruning import apply_unstructured_pruning, revive_incoming_synapses
+from .trainer import make_optimizer, train_subnets_round
+
+
+@dataclass
+class IterationRecord:
+    """State captured after one construction iteration."""
+
+    iteration: int
+    subnet_macs: List[int]
+    moved_units: Dict[int, int]
+    mean_loss: float
+    satisfied: bool
+
+
+@dataclass
+class ConstructionResult:
+    """Output of the construction phase."""
+
+    mac_targets: List[int]
+    iterations: List[IterationRecord] = field(default_factory=list)
+    satisfied: bool = False
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    def final_macs(self) -> List[int]:
+        return self.iterations[-1].subnet_macs if self.iterations else []
+
+
+class SubnetConstructor:
+    """Drives the neuron-reallocation workflow of Fig. 3."""
+
+    def __init__(
+        self,
+        network: SteppingNetwork,
+        config: SteppingConfig,
+        loader: DataLoader,
+        reference_macs: Optional[int] = None,
+        logger=None,
+    ) -> None:
+        if network.num_subnets != config.num_subnets:
+            raise ValueError(
+                f"network has {network.num_subnets} subnets but config specifies {config.num_subnets}"
+            )
+        self.network = network
+        self.config = config
+        self.loader = loader
+        self.logger = logger or get_logger("repro.construction")
+        total = network.total_macs(apply_prune=False)
+        self.total_macs = total
+        # MAC budgets are expressed relative to the *original, unexpanded*
+        # network (paper Sec. IV); the expanded network the construction
+        # starts from is typically much larger than the largest budget.
+        self.reference_macs = int(reference_macs) if reference_macs is not None else total
+        self.mac_targets = [int(round(frac * self.reference_macs)) for frac in config.mac_budgets]
+        # Per-iteration MAC quota moved out of a subnet: (Pt - P1) / Nt.
+        self.macs_per_move = max(1.0, (total - self.mac_targets[0]) / config.num_iterations)
+        self.history = MetricHistory()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, optimizer=None) -> ConstructionResult:
+        """Execute up to ``Nt`` iterations of train → evaluate → move → prune."""
+        config = self.config
+        network = self.network
+        optimizer = optimizer or make_optimizer(network, config.training)
+        result = ConstructionResult(mac_targets=list(self.mac_targets))
+
+        for iteration in range(config.num_iterations):
+            mean_loss = train_subnets_round(
+                network,
+                self.loader,
+                optimizer,
+                num_batches=config.batches_per_iteration,
+                beta=config.beta,
+                use_lr_suppression=config.use_lr_suppression,
+            )
+            importance = self._importance_snapshot()
+            moved = self._reallocate_units(importance)
+            apply_unstructured_pruning(network, config.prune_threshold)
+            macs = [network.subnet_macs(i) for i in range(network.num_subnets)]
+            satisfied = self._budgets_satisfied(macs)
+            record = IterationRecord(
+                iteration=iteration,
+                subnet_macs=macs,
+                moved_units=moved,
+                mean_loss=mean_loss,
+                satisfied=satisfied,
+            )
+            result.iterations.append(record)
+            self.history.log(
+                iteration=iteration,
+                loss=mean_loss,
+                moved=sum(moved.values()),
+                **{f"mac_{i}": m for i, m in enumerate(macs)},
+            )
+            network.assignment.validate()
+            if satisfied:
+                result.satisfied = True
+                break
+        # Finalisation: revivable pruning re-evaluates weight magnitudes every
+        # iteration, so a subnet that was just under budget can drift back
+        # above it by a handful of weights.  Trim without further training
+        # until every budget holds (bounded number of passes).
+        result.satisfied = self._trim_to_budgets(result)
+        return result
+
+    def _trim_to_budgets(self, result: ConstructionResult, max_passes: int = 10) -> bool:
+        network = self.network
+        for _ in range(max_passes):
+            macs = [network.subnet_macs(i) for i in range(network.num_subnets)]
+            if self._budgets_satisfied(macs):
+                return True
+            importance = self._importance_snapshot()
+            moved = self._reallocate_units(importance, respect_spacing=False, uncapped=True)
+            network.assignment.validate()
+            if not moved:
+                break
+        macs = [network.subnet_macs(i) for i in range(network.num_subnets)]
+        return self._budgets_satisfied(macs)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _importance_snapshot(self) -> ImportanceResult:
+        inputs, labels = next(iter(self.loader))
+        return evaluate_importance(
+            self.network, inputs, labels, alphas=self.config.alphas(), apply_prune=False
+        )
+
+    def _budgets_satisfied(self, macs: List[int]) -> bool:
+        return all(m <= t for m, t in zip(macs, self.mac_targets))
+
+    def _reallocate_units(
+        self,
+        importance: ImportanceResult,
+        respect_spacing: bool = True,
+        uncapped: bool = False,
+    ) -> Dict[int, int]:
+        """Move low-importance units between consecutive subnets.
+
+        Returns the number of units moved out of each subnet index.  With
+        ``respect_spacing`` the Fig. 5(d) rule is applied; ``uncapped``
+        moves the full overshoot instead of the per-iteration quota (used
+        by the finalisation trim).
+        """
+        network = self.network
+        config = self.config
+        moved: Dict[int, int] = {}
+        macs = [network.subnet_macs(i) for i in range(network.num_subnets)]
+        for subnet in range(network.num_subnets):
+            if macs[subnet] <= self.mac_targets[subnet]:
+                continue
+            if respect_spacing and subnet > 0:
+                headroom = macs[subnet] - macs[subnet - 1]
+                budget_gap = self.mac_targets[subnet] - self.mac_targets[subnet - 1]
+                if headroom <= budget_gap:
+                    # Spacing rule: subnet i may not give neurons away yet,
+                    # otherwise it would end up below its own budget.
+                    continue
+            overshoot = macs[subnet] - self.mac_targets[subnet]
+            quota = float(overshoot) if uncapped else min(self.macs_per_move, float(overshoot))
+            count = self._move_from_subnet(subnet, quota, importance)
+            if count:
+                moved[subnet] = count
+                macs = [network.subnet_macs(i) for i in range(network.num_subnets)]
+        return moved
+
+    def _move_from_subnet(self, subnet: int, mac_quota: float, importance: ImportanceResult) -> int:
+        """Move the least-important units of ``subnet`` to ``subnet + 1``.
+
+        Candidates across all layers are pooled and taken in ascending
+        importance until their cumulative MAC cost *just exceeds* the
+        quota (paper Sec. III-A1), subject to every layer keeping at
+        least ``min_units_per_layer`` units in the subnet.
+        """
+        network = self.network
+        scores = importance.selection_scores(subnet, normalize=self.config.normalize_importance)
+        candidates: List[Tuple[float, float, int, int]] = []  # (score, cost, param_index, unit)
+        for block in network.parametric_blocks():
+            if block.is_output:
+                continue
+            param_index = block.param_index
+            layer = block.layer
+            assignment = layer.assignment
+            if assignment.frozen:
+                continue
+            units = assignment.units_in_exactly(subnet)
+            if units.size == 0:
+                continue
+            in_subnet = network.input_unit_subnet(param_index)
+            if block.kind == "conv":
+                unit_costs = layer.unit_macs(subnet, in_subnet, block.in_spatial, apply_prune=True)
+            else:
+                unit_costs = layer.unit_macs(subnet, in_subnet, apply_prune=True)
+            layer_scores = scores.get(param_index)
+            if layer_scores is None:
+                layer_scores = np.zeros(assignment.num_units)
+            for unit in units:
+                candidates.append(
+                    (float(layer_scores[unit]), float(unit_costs[unit]), param_index, int(unit))
+                )
+        if not candidates:
+            return 0
+        candidates.sort(key=lambda item: item[0])
+
+        # Track how many units each layer may still give away.
+        remaining_capacity: Dict[int, int] = {}
+        for block in network.parametric_blocks():
+            if block.is_output:
+                continue
+            assignment = block.layer.assignment
+            active = assignment.active_count(subnet)
+            remaining_capacity[block.param_index] = max(
+                0, active - self.config.min_units_per_layer
+            )
+
+        selected: Dict[int, List[int]] = {}
+        cumulative = 0.0
+        for score, cost, param_index, unit in candidates:
+            if remaining_capacity.get(param_index, 0) <= 0:
+                continue
+            selected.setdefault(param_index, []).append(unit)
+            remaining_capacity[param_index] -= 1
+            cumulative += cost
+            if cumulative >= mac_quota:
+                break
+
+        moved_count = 0
+        for param_index, units in selected.items():
+            layer = network.param_layers[param_index]
+            layer.assignment.move_units(units, subnet + 1)
+            revive_incoming_synapses(network, param_index, units)
+            moved_count += len(units)
+        return moved_count

@@ -1,0 +1,93 @@
+"""Knowledge-distillation retraining of the constructed subnets (Sec. III-B).
+
+After the subnet structures are frozen, every subnet is retrained with
+the blended objective of Eq. (4):
+
+    L'_i = gamma * CE_i + (1 - gamma) * KL(teacher || subnet_i)
+
+where the teacher is the dense original network.  Subnets are trained in
+ascending order within each epoch and the learning-rate suppression of
+Sec. III-A2 continues to protect the smaller subnets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..data.loaders import DataLoader
+from ..models.builder import PlainNetwork
+from ..nn.losses import DistillationLoss
+from ..nn.optim import Optimizer
+from ..utils.logging import MetricHistory
+from .config import SteppingConfig
+from .network import SteppingNetwork
+from .trainer import apply_lr_suppression, evaluate_all_subnets, make_optimizer
+
+
+@dataclass
+class DistillationResult:
+    """Per-epoch losses and (optionally) validation accuracies."""
+
+    epochs: int
+    history: MetricHistory = field(default_factory=MetricHistory)
+    final_accuracies: List[float] = field(default_factory=list)
+
+
+def retrain_with_distillation(
+    network: SteppingNetwork,
+    teacher: Optional[PlainNetwork],
+    loader: DataLoader,
+    config: SteppingConfig,
+    epochs: Optional[int] = None,
+    optimizer: Optional[Optimizer] = None,
+    eval_loader: Optional[DataLoader] = None,
+) -> DistillationResult:
+    """Retrain all subnets with knowledge distillation.
+
+    Parameters
+    ----------
+    network:
+        The constructed stepping network (subnet structures are not
+        modified here).
+    teacher:
+        Dense teacher network.  ``None`` — or ``config.use_distillation``
+        set to ``False`` — falls back to plain cross-entropy retraining,
+        which is the "w/o knowledge distillation" ablation of Fig. 8.
+    loader:
+        Training data loader.
+    epochs:
+        Number of retraining epochs; defaults to ``config.retrain_epochs``.
+    eval_loader:
+        Optional held-out loader evaluated after the final epoch.
+    """
+    epochs = epochs if epochs is not None else config.retrain_epochs
+    optimizer = optimizer or make_optimizer(network, config.training)
+    use_teacher = teacher is not None and config.use_distillation
+    loss_fn = DistillationLoss(gamma=config.gamma if use_teacher else 1.0)
+    result = DistillationResult(epochs=epochs)
+
+    network.train()
+    if teacher is not None:
+        teacher.eval()
+    for epoch in range(epochs):
+        epoch_losses: List[float] = []
+        for inputs, labels in loader:
+            teacher_logits = teacher.predict_logits(inputs) if use_teacher else None
+            # Ascending order: smaller subnets first (Sec. III-B).
+            for subnet in range(network.num_subnets):
+                optimizer.zero_grad()
+                student_logits = network.forward(inputs, subnet=subnet, apply_prune=True)
+                loss = loss_fn(student_logits, labels, teacher_logits)
+                loss.backward()
+                if config.use_lr_suppression and config.beta < 1.0:
+                    apply_lr_suppression(network, subnet, config.beta)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+        mean_loss = float(np.mean(epoch_losses)) if epoch_losses else 0.0
+        result.history.log(epoch=epoch, loss=mean_loss)
+    if eval_loader is not None:
+        result.final_accuracies = evaluate_all_subnets(network, eval_loader)
+    return result

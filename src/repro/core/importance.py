@@ -1,0 +1,128 @@
+"""Neuron/filter importance evaluation (paper Sec. III-A2, Eq. 1–3).
+
+Every unit ``j`` carries a virtual scale ``r_j`` that multiplies its
+weighted input sum (Eq. 1).  During forward propagation ``r_j`` is fixed
+to 1 so the network function is unchanged; the gradient ``∂L_i/∂r_j``
+obtained by back-propagating subnet ``i``'s loss (Eq. 2) measures how much
+that subnet's loss would react to scaling the unit — the unit's
+importance *to subnet i*.
+
+Because a unit that stays in subnet ``i`` is also a member of every
+larger subnet, the selection criterion for moving units out of subnet
+``i`` aggregates the gradients over all subnets ``k >= i`` (Eq. 3):
+
+    M^i_j = sum_{k>=i} alpha_k * | ∂L_k / ∂r^k_j |
+
+Units with the *smallest* ``M^i_j`` are moved to subnet ``i+1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import functional as F
+from .network import SteppingNetwork
+
+
+@dataclass
+class ImportanceResult:
+    """Per-subnet importance gradients and the aggregation coefficients.
+
+    Attributes
+    ----------
+    per_subnet:
+        ``per_subnet[k][p]`` is the vector ``|∂L_k/∂r^k_j|`` over the
+        units ``j`` of parametric layer ``p``.
+    alphas:
+        The coefficients ``alpha_k`` used for aggregation.
+    """
+
+    per_subnet: List[Dict[int, np.ndarray]]
+    alphas: Sequence[float]
+
+    def selection_scores(self, subnet: int, normalize: bool = False) -> Dict[int, np.ndarray]:
+        """Eq. (3): aggregate scores ``M^i_j`` for moving units out of ``subnet``.
+
+        With ``normalize`` every layer's score vector is divided by its mean,
+        so that units of different layers compete on *relative* importance.
+        The raw ``|∂L/∂r|`` magnitudes of convolutional filters dwarf those
+        of fully-connected neurons (a filter scales a whole feature map), and
+        pooling raw scores across layers would drain the cheap FC layers down
+        to a bottleneck long before any filter is moved — see
+        ``DESIGN.md`` ("cross-layer score normalisation").
+        """
+        if not 0 <= subnet < len(self.per_subnet):
+            raise IndexError(f"subnet {subnet} out of range")
+        scores: Dict[int, np.ndarray] = {}
+        for k in range(subnet, len(self.per_subnet)):
+            for param_index, grads in self.per_subnet[k].items():
+                contribution = self.alphas[k] * grads
+                if param_index in scores:
+                    scores[param_index] = scores[param_index] + contribution
+                else:
+                    scores[param_index] = contribution.copy()
+        if normalize:
+            for param_index, values in scores.items():
+                mean = float(np.mean(values))
+                if mean > 0:
+                    scores[param_index] = values / mean
+        return scores
+
+
+def evaluate_importance(
+    network: SteppingNetwork,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    alphas: Optional[Sequence[float]] = None,
+    apply_prune: bool = False,
+) -> ImportanceResult:
+    """Compute ``|∂L_k/∂r_j|`` for every subnet ``k`` on one evaluation batch.
+
+    The network is temporarily switched to evaluation mode so that the
+    importance pass does not perturb batch-norm running statistics or
+    apply dropout; parameter gradients accumulated by the backward passes
+    are cleared afterwards.
+    """
+    if alphas is None:
+        alphas = [1.0] * network.num_subnets
+    if len(alphas) != network.num_subnets:
+        raise ValueError("alphas must provide one coefficient per subnet")
+
+    was_training = network.training
+    network.eval()
+    per_subnet: List[Dict[int, np.ndarray]] = []
+    try:
+        for subnet in range(network.num_subnets):
+            logits = network.forward(
+                inputs, subnet=subnet, collect_importance=True, apply_prune=apply_prune
+            )
+            loss = F.cross_entropy(logits, labels)
+            loss.backward()
+            grads: Dict[int, np.ndarray] = {}
+            for param_index, scale in network.importance_scales().items():
+                if scale.grad is None:
+                    grads[param_index] = np.zeros(scale.shape)
+                else:
+                    grads[param_index] = np.abs(scale.grad.copy())
+            per_subnet.append(grads)
+            network.zero_grad()
+    finally:
+        network.train(was_training)
+    return ImportanceResult(per_subnet=per_subnet, alphas=list(alphas))
+
+
+def magnitude_importance(network: SteppingNetwork) -> Dict[int, np.ndarray]:
+    """Baseline importance criterion: mean absolute incoming weight per unit.
+
+    Used by the ablation benchmark that compares the paper's
+    gradient-of-scale criterion against simple weight-magnitude ranking.
+    """
+    scores: Dict[int, np.ndarray] = {}
+    for index, layer in enumerate(network.param_layers):
+        weight = np.abs(layer.weight.data)
+        axes = tuple(range(1, weight.ndim))
+        scores[index] = weight.mean(axis=axes)
+    return scores

@@ -1,0 +1,266 @@
+"""Incremental (anytime) inference with exact activation reuse.
+
+This is the run-time payoff of SteppingNet's structural constraint: once
+subnet ``i`` has been executed, switching to a larger subnet ``j`` only
+requires computing the units that first appear in subnets ``i+1 .. j`` —
+every activation already computed for subnet ``i`` is reused verbatim,
+and the classifier logits are updated additively with the new features'
+contributions.  The number of extra MACs is exactly
+``subnet_macs(j) - subnet_macs(i)``.
+
+The engine operates purely on numpy arrays (no autograd graph) and uses
+the batch-norm running statistics, i.e. it models deployment-time
+inference on a resource-varying platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor, no_grad
+from .network import Block, SteppingNetwork
+
+
+@dataclass
+class StepResult:
+    """Outcome of executing one subnet level (initial run or expansion)."""
+
+    subnet: int
+    logits: np.ndarray
+    macs_executed: int
+    macs_reused: int
+    cumulative_macs: int
+
+    @property
+    def predictions(self) -> np.ndarray:
+        return self.logits.argmax(axis=-1)
+
+    @property
+    def reuse_fraction(self) -> float:
+        total = self.macs_executed + self.macs_reused
+        return self.macs_reused / total if total else 0.0
+
+
+def _activation_np(x: np.ndarray, name: str) -> np.ndarray:
+    name = (name or "none").lower()
+    if name == "relu":
+        return np.maximum(x, 0.0)
+    if name == "tanh":
+        return np.tanh(x)
+    if name == "sigmoid":
+        return 1.0 / (1.0 + np.exp(-x))
+    if name in ("none", "linear", "identity"):
+        return x
+    raise ValueError(f"unknown activation '{name}'")
+
+
+def _batch_norm_eval(z: np.ndarray, norm, channels: np.ndarray) -> np.ndarray:
+    """Apply eval-mode batch norm to the selected channels of ``z``.
+
+    ``z`` holds only the selected channels (in the order of ``channels``).
+    """
+    gamma = norm.gamma.data[channels]
+    beta = norm.beta.data[channels]
+    mean = norm.running_mean[channels]
+    var = norm.running_var[channels]
+    if z.ndim == 4:
+        shape = (1, -1, 1, 1)
+    else:
+        shape = (1, -1)
+    inv_std = 1.0 / np.sqrt(var + norm.eps)
+    return gamma.reshape(shape) * (z - mean.reshape(shape)) * inv_std.reshape(shape) + beta.reshape(shape)
+
+
+class IncrementalInference:
+    """Stateful anytime-inference engine over a trained :class:`SteppingNetwork`.
+
+    Typical usage::
+
+        engine = IncrementalInference(network)
+        first = engine.run(images, subnet=0)        # fast preliminary decision
+        better = engine.step_to(2)                  # more resources arrived
+        best = engine.step_to(network.num_subnets - 1)
+
+    ``step_to`` never recomputes a previously evaluated unit; a test in
+    ``tests/core/test_incremental.py`` asserts that the stepped logits
+    equal a from-scratch forward pass of the target subnet bit-for-bit
+    (up to floating-point associativity).
+    """
+
+    def __init__(self, network: SteppingNetwork, apply_prune: bool = True) -> None:
+        self.network = network
+        self.apply_prune = apply_prune
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all cached activations (start a new input batch)."""
+        self._input: Optional[np.ndarray] = None
+        self._cache: Dict[int, np.ndarray] = {}
+        self._logits: Optional[np.ndarray] = None
+        self._current_subnet: int = -1
+        self.steps: List[StepResult] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def current_subnet(self) -> int:
+        """Index of the last executed subnet (-1 before :meth:`run`)."""
+        return self._current_subnet
+
+    def run(self, inputs: np.ndarray, subnet: int = 0) -> StepResult:
+        """Execute ``subnet`` from scratch on a new input batch."""
+        self.reset()
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim == 2 and self.network.spec._has_conv():
+            raise ValueError("convolutional network expects (N, C, H, W) input")
+        self._input = inputs
+        return self._expand(-1, subnet)
+
+    def step_to(self, subnet: int) -> StepResult:
+        """Expand the current execution to a larger subnet, reusing the cache."""
+        if self._input is None:
+            raise RuntimeError("call run() before step_to()")
+        if subnet <= self._current_subnet:
+            raise ValueError(
+                f"step_to target ({subnet}) must be larger than the current subnet "
+                f"({self._current_subnet}); use run() to start over"
+            )
+        return self._expand(self._current_subnet, subnet)
+
+    def step_up(self) -> StepResult:
+        """Expand to the next larger subnet."""
+        return self.step_to(self._current_subnet + 1)
+
+    # ------------------------------------------------------------------
+    def _expand(self, from_subnet: int, to_subnet: int) -> StepResult:
+        network = self.network
+        if not 0 <= to_subnet < network.num_subnets:
+            raise IndexError(f"subnet index {to_subnet} out of range")
+        was_training = network.training
+        network.eval()
+        try:
+            with no_grad():
+                logits = self._walk(from_subnet, to_subnet)
+        finally:
+            network.train(was_training)
+        macs_to = network.subnet_macs(to_subnet, apply_prune=self.apply_prune)
+        macs_from = (
+            network.subnet_macs(from_subnet, apply_prune=self.apply_prune) if from_subnet >= 0 else 0
+        )
+        result = StepResult(
+            subnet=to_subnet,
+            logits=logits,
+            macs_executed=macs_to - macs_from,
+            macs_reused=macs_from,
+            cumulative_macs=macs_to,
+        )
+        self._logits = logits
+        self._current_subnet = to_subnet
+        self.steps.append(result)
+        return result
+
+    def _walk(self, from_subnet: int, to_subnet: int) -> np.ndarray:
+        """Propagate through the block list computing only new units."""
+        network = self.network
+        current = self._input
+        if current.ndim == 4 and not network.spec._has_conv():
+            current = current.reshape(current.shape[0], -1)
+        logits: Optional[np.ndarray] = None
+        for block in network.blocks:
+            if block.kind == "conv" or (block.kind == "linear" and not block.is_output):
+                current = self._expand_hidden_block(block, current, from_subnet, to_subnet)
+            elif block.kind == "linear" and block.is_output:
+                logits = self._expand_output_block(block, current, from_subnet, to_subnet)
+            elif block.kind == "pool":
+                tensor = Tensor(current)
+                pool = F.max_pool2d if block.pool_kind == "max" else F.avg_pool2d
+                current = pool(tensor, block.pool_size, block.pool_stride).data
+            elif block.kind == "flatten":
+                current = current.reshape(current.shape[0], -1)
+            elif block.kind == "dropout":
+                pass  # identity at inference time
+        if logits is None:
+            raise RuntimeError("network has no output layer")
+        return logits
+
+    def _expand_hidden_block(
+        self, block: Block, current: np.ndarray, from_subnet: int, to_subnet: int
+    ) -> np.ndarray:
+        network = self.network
+        layer = block.layer
+        assignment = layer.assignment.unit_subnet
+        in_subnet = network.input_unit_subnet(block.param_index)
+        new_units = np.where((assignment > from_subnet) & (assignment <= to_subnet))[0]
+
+        # Fetch or create the cached full-width output map for this layer.
+        cached = self._cache.get(block.param_index)
+        if cached is None:
+            shape = (current.shape[0], layer.assignment.num_units) + (
+                () if block.kind == "linear" else layer.output_spatial_size(*block.in_spatial)
+            )
+            cached = np.zeros(shape)
+            self._cache[block.param_index] = cached
+
+        if new_units.size:
+            if block.kind == "conv":
+                mask = layer.channel_mask(to_subnet, in_subnet, self.apply_prune)[new_units]
+                weight = layer.weight.data[new_units] * mask
+                z = F.conv2d(
+                    Tensor(current), Tensor(weight), bias=None, stride=layer.stride, padding=layer.padding
+                ).data
+                z = z + layer.bias.data[new_units].reshape(1, -1, 1, 1)
+            else:
+                mask = layer.weight_mask(to_subnet, in_subnet, self.apply_prune)[new_units]
+                weight = layer.weight.data[new_units] * mask
+                z = current @ weight.T + layer.bias.data[new_units].reshape(1, -1)
+            if block.norm is not None:
+                z = _batch_norm_eval(z, block.norm, new_units)
+            z = _activation_np(z, block.activation)
+            cached[:, new_units] = z
+
+        # The combined map exposes exactly the units of ``to_subnet``.
+        active = (assignment <= to_subnet)
+        combined = cached * active.reshape((1, -1) + (1,) * (cached.ndim - 2))
+        return combined
+
+    def _expand_output_block(
+        self, block: Block, current: np.ndarray, from_subnet: int, to_subnet: int
+    ) -> np.ndarray:
+        network = self.network
+        layer = block.layer
+        in_subnet = network.input_unit_subnet(block.param_index)
+        mask = layer.weight_mask(to_subnet, in_subnet, self.apply_prune)
+        weight = layer.weight.data * mask
+        if from_subnet < 0 or self._logits is None:
+            return current @ weight.T + layer.bias.data.reshape(1, -1)
+        new_features = np.where((in_subnet > from_subnet) & (in_subnet <= to_subnet))[0]
+        if new_features.size == 0:
+            return self._logits.copy()
+        delta = current[:, new_features] @ weight[:, new_features].T
+        return self._logits + delta
+
+
+def anytime_schedule(
+    network: SteppingNetwork,
+    inputs: np.ndarray,
+    subnets: Optional[List[int]] = None,
+    apply_prune: bool = True,
+) -> List[StepResult]:
+    """Convenience helper: run subnet 0 then step through ``subnets`` in order.
+
+    Returns one :class:`StepResult` per executed level, mirroring the
+    "refine the decision as resources arrive" scenario from the paper's
+    introduction.
+    """
+    if subnets is None:
+        subnets = list(range(network.num_subnets))
+    if not subnets:
+        raise ValueError("subnets must contain at least one level")
+    engine = IncrementalInference(network, apply_prune=apply_prune)
+    results = [engine.run(inputs, subnet=subnets[0])]
+    for level in subnets[1:]:
+        results.append(engine.step_to(level))
+    return results

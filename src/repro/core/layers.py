@@ -1,0 +1,315 @@
+"""Masked layers used by SteppingNet and the shared-weight baselines.
+
+A stepping layer owns one weight tensor shared by all subnets and derives
+a per-subnet weight mask from the unit-to-subnet assignment:
+
+* *membership*: a weight is active in subnet ``i`` only if both its input
+  unit and its output unit are members of subnet ``i``;
+* *incremental structure* (SteppingNet / any-width): a synapse from an
+  input unit that first appears in subnet ``s_in`` into an output unit
+  that first appears in subnet ``s_out`` is allowed only when
+  ``s_in <= s_out``.  This is the "no synapse from new neurons into old
+  neurons" rule that makes cached activations reusable when a subnet is
+  expanded (paper Sec. III-A).  The slimmable baseline disables this rule;
+* *pruning*: a revivable unstructured pruning mask removes individual
+  low-magnitude weights from the MAC count and from inference
+  (Sec. III-A1, threshold 1e-5).
+
+The per-neuron importance scale ``r`` of Eq. (1) is materialised on
+demand: when ``collect_importance=True`` the layer multiplies the
+pre-bias activation by a ones tensor whose gradient after ``backward``
+equals ``∂L/∂r_j`` (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn import init
+from ..nn.modules.module import Module, Parameter
+from ..nn.tensor import Tensor
+from .assignment import LayerAssignment
+
+
+def build_unit_mask(assignment: LayerAssignment, subnet: int) -> np.ndarray:
+    """Float mask (1.0/0.0) of output units active in ``subnet``."""
+    return assignment.active_mask(subnet).astype(np.float64)
+
+
+def build_weight_mask(
+    out_subnet: np.ndarray,
+    in_subnet: np.ndarray,
+    subnet: int,
+    enforce_incremental: bool = True,
+    prune_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """2-D ``(out, in)`` mask combining membership, structure and pruning."""
+    out_subnet = np.asarray(out_subnet)
+    in_subnet = np.asarray(in_subnet)
+    out_active = (out_subnet <= subnet)[:, None]
+    in_active = (in_subnet <= subnet)[None, :]
+    mask = out_active & in_active
+    if enforce_incremental:
+        mask &= in_subnet[None, :] <= out_subnet[:, None]
+    mask = mask.astype(np.float64)
+    if prune_mask is not None:
+        mask = mask * prune_mask
+    return mask
+
+
+class SteppingLinear(Module):
+    """Fully-connected layer with shared weights and per-subnet masks."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        num_subnets: int,
+        name: str = "linear",
+        frozen_assignment: bool = False,
+        enforce_incremental: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.enforce_incremental = enforce_incremental
+        self.layer_name = name
+        self.weight = Parameter(init.kaiming_normal((out_features, in_features), rng))
+        self.bias = Parameter(init.uniform_bias(in_features, (out_features,), rng))
+        self.assignment = LayerAssignment(out_features, num_subnets, name=name, frozen=frozen_assignment)
+        self.prune_mask = np.ones((out_features, in_features), dtype=np.float64)
+        self.last_importance_scale: Optional[Tensor] = None
+
+    # ------------------------------------------------------------------
+    def weight_mask(self, subnet: int, in_unit_subnet: np.ndarray, apply_prune: bool = True) -> np.ndarray:
+        return build_weight_mask(
+            self.assignment.unit_subnet,
+            in_unit_subnet,
+            subnet,
+            enforce_incremental=self.enforce_incremental,
+            prune_mask=self.prune_mask if apply_prune else None,
+        )
+
+    def active_macs(self, subnet: int, in_unit_subnet: np.ndarray, apply_prune: bool = True) -> int:
+        """MAC count of this layer when executing ``subnet``."""
+        return int(self.weight_mask(subnet, in_unit_subnet, apply_prune).sum())
+
+    def unit_macs(self, subnet: int, in_unit_subnet: np.ndarray, apply_prune: bool = True) -> np.ndarray:
+        """Per-output-unit incoming MAC cost in ``subnet`` (used to size unit moves)."""
+        return self.weight_mask(subnet, in_unit_subnet, apply_prune).sum(axis=1)
+
+    def forward(
+        self,
+        x: Tensor,
+        subnet: int,
+        in_unit_subnet: np.ndarray,
+        collect_importance: bool = False,
+        apply_prune: bool = True,
+    ) -> Tensor:
+        mask = self.weight_mask(subnet, in_unit_subnet, apply_prune)
+        unit_mask = build_unit_mask(self.assignment, subnet)
+        effective_weight = self.weight * Tensor(mask)
+        z = x @ effective_weight.T
+        if collect_importance:
+            scale = Tensor(np.ones(self.out_features), requires_grad=True)
+            self.last_importance_scale = scale
+            z = z * scale.reshape(1, -1)
+        else:
+            self.last_importance_scale = None
+        z = z + self.bias * Tensor(unit_mask)
+        return z * Tensor(unit_mask.reshape(1, -1))
+
+    def __repr__(self) -> str:
+        return (
+            f"SteppingLinear({self.in_features}, {self.out_features}, "
+            f"name={self.layer_name!r}, incremental={self.enforce_incremental})"
+        )
+
+
+class SteppingConv2d(Module):
+    """Convolutional layer with shared weights and per-subnet filter masks.
+
+    The "unit" of a convolutional layer is the output filter; masks built
+    from the ``(out, in)`` channel relationship are broadcast over the
+    kernel's spatial extent.  Pruning operates at individual weight
+    granularity ``(out, in, kh, kw)``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        num_subnets: int,
+        stride: int = 1,
+        padding: int = 1,
+        name: str = "conv",
+        enforce_incremental: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.enforce_incremental = enforce_incremental
+        self.layer_name = name
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape, rng))
+        fan_in = in_channels * kernel_size * kernel_size
+        self.bias = Parameter(init.uniform_bias(fan_in, (out_channels,), rng))
+        self.assignment = LayerAssignment(out_channels, num_subnets, name=name)
+        self.prune_mask = np.ones(shape, dtype=np.float64)
+        self.last_importance_scale: Optional[Tensor] = None
+
+    # ------------------------------------------------------------------
+    def channel_mask(self, subnet: int, in_unit_subnet: np.ndarray, apply_prune: bool = True) -> np.ndarray:
+        """Full ``(out, in, kh, kw)`` weight mask for ``subnet``."""
+        base = build_weight_mask(
+            self.assignment.unit_subnet,
+            in_unit_subnet,
+            subnet,
+            enforce_incremental=self.enforce_incremental,
+            prune_mask=None,
+        )
+        mask = np.broadcast_to(
+            base[:, :, None, None], (self.out_channels, self.in_channels, self.kernel_size, self.kernel_size)
+        ).copy()
+        if apply_prune:
+            mask *= self.prune_mask
+        return mask
+
+    def output_spatial_size(self, height: int, width: int) -> Tuple[int, int]:
+        out_h = (height + 2 * self.padding - self.kernel_size) // self.stride + 1
+        out_w = (width + 2 * self.padding - self.kernel_size) // self.stride + 1
+        return out_h, out_w
+
+    def active_macs(
+        self,
+        subnet: int,
+        in_unit_subnet: np.ndarray,
+        spatial_size: Tuple[int, int],
+        apply_prune: bool = True,
+    ) -> int:
+        """MAC count: one MAC per active kernel weight per output position."""
+        out_h, out_w = self.output_spatial_size(*spatial_size)
+        return int(self.channel_mask(subnet, in_unit_subnet, apply_prune).sum() * out_h * out_w)
+
+    def unit_macs(
+        self,
+        subnet: int,
+        in_unit_subnet: np.ndarray,
+        spatial_size: Tuple[int, int],
+        apply_prune: bool = True,
+    ) -> np.ndarray:
+        out_h, out_w = self.output_spatial_size(*spatial_size)
+        per_filter = self.channel_mask(subnet, in_unit_subnet, apply_prune).sum(axis=(1, 2, 3))
+        return per_filter * out_h * out_w
+
+    def forward(
+        self,
+        x: Tensor,
+        subnet: int,
+        in_unit_subnet: np.ndarray,
+        collect_importance: bool = False,
+        apply_prune: bool = True,
+    ) -> Tensor:
+        mask = self.channel_mask(subnet, in_unit_subnet, apply_prune)
+        unit_mask = build_unit_mask(self.assignment, subnet)
+        effective_weight = self.weight * Tensor(mask)
+        z = F.conv2d(x, effective_weight, bias=None, stride=self.stride, padding=self.padding)
+        if collect_importance:
+            scale = Tensor(np.ones(self.out_channels), requires_grad=True)
+            self.last_importance_scale = scale
+            z = z * scale.reshape(1, -1, 1, 1)
+        else:
+            self.last_importance_scale = None
+        z = z + (self.bias * Tensor(unit_mask)).reshape(1, -1, 1, 1)
+        return z * Tensor(unit_mask.reshape(1, -1, 1, 1))
+
+    def __repr__(self) -> str:
+        return (
+            f"SteppingConv2d({self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+            f"name={self.layer_name!r}, incremental={self.enforce_incremental})"
+        )
+
+
+class MaskedBatchNorm2d(Module):
+    """Batch normalisation that only tracks statistics of active channels.
+
+    Because SteppingNet guarantees that a neuron's inputs never change
+    across subnets, a single set of batch-norm statistics per channel is
+    valid for every subnet that contains the channel (this is the paper's
+    argument for why no per-subnet BN copies are needed, unlike the
+    slimmable baseline).  The only care needed is to avoid polluting the
+    running statistics of channels that are *inactive* in the currently
+    executing subnet; this module freezes those entries.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor, active_mask: np.ndarray) -> Tensor:
+        active = np.asarray(active_mask, dtype=bool)
+        previous_mean = self.running_mean.copy()
+        previous_var = self.running_var.copy()
+        out = F.batch_norm(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+        if self.training:
+            # Restore statistics of channels the current subnet does not execute.
+            self.running_mean[~active] = previous_mean[~active]
+            self.running_var[~active] = previous_var[~active]
+        return out * Tensor(active.astype(np.float64).reshape(1, -1, 1, 1))
+
+
+class MaskedBatchNorm1d(Module):
+    """1-D variant of :class:`MaskedBatchNorm2d` for fully-connected blocks."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor, active_mask: np.ndarray) -> Tensor:
+        active = np.asarray(active_mask, dtype=bool)
+        previous_mean = self.running_mean.copy()
+        previous_var = self.running_var.copy()
+        out = F.batch_norm(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+        if self.training:
+            self.running_mean[~active] = previous_mean[~active]
+            self.running_var[~active] = previous_var[~active]
+        return out * Tensor(active.astype(np.float64).reshape(1, -1))

@@ -1,0 +1,89 @@
+"""MAC (multiply-accumulate) accounting helpers and reports.
+
+The per-layer / per-subnet MAC counting itself lives on
+:class:`~repro.core.network.SteppingNetwork` (it needs the masks); this
+module provides the reporting structures used by the benchmark harness:
+MAC tables relative to a reference network, and budget-compliance
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..models.spec import ArchitectureSpec
+from .network import SteppingNetwork
+
+
+@dataclass
+class MacReport:
+    """MAC accounting of every subnet of a stepping network.
+
+    Attributes
+    ----------
+    reference_macs:
+        MAC count the ratios are reported against (the paper uses the
+        original, unexpanded network's MACs — ``Mt`` in Table I).
+    subnet_macs:
+        Absolute MAC count of each subnet.
+    per_layer:
+        Per-layer MAC count of each subnet, keyed by layer name.
+    """
+
+    reference_macs: int
+    subnet_macs: List[int]
+    per_layer: List[Dict[str, int]]
+
+    @property
+    def fractions(self) -> List[float]:
+        """``M_i / Mt`` for every subnet (the paper's Table I columns)."""
+        return [m / self.reference_macs for m in self.subnet_macs]
+
+    def incremental_macs(self) -> List[int]:
+        """Extra MACs needed to step from subnet ``i-1`` to ``i`` (index 0: from scratch)."""
+        increments = []
+        previous = 0
+        for macs in self.subnet_macs:
+            increments.append(macs - previous)
+            previous = macs
+        return increments
+
+    def within_budgets(self, budgets: Sequence[float], tolerance: float = 0.0) -> bool:
+        """Check every subnet's MAC fraction against its budget fraction."""
+        if len(budgets) != len(self.subnet_macs):
+            raise ValueError("budgets must have one entry per subnet")
+        return all(
+            fraction <= budget + tolerance for fraction, budget in zip(self.fractions, budgets)
+        )
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Rows suitable for the reporting table emitters."""
+        rows = []
+        for index, (macs, fraction) in enumerate(zip(self.subnet_macs, self.fractions)):
+            rows.append({"subnet": index + 1, "macs": macs, "mac_fraction": fraction})
+        return rows
+
+
+def mac_report(
+    network: SteppingNetwork,
+    reference_spec: Optional[ArchitectureSpec] = None,
+    apply_prune: bool = True,
+) -> MacReport:
+    """Build a :class:`MacReport` for ``network``.
+
+    ``reference_spec`` defaults to the network's own (expanded) spec; pass
+    the original, unexpanded spec to obtain ratios comparable to the
+    paper's ``M_i/Mt`` columns.
+    """
+    reference = (
+        reference_spec.total_macs() if reference_spec is not None else network.total_macs(apply_prune=False)
+    )
+    subnet_macs = [network.subnet_macs(i, apply_prune) for i in range(network.num_subnets)]
+    per_layer = [network.layer_macs(i, apply_prune) for i in range(network.num_subnets)]
+    return MacReport(reference_macs=int(reference), subnet_macs=subnet_macs, per_layer=per_layer)
+
+
+def dense_macs(spec: ArchitectureSpec) -> int:
+    """MAC count of a dense network described by ``spec`` (delegates to the spec)."""
+    return spec.total_macs()

@@ -1,0 +1,348 @@
+"""The SteppingNetwork: a shared-weight network executable at any subnet level.
+
+A :class:`SteppingNetwork` is built from an :class:`~repro.models.spec.ArchitectureSpec`
+and holds one :class:`~repro.core.layers.SteppingConv2d` /
+:class:`~repro.core.layers.SteppingLinear` per parametric layer.  Every
+layer carries a unit-to-subnet assignment; ``forward(x, subnet=i)``
+executes exactly the units of subnet ``i`` with the weight masks derived
+from the assignment, so the same module serves as subnet 1, subnet 2, …
+and as the full expanded network.
+
+The classifier output layer is treated specially: its class logits exist
+in every subnet (``frozen_assignment=True``) and, because it is purely
+linear, contributions from units added by a larger subnet are *added* to
+the logits of the smaller subnet without invalidating them.  It is
+therefore exempt from the structural no-new-to-old-synapse rule while
+still supporting exact incremental updates (see
+:mod:`repro.core.incremental`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..models.spec import (
+    ArchitectureSpec,
+    ConvSpec,
+    DropoutSpec,
+    FlattenSpec,
+    LinearSpec,
+    PoolSpec,
+)
+from ..nn import functional as F
+from ..nn.modules.module import Module
+from ..nn.tensor import Tensor
+from .assignment import SubnetAssignment
+from .layers import MaskedBatchNorm1d, MaskedBatchNorm2d, SteppingConv2d, SteppingLinear
+
+
+@dataclass
+class Block:
+    """One execution step of the network.
+
+    ``kind`` is one of ``conv``, ``linear``, ``pool``, ``flatten``,
+    ``dropout``.  Parametric blocks additionally know which parametric
+    layer precedes them (``prev_param_index``, ``-1`` meaning the network
+    input) and how many flattened features each input unit expands to
+    (``in_expansion`` — the ``H*W`` factor at the conv-to-FC boundary).
+    """
+
+    kind: str
+    layer: Optional[Module] = None
+    norm: Optional[Module] = None
+    activation: str = "none"
+    pool_kind: str = "max"
+    pool_size: int = 2
+    pool_stride: int = 2
+    dropout_p: float = 0.0
+    param_index: int = -1
+    prev_param_index: int = -1
+    in_expansion: int = 1
+    in_spatial: Tuple[int, int] = (1, 1)
+    is_output: bool = False
+
+
+def _apply_activation(x: Tensor, name: str) -> Tensor:
+    name = (name or "none").lower()
+    if name == "relu":
+        return x.relu()
+    if name == "tanh":
+        return x.tanh()
+    if name == "sigmoid":
+        return x.sigmoid()
+    if name in ("none", "linear", "identity"):
+        return x
+    raise ValueError(f"unknown activation '{name}'")
+
+
+class SteppingNetwork(Module):
+    """Shared-weight network executable at any of its nested subnets."""
+
+    def __init__(
+        self,
+        spec: ArchitectureSpec,
+        num_subnets: int,
+        enforce_incremental: bool = True,
+        use_batch_norm: Optional[bool] = None,
+        min_units_per_layer: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_subnets < 1:
+            raise ValueError("num_subnets must be at least 1")
+        self.spec = spec
+        self.num_subnets = num_subnets
+        self.enforce_incremental = enforce_incremental
+        rng = rng if rng is not None else np.random.default_rng(0)
+
+        self.blocks: List[Block] = []
+        self._param_layers: List[Module] = []
+        in_channels = spec.input_shape[0]
+        height, width = spec.input_shape[1], spec.input_shape[2]
+        in_features = in_channels * height * width
+        flattened = not spec._has_conv()
+        prev_param = -1
+        flatten_pending_expansion = 1
+
+        for layer_spec in spec.layers:
+            if isinstance(layer_spec, ConvSpec):
+                layer = SteppingConv2d(
+                    in_channels,
+                    layer_spec.out_channels,
+                    layer_spec.kernel_size,
+                    num_subnets,
+                    stride=layer_spec.stride,
+                    padding=layer_spec.padding,
+                    name=f"conv{len(self._param_layers)}",
+                    enforce_incremental=enforce_incremental,
+                    rng=rng,
+                )
+                use_bn = layer_spec.batch_norm if use_batch_norm is None else use_batch_norm
+                norm = MaskedBatchNorm2d(layer_spec.out_channels) if use_bn else None
+                block = Block(
+                    kind="conv",
+                    layer=layer,
+                    norm=norm,
+                    activation=layer_spec.activation,
+                    param_index=len(self._param_layers),
+                    prev_param_index=prev_param,
+                    in_expansion=1,
+                    in_spatial=(height, width),
+                )
+                self.add_module(f"param{len(self._param_layers)}", layer)
+                if norm is not None:
+                    self.add_module(f"norm{len(self._param_layers)}", norm)
+                self.blocks.append(block)
+                prev_param = len(self._param_layers)
+                self._param_layers.append(layer)
+                in_channels = layer_spec.out_channels
+                height, width = layer.output_spatial_size(height, width)
+            elif isinstance(layer_spec, PoolSpec):
+                stride = layer_spec.stride if layer_spec.stride is not None else layer_spec.kernel_size
+                self.blocks.append(
+                    Block(
+                        kind="pool",
+                        pool_kind=layer_spec.kind,
+                        pool_size=layer_spec.kernel_size,
+                        pool_stride=stride,
+                    )
+                )
+                height = (height - layer_spec.kernel_size) // stride + 1
+                width = (width - layer_spec.kernel_size) // stride + 1
+            elif isinstance(layer_spec, FlattenSpec):
+                self.blocks.append(Block(kind="flatten"))
+                in_features = in_channels * height * width
+                flatten_pending_expansion = height * width
+                flattened = True
+            elif isinstance(layer_spec, DropoutSpec):
+                self.blocks.append(Block(kind="dropout", dropout_p=layer_spec.p))
+            elif isinstance(layer_spec, LinearSpec):
+                if not flattened:
+                    self.blocks.append(Block(kind="flatten"))
+                    in_features = in_channels * height * width
+                    flatten_pending_expansion = height * width
+                    flattened = True
+                layer = SteppingLinear(
+                    in_features,
+                    layer_spec.out_features,
+                    num_subnets,
+                    name=f"fc{len(self._param_layers)}",
+                    frozen_assignment=layer_spec.is_output,
+                    enforce_incremental=enforce_incremental and not layer_spec.is_output,
+                    rng=rng,
+                )
+                use_bn = layer_spec.batch_norm if use_batch_norm is None else use_batch_norm
+                norm = (
+                    MaskedBatchNorm1d(layer_spec.out_features)
+                    if use_bn and not layer_spec.is_output
+                    else None
+                )
+                block = Block(
+                    kind="linear",
+                    layer=layer,
+                    norm=norm,
+                    activation=layer_spec.activation,
+                    param_index=len(self._param_layers),
+                    prev_param_index=prev_param,
+                    in_expansion=flatten_pending_expansion,
+                    is_output=layer_spec.is_output,
+                )
+                self.add_module(f"param{len(self._param_layers)}", layer)
+                if norm is not None:
+                    self.add_module(f"norm{len(self._param_layers)}", norm)
+                self.blocks.append(block)
+                prev_param = len(self._param_layers)
+                self._param_layers.append(layer)
+                in_features = layer_spec.out_features
+                flatten_pending_expansion = 1
+            else:
+                raise TypeError(f"unsupported layer spec: {layer_spec!r}")
+
+        self.assignment = SubnetAssignment(
+            [layer.assignment for layer in self._param_layers], min_units=min_units_per_layer
+        )
+        self._input_channels = spec.input_shape[0]
+
+    # ------------------------------------------------------------------
+    # Assignment plumbing
+    # ------------------------------------------------------------------
+    @property
+    def param_layers(self) -> List[Module]:
+        """The parametric (conv/linear) stepping layers, in forward order."""
+        return list(self._param_layers)
+
+    @property
+    def output_layer(self) -> SteppingLinear:
+        return self._param_layers[-1]
+
+    def parametric_blocks(self) -> List[Block]:
+        return [block for block in self.blocks if block.kind in ("conv", "linear")]
+
+    def input_unit_subnet(self, param_index: int) -> np.ndarray:
+        """Subnet assignment of the *input* units of parametric layer ``param_index``.
+
+        For the first layer these are the image channels (members of every
+        subnet).  Across the flatten boundary each channel expands into
+        ``H*W`` features that inherit the channel's assignment.
+        """
+        block = self._block_for_param(param_index)
+        if block.prev_param_index < 0:
+            return np.zeros(self._input_channels * block.in_expansion, dtype=np.int64)
+        prev_assignment = self._param_layers[block.prev_param_index].assignment.unit_subnet
+        if block.in_expansion == 1:
+            return prev_assignment
+        return np.repeat(prev_assignment, block.in_expansion)
+
+    def _block_for_param(self, param_index: int) -> Block:
+        for block in self.blocks:
+            if block.param_index == param_index:
+                return block
+        raise IndexError(f"no parametric block with index {param_index}")
+
+    # ------------------------------------------------------------------
+    # MAC accounting
+    # ------------------------------------------------------------------
+    def layer_macs(self, subnet: int, apply_prune: bool = True) -> Dict[str, int]:
+        """Per-layer MAC counts when executing ``subnet``."""
+        result: Dict[str, int] = {}
+        for block in self.parametric_blocks():
+            layer = block.layer
+            in_subnet = self.input_unit_subnet(block.param_index)
+            if block.kind == "conv":
+                macs = layer.active_macs(subnet, in_subnet, block.in_spatial, apply_prune)
+            else:
+                macs = layer.active_macs(subnet, in_subnet, apply_prune)
+            result[layer.layer_name] = macs
+        return result
+
+    def subnet_macs(self, subnet: int, apply_prune: bool = True) -> int:
+        """Total MAC count of subnet ``subnet``."""
+        return int(sum(self.layer_macs(subnet, apply_prune).values()))
+
+    def total_macs(self, apply_prune: bool = False) -> int:
+        """MAC count of the full (largest-subnet) expanded network."""
+        return self.subnet_macs(self.num_subnets - 1, apply_prune=apply_prune)
+
+    def mac_fractions(self, reference_macs: Optional[int] = None, apply_prune: bool = True) -> List[float]:
+        """MAC count of every subnet as a fraction of ``reference_macs`` (default: dense network)."""
+        reference = reference_macs if reference_macs is not None else self.total_macs(apply_prune=False)
+        return [self.subnet_macs(i, apply_prune) / reference for i in range(self.num_subnets)]
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        x,
+        subnet: Optional[int] = None,
+        collect_importance: bool = False,
+        apply_prune: bool = True,
+        return_cache: bool = False,
+    ):
+        """Run the network as subnet ``subnet`` (default: the largest one).
+
+        When ``return_cache`` is set, the post-activation output of every
+        parametric block is also returned (used by the incremental
+        inference engine and by tests asserting activation reuse).
+        """
+        if subnet is None:
+            subnet = self.num_subnets - 1
+        if not 0 <= subnet < self.num_subnets:
+            raise IndexError(f"subnet index {subnet} out of range [0, {self.num_subnets})")
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        if x.ndim == 2 and self.spec._has_conv():
+            raise ValueError("convolutional stepping network expects (N, C, H, W) input")
+        if x.ndim == 4 and not self.spec._has_conv():
+            x = x.reshape(x.shape[0], -1)
+
+        cache: Dict[int, np.ndarray] = {}
+        for block in self.blocks:
+            if block.kind in ("conv", "linear"):
+                in_subnet = self.input_unit_subnet(block.param_index)
+                x = block.layer(
+                    x,
+                    subnet,
+                    in_subnet,
+                    collect_importance=collect_importance,
+                    apply_prune=apply_prune,
+                )
+                if block.norm is not None:
+                    active = block.layer.assignment.active_mask(subnet)
+                    x = block.norm(x, active)
+                x = _apply_activation(x, block.activation)
+                if return_cache:
+                    cache[block.param_index] = x.data.copy()
+            elif block.kind == "pool":
+                pool = F.max_pool2d if block.pool_kind == "max" else F.avg_pool2d
+                x = pool(x, block.pool_size, block.pool_stride)
+            elif block.kind == "flatten":
+                x = x.reshape(x.shape[0], -1)
+            elif block.kind == "dropout":
+                x = F.dropout(x, block.dropout_p, training=self.training)
+        if return_cache:
+            return x, cache
+        return x
+
+    # ------------------------------------------------------------------
+    # Importance plumbing
+    # ------------------------------------------------------------------
+    def importance_scales(self) -> Dict[int, Tensor]:
+        """Per-parametric-layer ``r`` tensors recorded by the last importance forward."""
+        scales: Dict[int, Tensor] = {}
+        for index, layer in enumerate(self._param_layers):
+            if layer.last_importance_scale is not None:
+                scales[index] = layer.last_importance_scale
+        return scales
+
+    def describe(self) -> str:
+        """Human-readable summary: per-layer unit counts per subnet and MACs."""
+        lines = [f"SteppingNetwork({self.spec.name}, subnets={self.num_subnets})"]
+        for name, counts in self.assignment.summary().items():
+            lines.append(f"  {name}: units per subnet {counts}")
+        for subnet in range(self.num_subnets):
+            lines.append(f"  subnet {subnet}: {self.subnet_macs(subnet):,} MACs")
+        return "\n".join(lines)

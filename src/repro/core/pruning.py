@@ -1,0 +1,95 @@
+"""Revivable unstructured pruning (paper Sec. III-A1).
+
+After each construction iteration the weights whose magnitude falls
+below a threshold are marked as pruned: they stop counting towards a
+subnet's MAC budget and are excluded from masked inference.  Crucially
+the underlying weight values keep receiving gradient updates (the paper
+keeps them so that importance with respect to *larger* subnets remains
+measurable) and the mask entries of a unit are *revived* when the unit is
+moved to another subnet, because a synapse that is useless to a small
+subnet may matter to a larger one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from .layers import SteppingConv2d, SteppingLinear
+from .network import SteppingNetwork
+
+
+@dataclass
+class PruningReport:
+    """Summary of one pruning pass."""
+
+    threshold: float
+    per_layer_pruned: Dict[str, int]
+    per_layer_total: Dict[str, int]
+
+    @property
+    def total_pruned(self) -> int:
+        return int(sum(self.per_layer_pruned.values()))
+
+    @property
+    def total_weights(self) -> int:
+        return int(sum(self.per_layer_total.values()))
+
+    @property
+    def pruned_fraction(self) -> float:
+        total = self.total_weights
+        return self.total_pruned / total if total else 0.0
+
+
+def apply_unstructured_pruning(network: SteppingNetwork, threshold: float) -> PruningReport:
+    """Mark every weight with ``|w| < threshold`` as pruned.
+
+    The mask is recomputed from scratch on every call, which makes the
+    pruning *revivable*: a weight that grows past the threshold in later
+    training iterations automatically re-enters the network.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    pruned: Dict[str, int] = {}
+    totals: Dict[str, int] = {}
+    for layer in network.param_layers:
+        mask = (np.abs(layer.weight.data) >= threshold).astype(np.float64)
+        layer.prune_mask = mask
+        pruned[layer.layer_name] = int(mask.size - mask.sum())
+        totals[layer.layer_name] = int(mask.size)
+    return PruningReport(threshold=threshold, per_layer_pruned=pruned, per_layer_total=totals)
+
+
+def revive_units(layer, unit_indices: Iterable[int]) -> int:
+    """Re-enable all pruned synapses of the given output units.
+
+    Called when units are moved to another subnet (paper: "when a neuron
+    with pruned weights is moved to another subnet, the corresponding
+    synapses are revived").  Returns the number of revived weights.
+    """
+    if not isinstance(layer, (SteppingLinear, SteppingConv2d)):
+        raise TypeError(f"expected a stepping layer, got {type(layer).__name__}")
+    indices = np.asarray(list(unit_indices), dtype=int)
+    if indices.size == 0:
+        return 0
+    before = layer.prune_mask[indices].sum()
+    layer.prune_mask[indices] = 1.0
+    after = layer.prune_mask[indices].sum()
+    return int(after - before)
+
+
+def revive_incoming_synapses(network: SteppingNetwork, param_index: int, unit_indices: Iterable[int]) -> int:
+    """Revive the incoming synapses of units in parametric layer ``param_index``."""
+    layer = network.param_layers[param_index]
+    return revive_units(layer, unit_indices)
+
+
+def pruning_summary(network: SteppingNetwork) -> Dict[str, float]:
+    """Fraction of pruned weights per layer (for reports and tests)."""
+    summary: Dict[str, float] = {}
+    for layer in network.param_layers:
+        mask = layer.prune_mask
+        summary[layer.layer_name] = float(1.0 - mask.sum() / mask.size)
+    return summary

@@ -1,0 +1,216 @@
+"""Training utilities shared by subnet construction and retraining.
+
+Includes the learning-rate suppression of paper Sec. III-A2: when subnet
+``j`` is being trained, the gradient of a weight that belongs to a
+smaller subnet ``i < j`` is scaled by ``beta ** (j - i)`` before the
+optimizer step, so the smaller subnets — whose weights were just tuned —
+are not dragged around by the larger subnets' updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.loaders import DataLoader
+from ..models.builder import PlainNetwork
+from ..nn import functional as F
+from ..nn.losses import CrossEntropyLoss, DistillationLoss
+from ..nn.optim import SGD, Optimizer
+from ..nn.tensor import no_grad
+from ..utils.logging import MetricHistory
+from .config import SteppingConfig, TrainingConfig
+from .layers import MaskedBatchNorm1d, MaskedBatchNorm2d, SteppingConv2d, SteppingLinear
+from .network import SteppingNetwork
+
+
+def suppression_factors(unit_subnet: np.ndarray, training_subnet: int, beta: float) -> np.ndarray:
+    """Per-unit gradient scale ``beta ** (training_subnet - unit_subnet)``.
+
+    Units belonging to the currently trained subnet (or, defensively, a
+    larger one) keep a factor of 1.
+    """
+    exponent = np.maximum(training_subnet - np.asarray(unit_subnet), 0)
+    return np.power(beta, exponent)
+
+
+def apply_lr_suppression(network: SteppingNetwork, training_subnet: int, beta: float) -> None:
+    """Scale accumulated gradients so smaller subnets' weights move less.
+
+    Weight ownership follows the output unit of each synapse, except for
+    the classifier layer whose rows exist in every subnet: there the
+    owning subnet is the *input* feature's subnet, because that is when
+    the synapse first becomes useful.
+    """
+    if beta >= 1.0:
+        return
+    for block in network.parametric_blocks():
+        layer = block.layer
+        out_subnet = layer.assignment.unit_subnet
+        factors_out = suppression_factors(out_subnet, training_subnet, beta)
+        if isinstance(layer, SteppingConv2d):
+            weight_factors = factors_out[:, None, None, None]
+            bias_factors = factors_out
+        elif block.is_output:
+            in_subnet = network.input_unit_subnet(block.param_index)
+            factors_in = suppression_factors(in_subnet, training_subnet, beta)
+            weight_factors = factors_in[None, :]
+            bias_factors = np.ones(layer.out_features)
+        else:
+            weight_factors = factors_out[:, None]
+            bias_factors = factors_out
+        if layer.weight.grad is not None:
+            layer.weight.grad = layer.weight.grad * weight_factors
+        if layer.bias is not None and layer.bias.grad is not None:
+            layer.bias.grad = layer.bias.grad * bias_factors
+        if block.norm is not None:
+            norm = block.norm
+            if norm.gamma.grad is not None:
+                norm.gamma.grad = norm.gamma.grad * factors_out
+            if norm.beta.grad is not None:
+                norm.beta.grad = norm.beta.grad * factors_out
+
+
+@dataclass
+class TrainReport:
+    """Losses and accuracies recorded during a training call."""
+
+    history: MetricHistory = field(default_factory=MetricHistory)
+
+    def log(self, **metrics: float) -> None:
+        self.history.log(**metrics)
+
+
+def make_optimizer(network, training: TrainingConfig) -> SGD:
+    """SGD with momentum over all of the network's parameters."""
+    return SGD(
+        network.parameters(),
+        lr=training.learning_rate,
+        momentum=training.momentum,
+        weight_decay=training.weight_decay,
+    )
+
+
+def train_subnets_round(
+    network: SteppingNetwork,
+    loader: DataLoader,
+    optimizer: Optimizer,
+    num_batches: int,
+    beta: float = 1.0,
+    use_lr_suppression: bool = True,
+    apply_prune_in_forward: bool = False,
+    report: Optional[TrainReport] = None,
+) -> float:
+    """Train every subnet for ``num_batches`` mini-batches (construction flow, Fig. 3).
+
+    For each batch the subnets are trained in ascending order; the
+    learning-rate suppression protects smaller subnets while the larger
+    ones are updated.  Returns the mean loss over all (batch, subnet)
+    steps.
+    """
+    network.train()
+    loss_fn = CrossEntropyLoss()
+    losses: List[float] = []
+    batches_done = 0
+    while batches_done < num_batches:
+        for inputs, labels in loader:
+            if batches_done >= num_batches:
+                break
+            for subnet in range(network.num_subnets):
+                optimizer.zero_grad()
+                logits = network.forward(inputs, subnet=subnet, apply_prune=apply_prune_in_forward)
+                loss = loss_fn(logits, labels)
+                loss.backward()
+                if use_lr_suppression and beta < 1.0:
+                    apply_lr_suppression(network, subnet, beta)
+                optimizer.step()
+                losses.append(loss.item())
+                if report is not None:
+                    report.log(loss=loss.item(), subnet=subnet)
+            batches_done += 1
+        if len(loader) == 0:
+            raise RuntimeError("empty data loader")
+    return float(np.mean(losses)) if losses else 0.0
+
+
+def train_plain_model(
+    model: PlainNetwork,
+    loader: DataLoader,
+    epochs: int,
+    training: TrainingConfig,
+    report: Optional[TrainReport] = None,
+) -> float:
+    """Train the dense reference/teacher network with plain cross-entropy."""
+    model.train()
+    optimizer = SGD(
+        model.parameters(),
+        lr=training.learning_rate,
+        momentum=training.momentum,
+        weight_decay=training.weight_decay,
+    )
+    loss_fn = CrossEntropyLoss()
+    last_loss = 0.0
+    for epoch in range(epochs):
+        epoch_losses = []
+        for inputs, labels in loader:
+            optimizer.zero_grad()
+            loss = loss_fn(model(inputs), labels)
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        last_loss = float(np.mean(epoch_losses)) if epoch_losses else 0.0
+        if report is not None:
+            report.log(epoch=epoch, loss=last_loss)
+    return last_loss
+
+
+def evaluate_subnet(
+    network: SteppingNetwork,
+    loader: DataLoader,
+    subnet: int,
+    apply_prune: bool = True,
+) -> float:
+    """Top-1 accuracy of one subnet over a full data loader."""
+    was_training = network.training
+    network.eval()
+    correct = 0
+    total = 0
+    try:
+        with no_grad():
+            for inputs, labels in loader:
+                logits = network.forward(inputs, subnet=subnet, apply_prune=apply_prune)
+                correct += int((logits.data.argmax(axis=-1) == labels).sum())
+                total += len(labels)
+    finally:
+        network.train(was_training)
+    return correct / total if total else 0.0
+
+
+def evaluate_all_subnets(
+    network: SteppingNetwork,
+    loader: DataLoader,
+    apply_prune: bool = True,
+) -> List[float]:
+    """Accuracy of every subnet (ascending order)."""
+    return [
+        evaluate_subnet(network, loader, subnet, apply_prune) for subnet in range(network.num_subnets)
+    ]
+
+
+def evaluate_plain_model(model: PlainNetwork, loader: DataLoader) -> float:
+    """Top-1 accuracy of a dense network over a full loader."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    total = 0
+    try:
+        with no_grad():
+            for inputs, labels in loader:
+                logits = model(inputs)
+                correct += int((logits.data.argmax(axis=-1) == labels).sum())
+                total += len(labels)
+    finally:
+        model.train(was_training)
+    return correct / total if total else 0.0

@@ -1,0 +1,41 @@
+"""Data pipeline: synthetic CIFAR-like datasets, loaders and transforms."""
+
+from .datasets import (
+    ArrayDataset,
+    Dataset,
+    SyntheticCIFAR,
+    SyntheticImageConfig,
+    SyntheticVectors,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    train_test_split,
+)
+from .loaders import DataLoader
+from .transforms import (
+    AdditiveGaussianNoise,
+    Compose,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    Transform,
+    dataset_statistics,
+)
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "SyntheticCIFAR",
+    "SyntheticImageConfig",
+    "SyntheticVectors",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "train_test_split",
+    "DataLoader",
+    "Transform",
+    "Compose",
+    "Normalize",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+    "AdditiveGaussianNoise",
+    "dataset_statistics",
+]

@@ -1,0 +1,257 @@
+"""Datasets used by the reproduction.
+
+The paper evaluates on CIFAR-10 and CIFAR-100.  Those archives cannot be
+downloaded in this offline environment, so this module provides
+*synthetic CIFAR-like* datasets: procedurally generated ``(3, H, W)``
+images whose classes are defined by smooth spatial prototypes that a
+convolutional network can separate, with per-sample geometric jitter and
+additive noise controlling the difficulty.  The substitution preserves
+the behaviour SteppingNet's evaluation depends on: accuracy increases
+with model capacity and saturates, so accuracy-vs-MAC trade-off curves
+have the same qualitative shape as on real CIFAR.
+
+A low-dimensional vector dataset (:class:`SyntheticVectors`) is also
+provided for fast MLP-level unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..utils.rng import new_generator
+
+
+class Dataset:
+    """Minimal map-style dataset interface."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+    @property
+    def num_classes(self) -> int:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset backed by in-memory arrays of images and integer labels."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray, num_classes: Optional[int] = None) -> None:
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(images) != len(labels):
+            raise ValueError(f"images ({len(images)}) and labels ({len(labels)}) length mismatch")
+        self.images = images
+        self.labels = labels
+        self._num_classes = int(num_classes) if num_classes is not None else int(labels.max()) + 1
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    @property
+    def num_classes(self) -> int:
+        return self._num_classes
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """Return a new dataset containing only the given indices."""
+        indices = np.asarray(indices, dtype=int)
+        return ArrayDataset(self.images[indices], self.labels[indices], self._num_classes)
+
+
+def _smooth_field(rng: np.random.Generator, size: int, grid: int = 4) -> np.ndarray:
+    """Generate a smooth random field by bilinear-upsampling a coarse grid.
+
+    Low-frequency structure is what convolutional filters pick up, so the
+    class prototypes are built from these fields.
+    """
+    coarse = rng.standard_normal((grid, grid))
+    # Bilinear interpolation onto the full resolution.
+    xs = np.linspace(0, grid - 1, size)
+    x0 = np.floor(xs).astype(int)
+    x1 = np.minimum(x0 + 1, grid - 1)
+    wx = xs - x0
+    rows = coarse[x0][:, x0] * np.outer(1 - wx, 1 - wx)
+    rows += coarse[x0][:, x1] * np.outer(1 - wx, wx)
+    rows += coarse[x1][:, x0] * np.outer(wx, 1 - wx)
+    rows += coarse[x1][:, x1] * np.outer(wx, wx)
+    return rows
+
+
+@dataclass
+class SyntheticImageConfig:
+    """Configuration of the synthetic CIFAR-like generator.
+
+    Attributes
+    ----------
+    num_classes:
+        Number of target classes (10 mimics CIFAR-10, 100 CIFAR-100).
+    image_size:
+        Spatial resolution of the square images.
+    channels:
+        Number of colour channels.
+    noise_std:
+        Standard deviation of per-pixel Gaussian noise (task difficulty).
+    jitter:
+        Maximum circular shift, in pixels, applied per sample.
+    prototype_grid:
+        Coarse-grid resolution of the class prototypes; smaller values
+        give smoother, easier-to-separate classes.
+    samples_per_class:
+        Number of samples generated for each class.
+    seed:
+        RNG seed for full reproducibility.
+    """
+
+    num_classes: int = 10
+    image_size: int = 32
+    channels: int = 3
+    noise_std: float = 0.35
+    jitter: int = 3
+    prototype_grid: int = 4
+    samples_per_class: int = 100
+    seed: int = 0
+
+
+class SyntheticCIFAR(ArrayDataset):
+    """Synthetic stand-in for CIFAR-10/100.
+
+    Each class ``c`` has a smooth multi-channel prototype ``P_c``.  A
+    sample is ``roll(P_c, (dy, dx)) * scale + noise`` where the shift,
+    per-sample scale and noise are random.  With the default settings a
+    small CNN reaches high accuracy while a heavily pruned one does not,
+    giving the capacity/accuracy trade-off the paper's evaluation needs.
+    """
+
+    def __init__(self, config: Optional[SyntheticImageConfig] = None, train: bool = True) -> None:
+        self.config = config or SyntheticImageConfig()
+        cfg = self.config
+        if cfg.num_classes < 2:
+            raise ValueError("num_classes must be at least 2")
+        if cfg.image_size < 8:
+            raise ValueError("image_size must be at least 8")
+        # Train and test splits share prototypes but use different sample noise.
+        proto_rng = new_generator(cfg.seed)
+        sample_rng = new_generator(cfg.seed + (1 if train else 10_007))
+        prototypes = self._build_prototypes(proto_rng)
+        images, labels = self._generate_samples(prototypes, sample_rng)
+        super().__init__(images, labels, num_classes=cfg.num_classes)
+        self.train = train
+        self.prototypes = prototypes
+
+    def _build_prototypes(self, rng: np.random.Generator) -> np.ndarray:
+        cfg = self.config
+        prototypes = np.zeros((cfg.num_classes, cfg.channels, cfg.image_size, cfg.image_size))
+        for cls in range(cfg.num_classes):
+            for ch in range(cfg.channels):
+                field = _smooth_field(rng, cfg.image_size, cfg.prototype_grid)
+                prototypes[cls, ch] = field / (np.abs(field).max() + 1e-8)
+        return prototypes
+
+    def _generate_samples(
+        self, prototypes: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        cfg = self.config
+        total = cfg.num_classes * cfg.samples_per_class
+        images = np.zeros((total, cfg.channels, cfg.image_size, cfg.image_size))
+        labels = np.zeros(total, dtype=np.int64)
+        index = 0
+        for cls in range(cfg.num_classes):
+            for _ in range(cfg.samples_per_class):
+                shift_y = int(rng.integers(-cfg.jitter, cfg.jitter + 1))
+                shift_x = int(rng.integers(-cfg.jitter, cfg.jitter + 1))
+                scale = 1.0 + 0.2 * rng.standard_normal()
+                sample = np.roll(prototypes[cls], (shift_y, shift_x), axis=(1, 2)) * scale
+                sample = sample + cfg.noise_std * rng.standard_normal(sample.shape)
+                images[index] = sample
+                labels[index] = cls
+                index += 1
+        # Shuffle so batches are class-balanced on average.
+        order = rng.permutation(total)
+        return images[order], labels[order]
+
+
+def synthetic_cifar10(
+    samples_per_class: int = 100,
+    image_size: int = 32,
+    noise_std: float = 0.35,
+    seed: int = 0,
+    train: bool = True,
+) -> SyntheticCIFAR:
+    """Convenience constructor mirroring CIFAR-10 (10 classes)."""
+    config = SyntheticImageConfig(
+        num_classes=10,
+        image_size=image_size,
+        noise_std=noise_std,
+        samples_per_class=samples_per_class,
+        seed=seed,
+    )
+    return SyntheticCIFAR(config, train=train)
+
+
+def synthetic_cifar100(
+    samples_per_class: int = 20,
+    image_size: int = 32,
+    noise_std: float = 0.3,
+    seed: int = 0,
+    train: bool = True,
+) -> SyntheticCIFAR:
+    """Convenience constructor mirroring CIFAR-100 (100 classes)."""
+    config = SyntheticImageConfig(
+        num_classes=100,
+        image_size=image_size,
+        noise_std=noise_std,
+        samples_per_class=samples_per_class,
+        seed=seed,
+    )
+    return SyntheticCIFAR(config, train=train)
+
+
+class SyntheticVectors(ArrayDataset):
+    """Linearly-separable-with-margin vector dataset for fast MLP tests.
+
+    Classes are Gaussian blobs around random centres in ``dim``
+    dimensions; ``noise_std`` controls overlap.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 4,
+        dim: int = 16,
+        samples_per_class: int = 64,
+        noise_std: float = 0.5,
+        seed: int = 0,
+        train: bool = True,
+    ) -> None:
+        rng_centres = new_generator(seed)
+        rng_samples = new_generator(seed + (1 if train else 10_007))
+        centres = rng_centres.standard_normal((num_classes, dim)) * 2.0
+        total = num_classes * samples_per_class
+        data = np.zeros((total, dim))
+        labels = np.zeros(total, dtype=np.int64)
+        index = 0
+        for cls in range(num_classes):
+            for _ in range(samples_per_class):
+                data[index] = centres[cls] + noise_std * rng_samples.standard_normal(dim)
+                labels[index] = cls
+                index += 1
+        order = rng_samples.permutation(total)
+        super().__init__(data[order], labels[order], num_classes=num_classes)
+        self.centres = centres
+
+
+def train_test_split(dataset: ArrayDataset, test_fraction: float = 0.2, seed: int = 0) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Split an :class:`ArrayDataset` into train and test subsets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = new_generator(seed)
+    indices = rng.permutation(len(dataset))
+    cut = int(len(dataset) * (1.0 - test_fraction))
+    return dataset.subset(indices[:cut]), dataset.subset(indices[cut:])

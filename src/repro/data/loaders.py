@@ -1,0 +1,87 @@
+"""Mini-batch iteration over datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..utils.rng import new_generator
+from .datasets import Dataset
+from .transforms import Transform
+
+
+class DataLoader:
+    """Iterate over a dataset in mini-batches.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset providing ``(sample, label)`` pairs.
+    batch_size:
+        Number of samples per batch.
+    shuffle:
+        Whether to reshuffle the sample order at the start of every epoch.
+    transform:
+        Optional per-sample transform applied before batching.
+    drop_last:
+        Drop the final incomplete batch when the dataset size is not a
+        multiple of ``batch_size``.
+    seed:
+        Seed of the shuffling RNG (each epoch draws a fresh permutation
+        from the same generator, so epochs differ but runs are
+        reproducible).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        transform: Optional[Transform] = None,
+        drop_last: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.transform = transform
+        self.drop_last = drop_last
+        self._rng = new_generator(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            indices = order[start:start + self.batch_size]
+            if self.drop_last and len(indices) < self.batch_size:
+                break
+            samples = []
+            labels = []
+            for index in indices:
+                sample, label = self.dataset[int(index)]
+                if self.transform is not None:
+                    sample = self.transform(sample)
+                samples.append(sample)
+                labels.append(label)
+            yield np.stack(samples), np.asarray(labels, dtype=np.int64)
+
+    def full_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the entire dataset as one batch (useful for evaluation)."""
+        samples = []
+        labels = []
+        for index in range(len(self.dataset)):
+            sample, label = self.dataset[index]
+            if self.transform is not None:
+                sample = self.transform(sample)
+            samples.append(sample)
+            labels.append(label)
+        return np.stack(samples), np.asarray(labels, dtype=np.int64)

@@ -1,0 +1,101 @@
+"""Per-sample data transforms (augmentation and normalisation)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..utils.rng import new_generator
+
+
+class Transform:
+    """Callable mapping one sample array to another."""
+
+    def __call__(self, sample: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Compose(Transform):
+    """Apply a sequence of transforms in order."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, sample: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            sample = transform(sample)
+        return sample
+
+
+class Normalize(Transform):
+    """Channel-wise standardisation ``(x - mean) / std`` for ``(C, H, W)`` images."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float64).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float64).reshape(-1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ValueError("std values must be positive")
+
+    def __call__(self, sample: np.ndarray) -> np.ndarray:
+        return (sample - self.mean) / self.std
+
+
+class RandomHorizontalFlip(Transform):
+    """Flip a ``(C, H, W)`` image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        self.p = p
+        self._rng = new_generator(seed)
+
+    def __call__(self, sample: np.ndarray) -> np.ndarray:
+        if self._rng.random() < self.p:
+            return sample[:, :, ::-1].copy()
+        return sample
+
+
+class RandomCrop(Transform):
+    """Zero-pad then randomly crop back to the original size (CIFAR-style augmentation)."""
+
+    def __init__(self, padding: int = 4, seed: int = 0) -> None:
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        self.padding = padding
+        self._rng = new_generator(seed)
+
+    def __call__(self, sample: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return sample
+        c, h, w = sample.shape
+        padded = np.pad(
+            sample,
+            ((0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+            mode="constant",
+        )
+        top = int(self._rng.integers(0, 2 * self.padding + 1))
+        left = int(self._rng.integers(0, 2 * self.padding + 1))
+        return padded[:, top:top + h, left:left + w]
+
+
+class AdditiveGaussianNoise(Transform):
+    """Add zero-mean Gaussian noise (used in robustness ablations)."""
+
+    def __init__(self, std: float = 0.1, seed: int = 0) -> None:
+        if std < 0:
+            raise ValueError("std must be non-negative")
+        self.std = std
+        self._rng = new_generator(seed)
+
+    def __call__(self, sample: np.ndarray) -> np.ndarray:
+        if self.std == 0:
+            return sample
+        return sample + self.std * self._rng.standard_normal(sample.shape)
+
+
+def dataset_statistics(images: np.ndarray) -> tuple:
+    """Per-channel mean and std of an ``(N, C, H, W)`` image stack."""
+    mean = images.mean(axis=(0, 2, 3))
+    std = images.std(axis=(0, 2, 3))
+    return mean, np.maximum(std, 1e-8)

@@ -1,0 +1,35 @@
+"""Model zoo: architecture specs, dense builders and the name registry."""
+
+from .builder import PlainNetwork, build_plain_model
+from .registry import available_models, get_model_spec, register_model
+from .spec import (
+    ArchitectureSpec,
+    ConvSpec,
+    DropoutSpec,
+    FlattenSpec,
+    LayerSpec,
+    LinearSpec,
+    PoolSpec,
+)
+from .zoo import lenet5, lenet_3c1l, mlp, tiny_cnn, vgg11, vgg16
+
+__all__ = [
+    "ArchitectureSpec",
+    "ConvSpec",
+    "PoolSpec",
+    "FlattenSpec",
+    "LinearSpec",
+    "DropoutSpec",
+    "LayerSpec",
+    "PlainNetwork",
+    "build_plain_model",
+    "register_model",
+    "get_model_spec",
+    "available_models",
+    "lenet_3c1l",
+    "lenet5",
+    "vgg16",
+    "vgg11",
+    "mlp",
+    "tiny_cnn",
+]

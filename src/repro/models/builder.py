@@ -1,0 +1,121 @@
+"""Build plain (dense) networks from an :class:`ArchitectureSpec`.
+
+The plain network serves two roles in the reproduction:
+
+* it is the *original neural network* whose accuracy upper-bounds the
+  subnets (Table I, column "Orig. Net"), and
+* it is the *teacher* for knowledge-distillation retraining (Eq. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+from .spec import ArchitectureSpec, ConvSpec, DropoutSpec, FlattenSpec, LinearSpec, PoolSpec
+
+
+def _activation_module(name: str) -> Optional[nn.Module]:
+    name = (name or "none").lower()
+    if name == "relu":
+        return nn.ReLU()
+    if name == "tanh":
+        return nn.Tanh()
+    if name == "sigmoid":
+        return nn.Sigmoid()
+    if name in ("none", "linear", "identity"):
+        return None
+    raise ValueError(f"unknown activation '{name}'")
+
+
+class PlainNetwork(nn.Module):
+    """Dense reference network built from an architecture spec."""
+
+    def __init__(self, spec: ArchitectureSpec, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.spec = spec
+        rng = rng if rng is not None else np.random.default_rng(0)
+        modules = []
+        in_channels = spec.input_shape[0]
+        height, width = spec.input_shape[1], spec.input_shape[2]
+        in_features = in_channels * height * width
+        flattened = not spec._has_conv()
+        for layer in spec.layers:
+            if isinstance(layer, ConvSpec):
+                modules.append(
+                    nn.Conv2d(
+                        in_channels,
+                        layer.out_channels,
+                        layer.kernel_size,
+                        stride=layer.stride,
+                        padding=layer.padding,
+                        rng=rng,
+                    )
+                )
+                if layer.batch_norm:
+                    modules.append(nn.BatchNorm2d(layer.out_channels))
+                activation = _activation_module(layer.activation)
+                if activation is not None:
+                    modules.append(activation)
+                in_channels = layer.out_channels
+                height = (height + 2 * layer.padding - layer.kernel_size) // layer.stride + 1
+                width = (width + 2 * layer.padding - layer.kernel_size) // layer.stride + 1
+            elif isinstance(layer, PoolSpec):
+                stride = layer.stride if layer.stride is not None else layer.kernel_size
+                pool_cls = nn.MaxPool2d if layer.kind == "max" else nn.AvgPool2d
+                modules.append(pool_cls(layer.kernel_size, stride))
+                height = (height - layer.kernel_size) // stride + 1
+                width = (width - layer.kernel_size) // stride + 1
+            elif isinstance(layer, FlattenSpec):
+                modules.append(nn.Flatten())
+                in_features = in_channels * height * width
+                flattened = True
+            elif isinstance(layer, DropoutSpec):
+                modules.append(nn.Dropout(layer.p, rng=rng))
+            elif isinstance(layer, LinearSpec):
+                if not flattened:
+                    modules.append(nn.Flatten())
+                    in_features = in_channels * height * width
+                    flattened = True
+                modules.append(nn.Linear(in_features, layer.out_features, rng=rng))
+                if layer.batch_norm:
+                    modules.append(nn.BatchNorm1d(layer.out_features))
+                activation = _activation_module(layer.activation)
+                if activation is not None:
+                    modules.append(activation)
+                in_features = layer.out_features
+            else:
+                raise TypeError(f"unsupported layer spec: {layer!r}")
+        self.body = nn.Sequential(*modules)
+
+    def forward(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        if x.ndim == 2 and self.spec._has_conv():
+            raise ValueError("convolutional network expects (N, C, H, W) input")
+        if x.ndim == 4 and not self.spec._has_conv():
+            x = x.reshape(x.shape[0], -1)
+        return self.body(x)
+
+    def predict_proba(self, x) -> np.ndarray:
+        """Class probabilities under ``no_grad`` (teacher usage)."""
+        from ..nn.tensor import no_grad
+
+        with no_grad():
+            logits = self.forward(x)
+            return nn.functional.softmax(logits, axis=-1).data
+
+    def predict_logits(self, x) -> np.ndarray:
+        """Raw logits under ``no_grad``."""
+        from ..nn.tensor import no_grad
+
+        with no_grad():
+            return self.forward(x).data
+
+
+def build_plain_model(spec: ArchitectureSpec, rng: Optional[np.random.Generator] = None) -> PlainNetwork:
+    """Construct the dense reference/teacher network for ``spec``."""
+    return PlainNetwork(spec, rng=rng)

@@ -1,0 +1,47 @@
+"""Name-based registry of architecture constructors.
+
+The benchmark harness refers to models by the names used in the paper
+("lenet-3c1l", "lenet-5", "vgg-16"); this registry resolves those names
+to spec constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .spec import ArchitectureSpec
+from . import zoo
+
+SpecFactory = Callable[..., ArchitectureSpec]
+
+_REGISTRY: Dict[str, SpecFactory] = {}
+
+
+def register_model(name: str, factory: SpecFactory) -> None:
+    """Register a spec factory under ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"model '{name}' is already registered")
+    _REGISTRY[key] = factory
+
+
+def get_model_spec(name: str, **kwargs) -> ArchitectureSpec:
+    """Instantiate the architecture spec registered under ``name``."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown model '{name}'; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[key](**kwargs)
+
+
+def available_models() -> List[str]:
+    """Names of all registered architectures."""
+    return sorted(_REGISTRY)
+
+
+# Built-in registrations (paper architectures plus test-scale helpers).
+register_model("lenet-3c1l", zoo.lenet_3c1l)
+register_model("lenet-5", zoo.lenet5)
+register_model("vgg-16", zoo.vgg16)
+register_model("vgg-11", zoo.vgg11)
+register_model("mlp", zoo.mlp)
+register_model("tiny-cnn", zoo.tiny_cnn)

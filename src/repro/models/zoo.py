@@ -1,0 +1,149 @@
+"""Model zoo: the architectures evaluated in the SteppingNet paper.
+
+The paper uses LeNet-3C1L and LeNet-5 on CIFAR-10 and VGG-16 on
+CIFAR-100.  The layer topologies here match those networks; the
+``width_scale`` argument uniformly shrinks channel counts so the numpy
+substrate can train them in seconds (``width_scale=1.0`` recovers the
+standard widths).  The reduction does not change what the construction
+algorithm manipulates — layer-by-layer neuron/filter assignment — only
+the absolute MAC counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .spec import (
+    ArchitectureSpec,
+    ConvSpec,
+    DropoutSpec,
+    FlattenSpec,
+    LinearSpec,
+    PoolSpec,
+)
+
+
+def _scaled(width: int, scale: float) -> int:
+    return max(2, int(round(width * scale)))
+
+
+def lenet_3c1l(
+    num_classes: int = 10,
+    input_shape: Tuple[int, int, int] = (3, 32, 32),
+    width_scale: float = 1.0,
+) -> ArchitectureSpec:
+    """LeNet-3C1L: three convolutional layers and one fully-connected classifier.
+
+    This is the compact CNN the paper pairs with CIFAR-10; filter counts
+    follow the common 32/64/128 progression.
+    """
+    layers = (
+        ConvSpec(_scaled(32, width_scale), kernel_size=3, padding=1),
+        PoolSpec("max", 2),
+        ConvSpec(_scaled(64, width_scale), kernel_size=3, padding=1),
+        PoolSpec("max", 2),
+        ConvSpec(_scaled(128, width_scale), kernel_size=3, padding=1),
+        PoolSpec("max", 2),
+        FlattenSpec(),
+        LinearSpec(num_classes, activation="none", is_output=True),
+    )
+    return ArchitectureSpec("lenet-3c1l", input_shape, num_classes, layers)
+
+
+def lenet5(
+    num_classes: int = 10,
+    input_shape: Tuple[int, int, int] = (3, 32, 32),
+    width_scale: float = 1.0,
+) -> ArchitectureSpec:
+    """Classic LeNet-5: two conv layers followed by three FC layers."""
+    layers = (
+        ConvSpec(_scaled(6, max(width_scale, 1.0)), kernel_size=5, padding=0, batch_norm=True),
+        PoolSpec("max", 2),
+        ConvSpec(_scaled(16, max(width_scale, 1.0)), kernel_size=5, padding=0, batch_norm=True),
+        PoolSpec("max", 2),
+        FlattenSpec(),
+        LinearSpec(_scaled(120, width_scale)),
+        LinearSpec(_scaled(84, width_scale)),
+        LinearSpec(num_classes, activation="none", is_output=True),
+    )
+    return ArchitectureSpec("lenet-5", input_shape, num_classes, layers)
+
+
+_VGG16_CHANNELS = (64, 64, 128, 128, 256, 256, 256, 512, 512, 512, 512, 512, 512)
+_VGG11_CHANNELS = (64, 128, 256, 256, 512, 512, 512, 512)
+
+
+def vgg16(
+    num_classes: int = 100,
+    input_shape: Tuple[int, int, int] = (3, 32, 32),
+    width_scale: float = 1.0,
+) -> ArchitectureSpec:
+    """VGG-16 (13 conv + 3 FC) in its CIFAR form.
+
+    Pooling follows the standard placement after conv blocks 2, 4, 7, 10
+    and 13.  ``width_scale`` shrinks channel counts uniformly so that the
+    numpy substrate can train the network; the 16-layer topology that the
+    SteppingNet construction operates on is unchanged.
+    """
+    pool_after = {1, 3, 6, 9, 12}
+    layers = []
+    for index, channels in enumerate(_VGG16_CHANNELS):
+        layers.append(ConvSpec(_scaled(channels, width_scale), kernel_size=3, padding=1))
+        if index in pool_after:
+            layers.append(PoolSpec("max", 2))
+    layers.append(FlattenSpec())
+    layers.append(LinearSpec(_scaled(512, width_scale)))
+    layers.append(DropoutSpec(0.5))
+    layers.append(LinearSpec(_scaled(512, width_scale)))
+    layers.append(LinearSpec(num_classes, activation="none", is_output=True))
+    return ArchitectureSpec("vgg-16", input_shape, num_classes, tuple(layers))
+
+
+def vgg11(
+    num_classes: int = 100,
+    input_shape: Tuple[int, int, int] = (3, 32, 32),
+    width_scale: float = 1.0,
+) -> ArchitectureSpec:
+    """VGG-11: the lighter VGG variant, useful for faster ablation runs."""
+    pool_after = {0, 1, 3, 5, 7}
+    layers = []
+    for index, channels in enumerate(_VGG11_CHANNELS):
+        layers.append(ConvSpec(_scaled(channels, width_scale), kernel_size=3, padding=1))
+        if index in pool_after:
+            layers.append(PoolSpec("max", 2))
+    layers.append(FlattenSpec())
+    layers.append(LinearSpec(_scaled(512, width_scale)))
+    layers.append(LinearSpec(num_classes, activation="none", is_output=True))
+    return ArchitectureSpec("vgg-11", input_shape, num_classes, tuple(layers))
+
+
+def mlp(
+    num_classes: int = 4,
+    input_dim: int = 16,
+    hidden: Tuple[int, ...] = (64, 32),
+    width_scale: float = 1.0,
+) -> ArchitectureSpec:
+    """Plain multilayer perceptron on flat vectors (unit tests and demos)."""
+    layers = [FlattenSpec()]
+    for width in hidden:
+        layers.append(LinearSpec(_scaled(width, width_scale)))
+    layers.append(LinearSpec(num_classes, activation="none", is_output=True))
+    return ArchitectureSpec("mlp", (input_dim, 1, 1), num_classes, tuple(layers))
+
+
+def tiny_cnn(
+    num_classes: int = 10,
+    input_shape: Tuple[int, int, int] = (3, 16, 16),
+    width_scale: float = 1.0,
+) -> ArchitectureSpec:
+    """A deliberately small CNN used by the fast test-suite configurations."""
+    layers = (
+        ConvSpec(_scaled(8, width_scale), kernel_size=3, padding=1),
+        PoolSpec("max", 2),
+        ConvSpec(_scaled(16, width_scale), kernel_size=3, padding=1),
+        PoolSpec("max", 2),
+        FlattenSpec(),
+        LinearSpec(_scaled(32, width_scale)),
+        LinearSpec(num_classes, activation="none", is_output=True),
+    )
+    return ArchitectureSpec("tiny-cnn", input_shape, num_classes, layers)

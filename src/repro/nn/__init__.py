@@ -1,0 +1,69 @@
+"""``repro.nn`` — a from-scratch numpy deep-learning substrate.
+
+The SteppingNet paper's experiments were run in PyTorch; this subpackage
+provides the equivalent machinery (tensors with reverse-mode autodiff,
+layers, optimizers and losses) so that the reproduction is fully
+self-contained and runs offline with only numpy installed.
+"""
+
+from . import functional, init
+from .losses import CrossEntropyLoss, DistillationLoss, KLDivergenceLoss, MSELoss
+from .modules import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .optim import SGD, Adam, CosineAnnealingLR, ExponentialLR, LRScheduler, Optimizer, StepLR
+from .tensor import Tensor, concatenate, no_grad, stack, where
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "stack",
+    "concatenate",
+    "where",
+    "functional",
+    "init",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "LeakyReLU",
+    "Dropout",
+    "Flatten",
+    "CrossEntropyLoss",
+    "KLDivergenceLoss",
+    "DistillationLoss",
+    "MSELoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "CosineAnnealingLR",
+    "ExponentialLR",
+]

@@ -1,0 +1,90 @@
+"""Weight initialisation schemes.
+
+All functions take a shape and an optional ``numpy.random.Generator`` so
+that model construction is fully reproducible given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng()
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in / fan-out for linear ``(out, in)`` or conv ``(out, in, kh, kw)`` weights."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        receptive = int(np.prod(shape[2:]))
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape))
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He-normal initialisation, appropriate for ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He-uniform initialisation."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return _rng(rng).uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot-normal initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in + fan_out, 1))
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot-uniform initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return _rng(rng).uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    return np.ones(shape)
+
+
+def uniform_bias(fan_in: int, shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Default bias init: uniform in ``[-1/sqrt(fan_in), 1/sqrt(fan_in)]``."""
+    bound = 1.0 / np.sqrt(max(fan_in, 1))
+    return _rng(rng).uniform(-bound, bound, size=shape)
+
+
+INITIALIZERS = {
+    "kaiming_normal": kaiming_normal,
+    "kaiming_uniform": kaiming_uniform,
+    "xavier_normal": xavier_normal,
+    "xavier_uniform": xavier_uniform,
+    "zeros": zeros,
+    "ones": ones,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initialiser by name, raising a helpful error if unknown."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown initializer '{name}'; available: {sorted(INITIALIZERS)}"
+        ) from exc

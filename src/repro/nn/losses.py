@@ -1,0 +1,84 @@
+"""Loss modules.
+
+Includes the blended knowledge-distillation objective of SteppingNet
+Eq. (4): ``L' = gamma * CE(student, labels) + (1 - gamma) * KL(teacher || student)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .modules.module import Module
+from .tensor import Tensor
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy between raw logits and integer class labels."""
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        super().__init__()
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = label_smoothing
+
+    def forward(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, labels, label_smoothing=self.label_smoothing)
+
+
+class KLDivergenceLoss(Module):
+    """KL(teacher ‖ student) where the teacher distribution is constant."""
+
+    def forward(self, teacher_probs: np.ndarray, student_logits: Tensor) -> Tensor:
+        return F.kl_divergence(teacher_probs, student_logits)
+
+
+class DistillationLoss(Module):
+    """SteppingNet Eq. (4): blend of cross-entropy and teacher KL divergence.
+
+    Parameters
+    ----------
+    gamma:
+        Weight of the cross-entropy term; ``1 - gamma`` weights the KL
+        term.  The paper uses ``gamma = 0.4``.
+    temperature:
+        Softmax temperature applied to the teacher logits before
+        converting them to a probability distribution.  ``1.0`` matches
+        the paper formulation.
+    """
+
+    def __init__(self, gamma: float = 0.4, temperature: float = 1.0) -> None:
+        super().__init__()
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError("gamma must be in [0, 1]")
+        if temperature <= 0.0:
+            raise ValueError("temperature must be positive")
+        self.gamma = gamma
+        self.temperature = temperature
+
+    def forward(
+        self,
+        student_logits: Tensor,
+        labels: np.ndarray,
+        teacher_logits: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        ce = F.cross_entropy(student_logits, labels)
+        if teacher_logits is None or self.gamma >= 1.0:
+            return ce
+        teacher = np.asarray(teacher_logits) / self.temperature
+        teacher = teacher - teacher.max(axis=-1, keepdims=True)
+        teacher_probs = np.exp(teacher)
+        teacher_probs /= teacher_probs.sum(axis=-1, keepdims=True)
+        kl = F.kl_divergence(teacher_probs, student_logits)
+        return ce * self.gamma + kl * (1.0 - self.gamma)
+
+
+class MSELoss(Module):
+    """Mean squared error (used in substrate tests and regression examples)."""
+
+    def forward(self, prediction: Tensor, target: np.ndarray) -> Tensor:
+        target_t = target if isinstance(target, Tensor) else Tensor(target)
+        diff = prediction - target_t
+        return (diff * diff).mean()

@@ -1,0 +1,31 @@
+"""Layer library for the ``repro.nn`` substrate."""
+
+from .activation import LeakyReLU, ReLU, Sigmoid, Tanh
+from .container import ModuleList, Sequential
+from .conv import Conv2d
+from .dropout import Dropout
+from .flatten import Flatten
+from .linear import Linear
+from .module import Module, Parameter
+from .norm import BatchNorm1d, BatchNorm2d
+from .pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "LeakyReLU",
+    "Dropout",
+    "Flatten",
+]

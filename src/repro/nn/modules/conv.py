@@ -1,0 +1,65 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..tensor import Tensor
+from .module import Module, Parameter
+
+
+class Conv2d(Module):
+    """2-D convolution over ``(N, C, H, W)`` inputs.
+
+    Weight shape is ``(out_channels, in_channels, kh, kw)``.  Stride and
+    padding accept an int or a pair.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        weight_init: str = "kaiming_normal",
+    ) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("in_channels and out_channels must be positive")
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        initializer = init.get_initializer(weight_init)
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(initializer(shape, rng))
+        if bias:
+            fan_in = in_channels * kernel_size * kernel_size
+            self.bias = Parameter(init.uniform_bias(fan_in, (out_channels,), rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def output_spatial_size(self, height: int, width: int) -> tuple:
+        """Spatial size of the output feature map for a given input size."""
+        out_h = (height + 2 * self.padding - self.kernel_size) // self.stride + 1
+        out_w = (width + 2 * self.padding - self.kernel_size) // self.stride + 1
+        return out_h, out_w
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding})"
+        )

@@ -1,0 +1,13 @@
+"""Flatten layer."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from .module import Module
+
+
+class Flatten(Module):
+    """Flatten all dimensions except the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)

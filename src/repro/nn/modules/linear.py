@@ -1,0 +1,58 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..tensor import Tensor
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features:
+        Size of each input sample.
+    out_features:
+        Size of each output sample.
+    bias:
+        Whether to learn an additive bias.
+    rng:
+        Generator used to draw the initial weights; pass one for
+        reproducible model construction.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        weight_init: str = "kaiming_normal",
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        initializer = init.get_initializer(weight_init)
+        self.weight = Parameter(initializer((out_features, in_features), rng))
+        if bias:
+            self.bias = Parameter(init.uniform_bias(in_features, (out_features,), rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in_features={self.in_features}, out_features={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

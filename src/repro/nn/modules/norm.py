@@ -1,0 +1,72 @@
+"""Batch normalisation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from ..tensor import Tensor
+from .module import Module, Parameter
+
+
+class _BatchNorm(Module):
+    """Shared implementation for 1-D and 2-D batch normalisation."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._check_input(x)
+        return F.batch_norm(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def reset_running_stats(self) -> None:
+        self.running_mean[...] = 0.0
+        self.running_var[...] = 1.0
+
+    def _check_input(self, x: Tensor) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}({self.num_features}, eps={self.eps}, momentum={self.momentum})"
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch normalisation over ``(N, F)`` activations."""
+
+    def _check_input(self, x: Tensor) -> None:
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1d expects (N, F) input, got {x.shape}")
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm1d configured for {self.num_features} features, got {x.shape[1]}"
+            )
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch normalisation over ``(N, C, H, W)`` feature maps."""
+
+    def _check_input(self, x: Tensor) -> None:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects (N, C, H, W) input, got {x.shape}")
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm2d configured for {self.num_features} channels, got {x.shape[1]}"
+            )

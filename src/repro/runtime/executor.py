@@ -1,0 +1,280 @@
+"""Anytime execution of one input batch under a resource trace.
+
+:class:`AnytimeExecutor` runs a stepping network level by level.  After
+each level it consults a :class:`~repro.runtime.policies.SteppingPolicy`
+and the :class:`~repro.runtime.platform.ResourceTrace` to decide whether
+to step up; the time spent on each step is determined by the trace (the
+MACs of the step divided by whatever throughput the trace grants while it
+runs) plus a fixed per-invocation overhead.
+
+:class:`RecomputeExecutor` models the slimmable-network deployment: a
+switch to a larger width cannot reuse intermediate results, so every
+step-up re-executes the *full* MAC count of the target subnet.  Comparing
+the two executors on the same trace quantifies the benefit of
+SteppingNet's computational reuse (the runtime benchmark does exactly
+that).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.incremental import IncrementalInference
+from .platform import ResourceTrace
+from .policies import GreedyPolicy, PolicyState, SteppingPolicy, prediction_confidence
+
+
+@dataclass
+class StepRecord:
+    """One executed subnet level within an anytime execution."""
+
+    subnet: int
+    start_time: float
+    finish_time: float
+    macs_executed: float
+    macs_reused: float
+    confidence: float
+    met_deadline: bool
+    logits: Optional[np.ndarray] = None
+
+    @property
+    def duration(self) -> float:
+        return self.finish_time - self.start_time
+
+
+@dataclass
+class ExecutionRecord:
+    """Complete outcome of executing one input batch under a trace."""
+
+    steps: List[StepRecord] = field(default_factory=list)
+    deadline: Optional[float] = None
+    final_logits: Optional[np.ndarray] = None
+    stop_reason: str = ""
+
+    @property
+    def final_subnet(self) -> int:
+        return self.steps[-1].subnet if self.steps else -1
+
+    @property
+    def finish_time(self) -> float:
+        return self.steps[-1].finish_time if self.steps else 0.0
+
+    @property
+    def total_macs_executed(self) -> float:
+        return sum(step.macs_executed for step in self.steps)
+
+    @property
+    def total_macs_reused(self) -> float:
+        return sum(step.macs_reused for step in self.steps)
+
+    @property
+    def deadline_met(self) -> bool:
+        """True when at least one step finished before the deadline."""
+        if self.deadline is None:
+            return bool(self.steps)
+        return any(step.finish_time <= self.deadline for step in self.steps)
+
+    @property
+    def predictions(self) -> Optional[np.ndarray]:
+        if self.final_logits is None:
+            return None
+        return self.final_logits.argmax(axis=-1)
+
+    def best_logits_by(self, deadline: Optional[float] = None) -> Optional[np.ndarray]:
+        """Logits of the largest subnet that finished before ``deadline``."""
+        deadline = deadline if deadline is not None else self.deadline
+        best: Optional[np.ndarray] = None
+        for step in self.steps:
+            if (deadline is None or step.finish_time <= deadline) and step.logits is not None:
+                best = step.logits
+        return best
+
+    def subnet_completed_by(self, time: float) -> int:
+        """Largest subnet level whose execution finished by ``time`` (-1 if none)."""
+        completed = -1
+        for step in self.steps:
+            if step.finish_time <= time:
+                completed = step.subnet
+        return completed
+
+
+class AnytimeExecutor:
+    """Step-by-step execution of a stepping network with activation reuse."""
+
+    def __init__(
+        self,
+        network,
+        trace: ResourceTrace,
+        policy: Optional[SteppingPolicy] = None,
+        overhead_per_step: float = 0.0,
+        apply_prune: bool = True,
+    ) -> None:
+        if overhead_per_step < 0:
+            raise ValueError("overhead_per_step must be non-negative")
+        self.network = network
+        self.trace = trace
+        self.policy = policy or GreedyPolicy()
+        self.overhead_per_step = overhead_per_step
+        self.apply_prune = apply_prune
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        inputs: np.ndarray,
+        start_time: float = 0.0,
+        deadline: Optional[float] = None,
+        start_subnet: int = 0,
+    ) -> ExecutionRecord:
+        """Run the anytime loop for one input batch.
+
+        The smallest requested subnet is always executed (a platform that
+        invokes the network wants at least a preliminary answer); further
+        levels are subject to the policy and the deadline.
+        """
+        engine = IncrementalInference(self.network, apply_prune=self.apply_prune)
+        record = ExecutionRecord(deadline=deadline)
+
+        step = engine.run(inputs, subnet=start_subnet)
+        time = self._finish_time(step.macs_executed, start_time)
+        record.steps.append(self._record_step(step, start_time, time, deadline))
+        record.final_logits = step.logits
+        record.stop_reason = "initial subnet executed"
+
+        while True:
+            state = self._policy_state(engine, record, time, deadline)
+            if state is None:
+                record.stop_reason = "largest subnet reached"
+                break
+            decision = self.policy.decide(state)
+            if not decision.step_up:
+                record.stop_reason = decision.reason
+                break
+            start = time
+            step = engine.step_up()
+            time = self._finish_time(step.macs_executed, start)
+            record.steps.append(self._record_step(step, start, time, deadline))
+            record.final_logits = step.logits
+            if math.isinf(time):
+                record.stop_reason = "trace provides no further throughput"
+                break
+        return record
+
+    # ------------------------------------------------------------------
+    def _finish_time(self, macs: float, start_time: float) -> float:
+        finish = self.trace.time_to_execute(float(macs), start_time)
+        if math.isinf(finish):
+            return finish
+        return finish + self.overhead_per_step
+
+    def _record_step(self, step, start_time: float, finish_time: float, deadline) -> StepRecord:
+        met = finish_time <= deadline if deadline is not None else True
+        return StepRecord(
+            subnet=step.subnet,
+            start_time=start_time,
+            finish_time=finish_time,
+            macs_executed=float(step.macs_executed),
+            macs_reused=float(step.macs_reused),
+            confidence=prediction_confidence(step.logits),
+            met_deadline=met,
+            logits=step.logits,
+        )
+
+    def _policy_state(
+        self, engine: IncrementalInference, record: ExecutionRecord, time: float, deadline
+    ) -> Optional[PolicyState]:
+        current = engine.current_subnet
+        if current + 1 >= self.network.num_subnets:
+            return None
+        next_macs = self.network.subnet_macs(
+            current + 1, apply_prune=self.apply_prune
+        ) - self.network.subnet_macs(current, apply_prune=self.apply_prune)
+        estimated_finish = self._finish_time(next_macs, time)
+        return PolicyState(
+            current_subnet=current,
+            num_subnets=self.network.num_subnets,
+            logits=record.final_logits,
+            current_time=time,
+            deadline=deadline,
+            next_step_macs=float(next_macs),
+            estimated_finish_time=estimated_finish,
+        )
+
+
+class RecomputeExecutor(AnytimeExecutor):
+    """Slimmable-style execution: every step-up recomputes from scratch.
+
+    The policy interface and the step accounting match
+    :class:`AnytimeExecutor`, but the MACs charged for reaching subnet
+    ``i`` after subnet ``i-1`` are the *full* ``subnet_macs(i)`` — nothing
+    is reused.  Accuracy per level is identical (the same subnet is
+    evaluated); only the time/MAC cost differs, which is exactly the
+    deployment gap the paper attributes to the slimmable network.
+    """
+
+    def execute(
+        self,
+        inputs: np.ndarray,
+        start_time: float = 0.0,
+        deadline: Optional[float] = None,
+        start_subnet: int = 0,
+    ) -> ExecutionRecord:
+        engine = IncrementalInference(self.network, apply_prune=self.apply_prune)
+        record = ExecutionRecord(deadline=deadline)
+
+        step = engine.run(inputs, subnet=start_subnet)
+        full_macs = self.network.subnet_macs(start_subnet, apply_prune=self.apply_prune)
+        time = self._finish_time(full_macs, start_time)
+        record.steps.append(self._record_full_step(step, full_macs, start_time, time, deadline))
+        record.final_logits = step.logits
+        record.stop_reason = "initial subnet executed"
+
+        while True:
+            state = self._policy_state(engine, record, time, deadline)
+            if state is None:
+                record.stop_reason = "largest subnet reached"
+                break
+            # A recompute platform must pay the full target-subnet cost.
+            target = engine.current_subnet + 1
+            full_macs = self.network.subnet_macs(target, apply_prune=self.apply_prune)
+            estimated_finish = self._finish_time(full_macs, time)
+            state = PolicyState(
+                current_subnet=state.current_subnet,
+                num_subnets=state.num_subnets,
+                logits=state.logits,
+                current_time=state.current_time,
+                deadline=state.deadline,
+                next_step_macs=float(full_macs),
+                estimated_finish_time=estimated_finish,
+            )
+            decision = self.policy.decide(state)
+            if not decision.step_up:
+                record.stop_reason = decision.reason
+                break
+            start = time
+            step = engine.step_up()
+            time = self._finish_time(full_macs, start)
+            record.steps.append(self._record_full_step(step, full_macs, start, time, deadline))
+            record.final_logits = step.logits
+            if math.isinf(time):
+                record.stop_reason = "trace provides no further throughput"
+                break
+        return record
+
+    def _record_full_step(
+        self, step, full_macs: float, start_time: float, finish_time: float, deadline
+    ) -> StepRecord:
+        met = finish_time <= deadline if deadline is not None else True
+        return StepRecord(
+            subnet=step.subnet,
+            start_time=start_time,
+            finish_time=finish_time,
+            macs_executed=float(full_macs),
+            macs_reused=0.0,
+            confidence=prediction_confidence(step.logits),
+            met_deadline=met,
+            logits=step.logits,
+        )

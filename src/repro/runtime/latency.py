@@ -1,0 +1,128 @@
+"""MAC-to-latency conversion and per-subnet latency tables.
+
+The paper reports computational cost in MAC operations; deployment
+decisions are made in time.  :class:`LatencyModel` converts between the
+two for a given platform, and :func:`latency_table` summarises every
+subnet of a stepping network: its cumulative latency when run from
+scratch and the *incremental* latency when stepping up from the previous
+subnet (the quantity SteppingNet's reuse makes small).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .platform import PlatformSpec, ResourceTrace
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Convert MAC counts into execution time on a platform.
+
+    ``latency = macs / throughput + overhead`` where the throughput is
+    either the platform's peak or an explicit rate, and the overhead is
+    charged once per invocation.
+    """
+
+    macs_per_second: float
+    invocation_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.macs_per_second <= 0:
+            raise ValueError("macs_per_second must be positive")
+        if self.invocation_overhead < 0:
+            raise ValueError("invocation_overhead must be non-negative")
+
+    @classmethod
+    def from_platform(cls, platform: PlatformSpec, mode: Optional[str] = None) -> "LatencyModel":
+        return cls(
+            macs_per_second=platform.throughput(mode),
+            invocation_overhead=platform.invocation_overhead,
+        )
+
+    def latency(self, macs: float, invocations: int = 1) -> float:
+        """Seconds to execute ``macs`` MAC operations in ``invocations`` calls."""
+        if macs < 0:
+            raise ValueError("macs must be non-negative")
+        if invocations < 0:
+            raise ValueError("invocations must be non-negative")
+        return macs / self.macs_per_second + invocations * self.invocation_overhead
+
+    def macs_within(self, seconds: float, invocations: int = 1) -> float:
+        """MAC budget that fits into a time window (0 if the overhead alone exceeds it)."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        usable = seconds - invocations * self.invocation_overhead
+        return max(0.0, usable * self.macs_per_second)
+
+
+def subnet_latencies(
+    network,
+    model: LatencyModel,
+    apply_prune: bool = True,
+) -> List[Dict[str, float]]:
+    """Cumulative and incremental latency of every subnet of ``network``.
+
+    ``network`` must expose ``num_subnets`` and ``subnet_macs`` (the
+    :class:`~repro.core.network.SteppingNetwork` interface).
+    """
+    rows: List[Dict[str, float]] = []
+    previous_macs = 0
+    for subnet in range(network.num_subnets):
+        macs = network.subnet_macs(subnet, apply_prune=apply_prune)
+        rows.append(
+            {
+                "subnet": subnet,
+                "macs": float(macs),
+                "cumulative_latency": model.latency(macs),
+                "incremental_macs": float(macs - previous_macs),
+                "incremental_latency": model.latency(macs - previous_macs),
+            }
+        )
+        previous_macs = macs
+    return rows
+
+
+def latency_table(
+    network,
+    platform: PlatformSpec,
+    modes: Optional[Sequence[str]] = None,
+    apply_prune: bool = True,
+) -> List[Dict[str, float]]:
+    """Per-subnet latency of ``network`` across the platform's power modes."""
+    selected = list(modes) if modes is not None else sorted(platform.power_modes) or [None]
+    rows: List[Dict[str, float]] = []
+    for mode in selected:
+        model = LatencyModel.from_platform(platform, mode)
+        for entry in subnet_latencies(network, model, apply_prune=apply_prune):
+            rows.append({"mode": mode or "peak", **entry})
+    return rows
+
+
+def deadline_feasible_subnet(
+    network,
+    trace: ResourceTrace,
+    start_time: float,
+    deadline: float,
+    overhead_per_step: float = 0.0,
+    apply_prune: bool = True,
+) -> int:
+    """Largest subnet whose cumulative work fits before ``deadline`` under ``trace``.
+
+    Returns ``-1`` if not even the smallest subnet fits.  Each executed
+    subnet level is charged ``overhead_per_step`` of fixed time, mirroring
+    the step-by-step anytime execution.
+    """
+    if deadline < start_time:
+        raise ValueError("deadline must not precede start_time")
+    feasible = -1
+    for subnet in range(network.num_subnets):
+        macs = network.subnet_macs(subnet, apply_prune=apply_prune)
+        overhead = (subnet + 1) * overhead_per_step
+        finish = trace.time_to_execute(macs, start_time) + overhead
+        if finish <= deadline:
+            feasible = subnet
+        else:
+            break
+    return feasible

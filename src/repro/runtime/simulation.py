@@ -1,0 +1,210 @@
+"""Stream-level simulation: frames with deadlines on a varying platform.
+
+The scenario from the paper's introduction: a perception stack receives a
+stream of frames; each frame must produce *some* decision by its deadline
+and refines that decision while resources remain.  The simulation drives
+one :class:`~repro.runtime.executor.AnytimeExecutor` (or the recompute
+variant) per frame against a shared :class:`ResourceTrace` and aggregates
+accuracy, deadline behaviour and MAC spend across the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .executor import AnytimeExecutor, ExecutionRecord
+from .platform import ResourceTrace
+from .policies import SteppingPolicy
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One frame of the input stream."""
+
+    arrival_time: float
+    deadline: float
+    inputs: np.ndarray
+    labels: Optional[np.ndarray] = None
+    frame_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline <= self.arrival_time:
+            raise ValueError("deadline must be after arrival_time")
+
+
+def periodic_requests(
+    images: np.ndarray,
+    labels: Optional[np.ndarray],
+    frame_period: float,
+    relative_deadline: float,
+    batch_size: int = 1,
+    start_time: float = 0.0,
+) -> List[InferenceRequest]:
+    """Slice a dataset into a periodic stream of frames.
+
+    Every ``frame_period`` seconds a batch of ``batch_size`` samples
+    arrives and must be answered within ``relative_deadline`` seconds.
+    """
+    if frame_period <= 0:
+        raise ValueError("frame_period must be positive")
+    if relative_deadline <= 0:
+        raise ValueError("relative_deadline must be positive")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    requests: List[InferenceRequest] = []
+    num_frames = int(np.ceil(len(images) / batch_size))
+    for frame in range(num_frames):
+        lo, hi = frame * batch_size, min((frame + 1) * batch_size, len(images))
+        arrival = start_time + frame * frame_period
+        requests.append(
+            InferenceRequest(
+                arrival_time=arrival,
+                deadline=arrival + relative_deadline,
+                inputs=images[lo:hi],
+                labels=None if labels is None else labels[lo:hi],
+                frame_id=frame,
+            )
+        )
+    return requests
+
+
+@dataclass
+class FrameResult:
+    """Outcome of one frame of the stream."""
+
+    request: InferenceRequest
+    record: ExecutionRecord
+    accuracy: Optional[float]
+    accuracy_at_deadline: Optional[float]
+    subnet_at_deadline: int
+    deadline_met: bool
+
+    @property
+    def response_time(self) -> float:
+        return self.record.finish_time - self.request.arrival_time
+
+
+@dataclass
+class SimulationSummary:
+    """Aggregate metrics over a simulated frame stream."""
+
+    frames: List[FrameResult] = field(default_factory=list)
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        if not self.frames:
+            return 0.0
+        misses = sum(1 for frame in self.frames if not frame.deadline_met)
+        return misses / len(self.frames)
+
+    @property
+    def mean_final_accuracy(self) -> float:
+        values = [frame.accuracy for frame in self.frames if frame.accuracy is not None]
+        return float(np.mean(values)) if values else float("nan")
+
+    @property
+    def mean_accuracy_at_deadline(self) -> float:
+        values = [
+            frame.accuracy_at_deadline
+            for frame in self.frames
+            if frame.accuracy_at_deadline is not None
+        ]
+        return float(np.mean(values)) if values else float("nan")
+
+    @property
+    def mean_subnet_at_deadline(self) -> float:
+        if not self.frames:
+            return float("nan")
+        return float(np.mean([frame.subnet_at_deadline for frame in self.frames]))
+
+    @property
+    def mean_macs_per_frame(self) -> float:
+        if not self.frames:
+            return 0.0
+        return float(np.mean([frame.record.total_macs_executed for frame in self.frames]))
+
+    @property
+    def total_macs(self) -> float:
+        return float(sum(frame.record.total_macs_executed for frame in self.frames))
+
+    @property
+    def total_macs_reused(self) -> float:
+        return float(sum(frame.record.total_macs_reused for frame in self.frames))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_frames": self.num_frames,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "mean_final_accuracy": self.mean_final_accuracy,
+            "mean_accuracy_at_deadline": self.mean_accuracy_at_deadline,
+            "mean_subnet_at_deadline": self.mean_subnet_at_deadline,
+            "mean_macs_per_frame": self.mean_macs_per_frame,
+            "total_macs": self.total_macs,
+            "total_macs_reused": self.total_macs_reused,
+        }
+
+
+def _accuracy(logits: Optional[np.ndarray], labels: Optional[np.ndarray]) -> Optional[float]:
+    if logits is None or labels is None:
+        return None
+    predictions = np.asarray(logits).argmax(axis=-1)
+    return float((predictions == np.asarray(labels)).mean())
+
+
+def simulate_stream(
+    executor: AnytimeExecutor,
+    requests: Sequence[InferenceRequest],
+) -> SimulationSummary:
+    """Run every request through ``executor`` and aggregate the outcomes.
+
+    Requests are processed in arrival order; a frame whose predecessor is
+    still executing starts as soon as the predecessor finishes (head-of-
+    line blocking, single-accelerator platform).
+    """
+    summary = SimulationSummary()
+    time_available = 0.0
+    for request in sorted(requests, key=lambda r: r.arrival_time):
+        start_time = max(request.arrival_time, time_available)
+        record = executor.execute(
+            request.inputs, start_time=start_time, deadline=request.deadline
+        )
+        time_available = record.finish_time if np.isfinite(record.finish_time) else request.deadline
+
+        logits_at_deadline = None
+        subnet_at_deadline = -1
+        for step in record.steps:
+            if step.finish_time <= request.deadline and step.logits is not None:
+                logits_at_deadline = step.logits
+                subnet_at_deadline = step.subnet
+
+        summary.frames.append(
+            FrameResult(
+                request=request,
+                record=record,
+                accuracy=_accuracy(record.final_logits, request.labels),
+                accuracy_at_deadline=_accuracy(logits_at_deadline, request.labels),
+                subnet_at_deadline=subnet_at_deadline,
+                deadline_met=record.deadline_met,
+            )
+        )
+    return summary
+
+
+def compare_executors(
+    executors: Dict[str, AnytimeExecutor],
+    requests: Sequence[InferenceRequest],
+) -> Dict[str, SimulationSummary]:
+    """Simulate the same request stream under several executors.
+
+    Used by the runtime benchmark to contrast SteppingNet's reuse-based
+    stepping with a recompute-from-scratch platform and with static
+    single-subnet execution.
+    """
+    return {name: simulate_stream(executor, requests) for name, executor in executors.items()}

@@ -1,0 +1,20 @@
+"""Shared utilities: RNG management, checkpoints, logging and timing."""
+
+from .io import load_checkpoint, load_json, save_checkpoint, save_json
+from .logging import MetricHistory, get_logger
+from .rng import derive_generator, get_seed, new_generator, set_seed
+from .timing import Timer
+
+__all__ = [
+    "set_seed",
+    "get_seed",
+    "new_generator",
+    "derive_generator",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_json",
+    "load_json",
+    "get_logger",
+    "MetricHistory",
+    "Timer",
+]

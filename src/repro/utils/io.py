@@ -1,0 +1,67 @@
+"""Checkpoint and artefact (de)serialisation.
+
+Model weights are stored as ``.npz`` archives keyed by parameter name;
+experiment results are stored as JSON so benchmark outputs remain
+human-readable and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from ..nn.modules.module import Module
+
+PathLike = Union[str, Path]
+
+
+def save_checkpoint(module: Module, path: PathLike) -> Path:
+    """Save a module's parameters and buffers to an ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    np.savez(path, **state)
+    return path
+
+
+def load_checkpoint(module: Module, path: PathLike, strict: bool = True) -> Module:
+    """Load parameters saved by :func:`save_checkpoint` into ``module``."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state, strict=strict)
+    return module
+
+
+def _to_jsonable(value: Any) -> Any:
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    return value
+
+
+def save_json(data: Dict[str, Any], path: PathLike) -> Path:
+    """Write a dictionary (possibly containing numpy types) as pretty JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(_to_jsonable(data), handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Read a JSON file written by :func:`save_json`."""
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,51 @@
+"""Lightweight structured logging for training and construction loops."""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from typing import Dict, List, Optional
+
+
+def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
+    """Return a configured logger that writes single-line records to stderr."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+        logger.addHandler(handler)
+        logger.setLevel(level)
+        logger.propagate = False
+    return logger
+
+
+class MetricHistory:
+    """Accumulate scalar metrics over training steps and summarise them.
+
+    The construction and retraining loops record per-iteration accuracy
+    and loss here so experiments can plot or assert on training curves.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[Dict[str, float]] = []
+
+    def log(self, **metrics: float) -> None:
+        record = {"timestamp": time.time()}
+        record.update({key: float(value) for key, value in metrics.items()})
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def latest(self, key: str) -> Optional[float]:
+        for record in reversed(self._records):
+            if key in record:
+                return record[key]
+        return None
+
+    def series(self, key: str) -> List[float]:
+        return [record[key] for record in self._records if key in record]
+
+    def to_dicts(self) -> List[Dict[str, float]]:
+        return [dict(record) for record in self._records]

@@ -1,0 +1,47 @@
+"""Reproducible random-number management.
+
+Every stochastic component of the library (dataset synthesis, weight
+initialisation, batching, dropout) accepts a ``numpy.random.Generator``.
+This module centralises seed handling so that experiments are exactly
+repeatable and independent streams can be derived for sub-components.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+_GLOBAL_SEED = 0
+
+
+def set_seed(seed: int) -> None:
+    """Set the library-wide default seed (also seeds the legacy numpy RNG)."""
+    global _GLOBAL_SEED
+    _GLOBAL_SEED = int(seed)
+    np.random.seed(seed)
+
+
+def get_seed() -> int:
+    """Return the library-wide default seed."""
+    return _GLOBAL_SEED
+
+
+def new_generator(seed: Optional[int] = None) -> np.random.Generator:
+    """Create a fresh :class:`numpy.random.Generator`.
+
+    When ``seed`` is omitted the global seed is used so results stay
+    reproducible by default.
+    """
+    return np.random.default_rng(_GLOBAL_SEED if seed is None else seed)
+
+
+def derive_generator(base: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent generator for sub-component ``stream``.
+
+    Deriving (rather than sharing) generators keeps, for example, data
+    shuffling independent of dropout noise: changing one never perturbs
+    the other.
+    """
+    seed = int(base.integers(0, 2**31 - 1)) + stream
+    return np.random.default_rng(seed)

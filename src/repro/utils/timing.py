@@ -1,0 +1,48 @@
+"""Timing helpers used by the benchmark harness and examples."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+
+class Timer:
+    """Accumulate named wall-clock timings.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.measure("forward"):
+    ...     _ = sum(range(1000))
+    >>> timer.total("forward") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._durations: Dict[str, List[float]] = {}
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._durations.setdefault(name, []).append(elapsed)
+
+    def total(self, name: str) -> float:
+        return float(sum(self._durations.get(name, [])))
+
+    def mean(self, name: str) -> float:
+        values = self._durations.get(name, [])
+        return float(sum(values) / len(values)) if values else 0.0
+
+    def count(self, name: str) -> int:
+        return len(self._durations.get(name, []))
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {"total": self.total(name), "mean": self.mean(name), "count": self.count(name)}
+            for name in self._durations
+        }

@@ -1,0 +1,85 @@
+"""Smoke tests of the experiment runners (run at the SMOKE scale)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    SMOKE,
+    ExperimentScale,
+    dataset_classes,
+    get_scale,
+    minimum_image_size,
+    prepare_data,
+    prepare_spec,
+    run_figure6_case,
+    run_figure8_case,
+    run_incremental_reuse_case,
+    run_table1_case,
+    scaled_config,
+)
+from repro.analysis.metrics import AccuracyMacCurve
+
+
+class TestScalesAndPreparation:
+    def test_get_scale(self):
+        assert get_scale("smoke") is SMOKE
+        with pytest.raises(KeyError):
+            get_scale("gigantic")
+
+    def test_dataset_classes(self):
+        assert dataset_classes("cifar10", SMOKE) == SMOKE.cifar10_classes
+        assert dataset_classes("cifar100", SMOKE) == SMOKE.cifar100_classes
+        with pytest.raises(ValueError):
+            dataset_classes("imagenet", SMOKE)
+
+    def test_minimum_image_size_vgg(self):
+        assert minimum_image_size("vgg-16") == 32
+        assert minimum_image_size("lenet-3c1l") == 8
+
+    def test_prepare_data_loader_shapes(self):
+        train, test, classes = prepare_data("cifar10", SMOKE)
+        x, y = next(iter(train))
+        assert x.shape[1:] == (3, SMOKE.image_size, SMOKE.image_size)
+        assert classes == SMOKE.cifar10_classes
+        assert len(test.dataset) == classes * SMOKE.test_samples_per_class
+
+    def test_prepare_spec_respects_minimum_size(self):
+        spec = prepare_spec("vgg-16", 10, SMOKE)
+        assert spec.input_shape[1] == 32
+
+    def test_scaled_config_inherits_paper_budgets(self):
+        config = scaled_config("lenet-5", SMOKE)
+        assert config.mac_budgets == (0.15, 0.30, 0.60, 0.85)
+        assert config.num_iterations == SMOKE.num_iterations
+
+
+class TestRunners:
+    def test_table1_case_row_format(self):
+        row = run_table1_case("lenet-3c1l", "cifar10", scale=SMOKE)
+        assert row["network"] == "lenet-3c1l"
+        assert row["dataset"] == "cifar10"
+        for index in range(1, 5):
+            assert 0.0 <= row[f"A{index}"] <= 1.0
+            assert 0.0 < row[f"M{index}/Mt"] <= 1.0
+        # MAC ratios are increasing across subnets.
+        fractions = [row[f"M{index}/Mt"] for index in range(1, 5)]
+        assert fractions == sorted(fractions)
+
+    def test_figure6_case_returns_three_curves(self):
+        curves = run_figure6_case("lenet-3c1l", "cifar10", scale=SMOKE)
+        assert set(curves) == {"steppingnet", "any_width", "slimmable"}
+        for curve in curves.values():
+            assert isinstance(curve, AccuracyMacCurve)
+            assert len(curve.mac_fractions) == 4
+
+    def test_figure8_case_variants(self):
+        results = run_figure8_case("lenet-3c1l", "cifar10", scale=SMOKE)
+        assert set(results) == {"steppingnet", "wo_weight_suppression", "wo_knowledge_distillation"}
+        for accuracies in results.values():
+            assert len(accuracies) == 4
+
+    def test_incremental_reuse_case_savings_positive(self):
+        report = run_incremental_reuse_case("lenet-3c1l", "cifar10", scale=SMOKE)
+        assert report["total_macs_with_reuse"] < report["total_macs_without_reuse"]
+        assert 0.0 < report["savings_fraction"] < 1.0
+        assert len(report["steps"]) == 4

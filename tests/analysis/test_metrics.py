@@ -1,0 +1,100 @@
+"""Tests for evaluation metrics and accuracy-vs-MAC curves."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    AccuracyMacCurve,
+    confusion_matrix,
+    monotonic_violations,
+    per_class_accuracy,
+    top_k_accuracy,
+)
+
+
+class TestTopK:
+    def test_top1_matches_argmax_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.7, 0.3]])
+        labels = np.array([0, 1, 1])
+        assert top_k_accuracy(logits, labels, k=1) == pytest.approx(2 / 3)
+
+    def test_top_k_equal_classes_is_one(self):
+        logits = np.random.default_rng(0).standard_normal((10, 4))
+        labels = np.random.default_rng(1).integers(0, 4, size=10)
+        assert top_k_accuracy(logits, labels, k=4) == 1.0
+
+    def test_k_larger_than_classes_clamped(self):
+        logits = np.array([[1.0, 0.0]])
+        assert top_k_accuracy(logits, np.array([1]), k=10) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((1, 2)), np.array([0]), k=0)
+
+
+class TestConfusion:
+    def test_matrix_counts(self):
+        predictions = np.array([0, 1, 1, 2])
+        labels = np.array([0, 1, 2, 2])
+        matrix = confusion_matrix(predictions, labels, 3)
+        assert matrix[0, 0] == 1
+        assert matrix[2, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(3), np.zeros(4), 2)
+
+    def test_per_class_accuracy_handles_empty_class(self):
+        accuracy = per_class_accuracy(np.array([0, 0]), np.array([0, 0]), num_classes=3)
+        assert accuracy[0] == 1.0
+        assert accuracy[2] == 0.0
+
+
+class TestAccuracyMacCurve:
+    def test_sorts_by_mac(self):
+        curve = AccuracyMacCurve("m", [0.8, 0.2], [0.9, 0.5])
+        assert curve.mac_fractions == [0.2, 0.8]
+        assert curve.accuracies == [0.5, 0.9]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            AccuracyMacCurve("m", [0.1], [0.5, 0.6])
+
+    def test_interpolation(self):
+        curve = AccuracyMacCurve("m", [0.0, 1.0], [0.0, 1.0])
+        assert curve.interpolate(0.25) == pytest.approx(0.25)
+
+    def test_area_under_curve(self):
+        curve = AccuracyMacCurve("m", [0.0, 1.0], [1.0, 1.0])
+        assert curve.area_under_curve() == pytest.approx(1.0)
+
+    def test_single_point_curve_has_zero_area(self):
+        assert AccuracyMacCurve("m", [0.5], [0.7]).area_under_curve() == 0.0
+
+    def test_dominates(self):
+        better = AccuracyMacCurve("a", [0.1, 0.9], [0.6, 0.9])
+        worse = AccuracyMacCurve("b", [0.1, 0.9], [0.4, 0.8])
+        assert better.dominates(worse) == pytest.approx(1.0)
+        assert worse.dominates(better) == pytest.approx(0.0)
+
+    def test_dominates_disjoint_ranges(self):
+        a = AccuracyMacCurve("a", [0.1, 0.2], [0.5, 0.6])
+        b = AccuracyMacCurve("b", [0.8, 0.9], [0.5, 0.6])
+        assert a.dominates(b) == 0.0
+
+    def test_as_rows(self):
+        rows = AccuracyMacCurve("m", [0.5], [0.7]).as_rows()
+        assert rows == [{"method": "m", "mac_fraction": 0.5, "accuracy": 0.7}]
+
+
+class TestMonotonicViolations:
+    def test_counts_decreases(self):
+        assert monotonic_violations([0.1, 0.3, 0.2, 0.4, 0.35]) == 2
+
+    def test_tolerance_forgives_small_dips(self):
+        assert monotonic_violations([0.5, 0.49], tolerance=0.02) == 0
+
+    def test_perfectly_increasing(self):
+        assert monotonic_violations([0.1, 0.2, 0.3]) == 0

@@ -1,0 +1,68 @@
+"""Tests for report/table emitters."""
+
+from repro.analysis.metrics import AccuracyMacCurve
+from repro.analysis.reporting import (
+    ascii_curve,
+    ascii_grouped_bars,
+    format_curves,
+    format_experiment_header,
+    format_markdown_table,
+    format_table1,
+)
+
+
+class TestMarkdownTable:
+    def test_header_and_rows(self):
+        rows = [{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25}]
+        table = format_markdown_table(rows)
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert "| 1 | 0.5000 |" in table
+        assert len(lines) == 4
+
+    def test_empty(self):
+        assert format_markdown_table([]) == "(no rows)"
+
+    def test_column_selection_and_missing_values(self):
+        table = format_markdown_table([{"a": 1}], columns=["a", "missing"])
+        assert "missing" in table
+
+    def test_table1_layout(self):
+        rows = [{
+            "network": "lenet-3c1l", "dataset": "cifar10", "orig_accuracy": 0.8336,
+            "A1": 0.685, "M1/Mt": 0.0965, "A2": 0.7738, "M2/Mt": 0.2955,
+        }]
+        table = format_table1(rows)
+        assert "| network | dataset | orig_accuracy | A1 | M1/Mt | A2 | M2/Mt |" in table
+        assert "lenet-3c1l" in table
+
+
+class TestCurveRendering:
+    def _curve(self):
+        return AccuracyMacCurve("SteppingNet", [0.1, 0.5, 0.9], [0.6, 0.75, 0.8])
+
+    def test_format_curves_contains_all_methods(self):
+        other = AccuracyMacCurve("Slimmable Net.", [0.1, 0.9], [0.5, 0.7])
+        text = format_curves([self._curve(), other])
+        assert "SteppingNet" in text and "Slimmable Net." in text
+
+    def test_ascii_curve_one_line_per_point(self):
+        text = ascii_curve(self._curve())
+        assert text.count("MAC") == 3
+        assert "acc" in text
+
+    def test_ascii_curve_empty(self):
+        assert "(empty)" in ascii_curve(AccuracyMacCurve("x", [], []))
+
+    def test_ascii_grouped_bars(self):
+        groups = {"SteppingNet": [0.6, 0.7], "w/o KD": [0.5, 0.65]}
+        text = ascii_grouped_bars(groups, ["Subnet1", "Subnet2"])
+        assert "Subnet1" in text and "SteppingNet" in text
+
+    def test_ascii_grouped_bars_empty(self):
+        assert ascii_grouped_bars({}, []) == "(no data)"
+
+    def test_header(self):
+        header = format_experiment_header("Table I", "Accuracy of subnets")
+        assert "Table I" in header and "Accuracy of subnets" in header

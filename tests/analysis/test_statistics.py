@@ -1,0 +1,125 @@
+"""Tests for the multi-seed statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import (
+    aggregate_curves,
+    bootstrap_ci,
+    paired_comparison,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_single_value(self):
+        stats = summarize([0.7])
+        assert stats.mean == pytest.approx(0.7)
+        assert stats.std == 0.0
+        assert stats.ci_low == stats.ci_high == pytest.approx(0.7)
+
+    def test_mean_and_std(self):
+        stats = summarize([0.4, 0.6])
+        assert stats.mean == pytest.approx(0.5)
+        assert stats.std == pytest.approx(np.std([0.4, 0.6], ddof=1))
+        assert stats.count == 2
+
+    def test_ci_contains_mean(self):
+        stats = summarize([0.3, 0.5, 0.7, 0.4])
+        assert stats.ci_low <= stats.mean <= stats.ci_high
+
+    def test_higher_confidence_widens_interval(self):
+        values = [0.3, 0.5, 0.7, 0.4, 0.6]
+        narrow = summarize(values, confidence=0.8)
+        wide = summarize(values, confidence=0.99)
+        assert (wide.ci_high - wide.ci_low) > (narrow.ci_high - narrow.ci_low)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            summarize([0.5], confidence=1.0)
+
+    def test_as_dict(self):
+        assert set(summarize([0.5, 0.6]).as_dict()) == {"mean", "std", "count", "ci_low", "ci_high"}
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=12))
+    def test_ci_always_brackets_mean(self, values):
+        stats = summarize(values)
+        assert stats.ci_low <= stats.mean + 1e-12
+        assert stats.ci_high >= stats.mean - 1e-12
+
+
+class TestPairedComparison:
+    def test_all_wins(self):
+        result = paired_comparison([0.8, 0.9], [0.5, 0.6])
+        assert result.wins == 2 and result.losses == 0
+        assert result.win_rate == 1.0
+        assert result.mean_difference == pytest.approx(0.3)
+
+    def test_ties_with_tolerance(self):
+        result = paired_comparison([0.50, 0.52], [0.51, 0.50], tie_tolerance=0.05)
+        assert result.ties == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            paired_comparison([0.5], [0.5, 0.6])
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            paired_comparison([0.5], [0.4], tie_tolerance=-0.1)
+
+    def test_as_dict(self):
+        payload = paired_comparison([0.6], [0.4]).as_dict()
+        assert payload["wins"] == 1
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_estimate(self):
+        result = bootstrap_ci([0.4, 0.5, 0.6, 0.55, 0.45], seed=1)
+        assert result["ci_low"] <= result["estimate"] <= result["ci_high"]
+
+    def test_reproducible_with_seed(self):
+        a = bootstrap_ci([0.4, 0.5, 0.6], seed=7)
+        b = bootstrap_ci([0.4, 0.5, 0.6], seed=7)
+        assert a == b
+
+    def test_custom_statistic(self):
+        result = bootstrap_ci([1.0, 2.0, 3.0], statistic=np.median, seed=0)
+        assert result["estimate"] == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_invalid_resamples(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([0.5], num_resamples=0)
+
+
+class TestAggregateCurves:
+    def test_pointwise_mean(self):
+        result = aggregate_curves([[0.2, 0.4], [0.4, 0.6]])
+        assert result["mean"] == pytest.approx([0.3, 0.5])
+
+    def test_min_max_envelope(self):
+        result = aggregate_curves([[0.2, 0.4], [0.4, 0.6]])
+        assert result["min"] == pytest.approx([0.2, 0.4])
+        assert result["max"] == pytest.approx([0.4, 0.6])
+
+    def test_single_curve_zero_std(self):
+        result = aggregate_curves([[0.1, 0.2, 0.3]])
+        assert result["std"] == [0.0, 0.0, 0.0]
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_curves([[0.1], [0.1, 0.2]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_curves([])

@@ -1,0 +1,70 @@
+"""Tests for the any-width network baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.any_width import build_any_width_network, train_any_width
+from repro.core.config import SteppingConfig, TrainingConfig
+from repro.core.incremental import IncrementalInference
+from repro.data import DataLoader
+from repro.nn.tensor import no_grad
+
+
+@pytest.fixture
+def budgets():
+    return (0.3, 0.6, 0.95)
+
+
+class TestBuild:
+    def test_macs_within_budgets(self, tiny_spec, budgets, rng):
+        network = build_any_width_network(tiny_spec, budgets, rng=rng)
+        reference = tiny_spec.total_macs()
+        for subnet, budget in enumerate(budgets):
+            assert network.subnet_macs(subnet, apply_prune=False) <= budget * reference * 1.02
+
+    def test_structural_constraint_enabled(self, tiny_spec, budgets, rng):
+        network = build_any_width_network(tiny_spec, budgets, rng=rng)
+        for layer in network.param_layers[:-1]:
+            assert layer.enforce_incremental
+
+    def test_prefix_pattern(self, tiny_spec, budgets, rng):
+        network = build_any_width_network(tiny_spec, budgets, rng=rng)
+        for block in network.parametric_blocks():
+            if block.is_output:
+                continue
+            assert np.all(np.diff(block.layer.assignment.unit_subnet) >= 0)
+
+    def test_incremental_reuse_is_exact(self, tiny_spec, budgets, rng, image_batch):
+        """Any-width shares SteppingNet's reuse property (regular structure)."""
+        network = build_any_width_network(tiny_spec, budgets, rng=rng)
+        x, _ = image_batch
+        engine = IncrementalInference(network)
+        engine.run(x, subnet=0)
+        stepped = engine.step_to(2)
+        network.eval()
+        with no_grad():
+            direct = network.forward(x, subnet=2).data
+        np.testing.assert_allclose(stepped.logits, direct, atol=1e-10)
+
+
+class TestTrain:
+    def test_training_produces_valid_result(self, tiny_spec, image_dataset):
+        loader = DataLoader(image_dataset, batch_size=16, shuffle=True, seed=0)
+        config = SteppingConfig(
+            mac_budgets=(0.3, 0.6, 0.8, 0.95),
+            num_iterations=1,
+            batches_per_iteration=1,
+            training=TrainingConfig(learning_rate=0.05, batch_size=16),
+        )
+        result = train_any_width(tiny_spec, loader, loader, config, epochs=2)
+        assert len(result.subnet_accuracies) == 4
+        assert len(result.mac_fractions) == 4
+        assert all(0.0 <= a <= 1.0 for a in result.subnet_accuracies)
+        assert all(f2 >= f1 for f1, f2 in zip(result.mac_fractions, result.mac_fractions[1:]))
+        assert result.subnet_accuracies[-1] > 1.0 / 4 - 0.01  # at least near chance
+
+    def test_width_fractions_reported_non_decreasing(self, tiny_spec, image_dataset):
+        loader = DataLoader(image_dataset, batch_size=16, shuffle=True, seed=0)
+        config = SteppingConfig(mac_budgets=(0.4, 0.7, 0.95), num_iterations=1)
+        result = train_any_width(tiny_spec, loader, loader, config, epochs=1)
+        assert all(b >= a for a, b in zip(result.width_fractions, result.width_fractions[1:]))

@@ -1,0 +1,62 @@
+"""Tests for prefix-assignment installation and MAC calibration."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import calibrate_width_fractions, set_prefix_assignments
+from repro.core.network import SteppingNetwork
+
+
+@pytest.fixture
+def network(tiny_spec, rng):
+    return SteppingNetwork(tiny_spec, num_subnets=3, rng=rng)
+
+
+class TestSetPrefixAssignments:
+    def test_prefix_blocks_installed(self, network):
+        set_prefix_assignments(network, [0.3, 0.6, 1.0])
+        for block in network.parametric_blocks():
+            if block.is_output:
+                continue
+            assignment = block.layer.assignment.unit_subnet
+            # Prefix structure: assignments are non-decreasing along the unit index.
+            assert np.all(np.diff(assignment) >= 0)
+
+    def test_output_layer_untouched(self, network):
+        set_prefix_assignments(network, [0.3, 0.6, 1.0])
+        assert network.output_layer.assignment.active_count(0) == 4
+
+    def test_fraction_validation(self, network):
+        with pytest.raises(ValueError):
+            set_prefix_assignments(network, [0.5, 0.4, 1.0])
+        with pytest.raises(ValueError):
+            set_prefix_assignments(network, [0.0, 0.5, 1.0])
+        with pytest.raises(ValueError):
+            set_prefix_assignments(network, [0.5, 1.0])
+
+    def test_macs_grow_with_fraction(self, network):
+        set_prefix_assignments(network, [0.2, 0.5, 1.0])
+        macs = [network.subnet_macs(i, apply_prune=False) for i in range(3)]
+        assert macs[0] < macs[1] < macs[2]
+
+
+class TestCalibration:
+    def test_calibrated_macs_within_budgets(self, network, tiny_spec):
+        budgets = [0.3, 0.6, 0.95]
+        calibrate_width_fractions(network, budgets, reference_macs=tiny_spec.total_macs())
+        reference = tiny_spec.total_macs()
+        for subnet, budget in enumerate(budgets):
+            fraction = network.subnet_macs(subnet, apply_prune=False) / reference
+            assert fraction <= budget * 1.02
+
+    def test_fractions_are_non_decreasing(self, network, tiny_spec):
+        fractions = calibrate_width_fractions(network, [0.3, 0.6, 0.95], tiny_spec.total_macs())
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_large_budget_approaches_full_width(self, network, tiny_spec):
+        fractions = calibrate_width_fractions(network, [0.3, 0.6, 1.0], tiny_spec.total_macs())
+        assert fractions[-1] > 0.9
+
+    def test_assignment_valid_after_calibration(self, network, tiny_spec):
+        calibrate_width_fractions(network, [0.3, 0.6, 0.95], tiny_spec.total_macs())
+        network.assignment.validate()

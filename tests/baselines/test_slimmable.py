@@ -1,0 +1,83 @@
+"""Tests for the slimmable network baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.slimmable import (
+    SlimmableNetwork,
+    SwitchableBatchNorm,
+    build_slimmable_network,
+    train_slimmable,
+)
+from repro.core.config import SteppingConfig, TrainingConfig
+from repro.data import DataLoader
+from repro.nn.tensor import Tensor, no_grad
+
+
+@pytest.fixture
+def budgets():
+    return (0.3, 0.6, 0.95)
+
+
+class TestSwitchableBatchNorm:
+    def test_each_width_has_independent_statistics(self):
+        norm = SwitchableBatchNorm(3, num_subnets=2, dims=2)
+        x = Tensor(np.random.default_rng(0).standard_normal((8, 3, 4, 4)) + 5.0)
+        active = np.array([True, True, True])
+        norm.active_subnet = 0
+        norm(x, active)
+        norm.active_subnet = 1
+        # Width 1's statistics were never updated by width 0's forward pass.
+        assert norm.copies[1].running_mean.sum() == pytest.approx(0.0)
+        assert norm.copies[0].running_mean.sum() != pytest.approx(0.0)
+
+    def test_parameter_count_scales_with_subnets(self):
+        assert len(list(SwitchableBatchNorm(3, 4).parameters())) == 8
+
+
+class TestBuild:
+    def test_structural_constraint_disabled(self, tiny_spec, budgets, rng):
+        network = build_slimmable_network(tiny_spec, budgets, rng=rng)
+        for layer in network.param_layers:
+            assert not layer.enforce_incremental
+
+    def test_norms_are_switchable(self, tiny_spec, budgets, rng):
+        network = build_slimmable_network(tiny_spec, budgets, rng=rng)
+        norm_blocks = [b for b in network.parametric_blocks() if b.norm is not None]
+        assert norm_blocks
+        assert all(isinstance(b.norm, SwitchableBatchNorm) for b in norm_blocks)
+
+    def test_macs_within_budgets(self, tiny_spec, budgets, rng):
+        network = build_slimmable_network(tiny_spec, budgets, rng=rng)
+        reference = tiny_spec.total_macs()
+        for subnet, budget in enumerate(budgets):
+            assert network.subnet_macs(subnet, apply_prune=False) <= budget * reference * 1.02
+
+    def test_smaller_width_output_changes_when_width_grows(self, tiny_spec, budgets, rng, image_batch):
+        """The slimmable network has no reuse guarantee: a unit's inputs differ per width."""
+        x, _ = image_batch
+        network = build_slimmable_network(tiny_spec, budgets, rng=rng)
+        network.eval()
+        first_block = network.parametric_blocks()[1]  # second conv: inputs differ across widths
+        with no_grad():
+            _, cache_small = network.forward(x, subnet=0, return_cache=True)
+            _, cache_large = network.forward(x, subnet=2, return_cache=True)
+        idx = first_block.param_index
+        active_small = first_block.layer.assignment.active_mask(0)
+        small_vals = cache_small[idx][:, active_small]
+        large_vals = cache_large[idx][:, active_small]
+        assert not np.allclose(small_vals, large_vals)
+
+
+class TestTrain:
+    def test_training_produces_valid_result(self, tiny_spec, image_dataset):
+        loader = DataLoader(image_dataset, batch_size=16, shuffle=True, seed=0)
+        config = SteppingConfig(
+            mac_budgets=(0.3, 0.6, 0.8, 0.95),
+            num_iterations=1,
+            training=TrainingConfig(learning_rate=0.05, batch_size=16),
+        )
+        result = train_slimmable(tiny_spec, loader, loader, config, epochs=2)
+        assert len(result.subnet_accuracies) == 4
+        assert all(0.0 <= a <= 1.0 for a in result.subnet_accuracies)
+        assert isinstance(result.network, SlimmableNetwork)

@@ -1,0 +1,44 @@
+"""Tests for the static width-multiplier baseline."""
+
+import pytest
+
+from repro.baselines.width_multiplier import (
+    calibrate_multipliers,
+    mac_fraction_for_multiplier,
+    train_width_multiplier_family,
+)
+from repro.core.config import TrainingConfig
+from repro.data import DataLoader
+from repro.models import tiny_cnn
+
+
+class TestCalibration:
+    def test_mac_fraction_for_unit_multiplier(self):
+        spec = tiny_cnn(input_shape=(3, 12, 12))
+        assert mac_fraction_for_multiplier(spec, 1.0) == pytest.approx(1.0)
+
+    def test_mac_fraction_grows_with_multiplier(self):
+        spec = tiny_cnn(input_shape=(3, 12, 12))
+        assert mac_fraction_for_multiplier(spec, 0.5) < mac_fraction_for_multiplier(spec, 1.0)
+
+    def test_calibrated_multipliers_meet_budgets(self):
+        spec = tiny_cnn(width_scale=2.0, input_shape=(3, 12, 12))
+        budgets = [0.3, 0.6, 0.9]
+        multipliers = calibrate_multipliers(spec, budgets)
+        for multiplier, budget in zip(multipliers, budgets):
+            assert mac_fraction_for_multiplier(spec, multiplier) <= budget
+        assert all(b >= a for a, b in zip(multipliers, multipliers[1:]))
+
+
+class TestTraining:
+    def test_family_trains_one_model_per_budget(self, tiny_spec, image_dataset):
+        loader = DataLoader(image_dataset, batch_size=16, shuffle=True, seed=0)
+        result = train_width_multiplier_family(
+            tiny_spec, loader, loader, mac_budgets=[0.4, 0.9], epochs=1,
+            training=TrainingConfig(learning_rate=0.05),
+        )
+        assert len(result.models) == 2
+        assert len(result.accuracies) == 2
+        assert result.total_stored_parameters > result.models[0].num_parameters()
+        points = result.operating_points()
+        assert points[0]["mac_fraction"] <= 0.4

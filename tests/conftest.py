@@ -1,0 +1,129 @@
+"""Shared fixtures and helpers for the test suite.
+
+Expensive artefacts (trained tiny networks) are session-scoped so the
+suite stays fast while still exercising realistic end-to-end behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import SMOKE, prepare_data, prepare_spec, scaled_config
+from repro.core import SteppingConfig, SteppingNetwork, TrainingConfig, build_steppingnet
+from repro.data import DataLoader, SyntheticCIFAR, SyntheticImageConfig, SyntheticVectors
+from repro.models import lenet_3c1l, mlp, tiny_cnn
+from repro.utils import set_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    """Keep every test deterministic regardless of execution order."""
+    set_seed(0)
+    np.random.seed(0)
+    yield
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+# ----------------------------------------------------------------------
+# Small data fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def vector_dataset():
+    return SyntheticVectors(num_classes=4, dim=16, samples_per_class=16, seed=0)
+
+
+@pytest.fixture
+def image_dataset():
+    config = SyntheticImageConfig(num_classes=4, image_size=12, samples_per_class=8, seed=0)
+    return SyntheticCIFAR(config, train=True)
+
+
+@pytest.fixture
+def image_loader(image_dataset):
+    return DataLoader(image_dataset, batch_size=16, shuffle=True, seed=0)
+
+
+@pytest.fixture
+def image_batch(image_loader):
+    return next(iter(image_loader))
+
+
+# ----------------------------------------------------------------------
+# Small model / network fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def tiny_spec():
+    """A tiny CNN spec matching the 12x12 synthetic images."""
+    return tiny_cnn(num_classes=4, input_shape=(3, 12, 12), width_scale=0.5)
+
+
+@pytest.fixture
+def mlp_spec():
+    return mlp(num_classes=4, input_dim=16, hidden=(12, 8))
+
+
+@pytest.fixture
+def stepping_config():
+    return SteppingConfig(
+        mac_budgets=(0.15, 0.4, 0.7, 0.9),
+        expansion_ratio=1.5,
+        num_iterations=4,
+        batches_per_iteration=1,
+        retrain_epochs=1,
+        teacher_epochs=1,
+        training=TrainingConfig(learning_rate=0.05, batch_size=16),
+    )
+
+
+@pytest.fixture
+def stepping_network(tiny_spec, rng):
+    return SteppingNetwork(tiny_spec.expand(1.5), num_subnets=4, rng=rng)
+
+
+@pytest.fixture(scope="session")
+def trained_smoke_result():
+    """A fully built SteppingNet at smoke scale, shared by integration tests."""
+    train_loader, test_loader, num_classes = prepare_data("cifar10", SMOKE)
+    spec = prepare_spec("lenet-3c1l", num_classes, SMOKE)
+    config = scaled_config("lenet-3c1l", SMOKE)
+    return build_steppingnet(spec, train_loader, test_loader, config), test_loader
+
+
+# ----------------------------------------------------------------------
+# Numerical gradient checking
+# ----------------------------------------------------------------------
+def numerical_gradient(func, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``func`` w.r.t. ``array``."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = func()
+        flat[index] = original - eps
+        minus = func()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+@pytest.fixture
+def gradcheck():
+    """Return a helper asserting autograd gradients match numerical gradients."""
+
+    def check(build_loss, tensors, rtol=1e-4, atol=1e-6):
+        """``build_loss()`` must rebuild the scalar loss Tensor from ``tensors``."""
+        loss = build_loss()
+        loss.backward()
+        for tensor in tensors:
+            analytic = tensor.grad.copy()
+            numeric = numerical_gradient(lambda: build_loss().item(), tensor.data)
+            np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+    return check

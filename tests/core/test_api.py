@@ -1,0 +1,89 @@
+"""End-to-end tests of the high-level SteppingNet design flow."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import monotonic_violations
+from repro.core.api import build_stepping_network, build_steppingnet
+from repro.core.config import SteppingConfig
+
+
+class TestBuildSteppingNetwork:
+    def test_expansion_applied(self, tiny_spec, stepping_config):
+        network = build_stepping_network(tiny_spec, stepping_config)
+        expanded_units = network.spec.hidden_unit_counts()
+        original_units = tiny_spec.hidden_unit_counts()
+        assert expanded_units[0] > original_units[0]
+        assert network.num_subnets == stepping_config.num_subnets
+
+    def test_seed_reproducibility(self, tiny_spec, stepping_config):
+        a = build_stepping_network(tiny_spec, stepping_config)
+        b = build_stepping_network(tiny_spec, stepping_config)
+        np.testing.assert_allclose(
+            a.param_layers[0].weight.data, b.param_layers[0].weight.data
+        )
+
+
+class TestFullFlow:
+    def test_smoke_flow_produces_consistent_result(self, trained_smoke_result):
+        result, test_loader = trained_smoke_result
+        config = result.config
+        # One accuracy and one MAC fraction per subnet.
+        assert len(result.subnet_accuracies) == config.num_subnets
+        assert len(result.mac_fractions) == config.num_subnets
+        # MAC budgets hold (small tolerance for integer rounding).
+        for fraction, budget in zip(result.mac_fractions, config.mac_budgets):
+            assert fraction <= budget + 0.02
+        # Accuracies are valid probabilities-of-correctness.
+        assert all(0.0 <= a <= 1.0 for a in result.subnet_accuracies)
+        assert 0.0 <= result.teacher_accuracy <= 1.0
+
+    def test_smoke_flow_accuracy_is_mostly_monotone(self, trained_smoke_result):
+        result, _ = trained_smoke_result
+        # Incremental accuracy enhancement: allow at most one small dip at
+        # smoke scale, where training is only a handful of batches.
+        assert monotonic_violations(result.subnet_accuracies, tolerance=0.05) <= 1
+
+    def test_smoke_flow_beats_chance(self, trained_smoke_result):
+        result, _ = trained_smoke_result
+        chance = 1.0 / result.spec.num_classes
+        assert result.subnet_accuracies[-1] > chance
+
+    def test_table_row_contains_all_columns(self, trained_smoke_result):
+        result, _ = trained_smoke_result
+        row = result.table_row()
+        assert row["network"] == result.spec.name
+        for index in range(1, result.config.num_subnets + 1):
+            assert f"A{index}" in row
+            assert f"M{index}/Mt" in row
+
+    def test_construction_result_attached(self, trained_smoke_result):
+        result, _ = trained_smoke_result
+        assert result.construction.num_iterations >= 1
+        assert result.construction.mac_targets
+
+    def test_incremental_property_preserved_after_full_flow(self, trained_smoke_result):
+        """After training, stepping up still reproduces the direct forward pass."""
+        from repro.core.incremental import IncrementalInference
+        from repro.nn.tensor import no_grad
+
+        result, test_loader = trained_smoke_result
+        network = result.network
+        inputs, _ = next(iter(test_loader))
+        engine = IncrementalInference(network)
+        engine.run(inputs, subnet=0)
+        stepped = engine.step_to(network.num_subnets - 1)
+        network.eval()
+        with no_grad():
+            direct = network.forward(inputs, subnet=network.num_subnets - 1).data
+        np.testing.assert_allclose(stepped.logits, direct, atol=1e-8)
+
+    def test_reusing_pretrained_teacher_skips_training(self, trained_smoke_result, tiny_spec):
+        """Passing an existing teacher must not retrain it (weights unchanged)."""
+        result, test_loader = trained_smoke_result
+        teacher = result.teacher
+        weights_before = [p.data.copy() for p in teacher.parameters()]
+        config = result.config.with_overrides(num_iterations=1, retrain_epochs=1)
+        build_steppingnet(result.spec, test_loader, test_loader, config, teacher=teacher)
+        for before, param in zip(weights_before, teacher.parameters()):
+            np.testing.assert_allclose(before, param.data)

@@ -1,0 +1,139 @@
+"""Tests for subnet assignments (nesting, moves, the unused pool)."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import LayerAssignment, SubnetAssignment, prefix_assignment
+
+
+class TestLayerAssignment:
+    def test_all_units_start_in_smallest_subnet(self):
+        layer = LayerAssignment(8, 4)
+        assert layer.active_count(0) == 8
+        np.testing.assert_array_equal(layer.counts_per_subnet(), [8, 0, 0, 0, 0])
+
+    def test_move_units_changes_membership(self):
+        layer = LayerAssignment(6, 3)
+        layer.move_units([0, 1], to_subnet=1)
+        assert layer.active_count(0) == 4
+        assert layer.active_count(1) == 6
+        np.testing.assert_array_equal(layer.units_in_exactly(1), [0, 1])
+
+    def test_move_to_unused_removes_from_all_subnets(self):
+        layer = LayerAssignment(4, 2)
+        layer.move_units([3], to_subnet=layer.UNUSED)
+        assert layer.active_count(1) == 3
+        np.testing.assert_array_equal(layer.unused_units(), [3])
+
+    def test_cannot_move_backwards(self):
+        layer = LayerAssignment(4, 3)
+        layer.move_units([0], 2)
+        with pytest.raises(ValueError, match="nesting"):
+            layer.move_units([0], 1)
+
+    def test_move_empty_list_is_noop(self):
+        layer = LayerAssignment(4, 3)
+        layer.move_units([], 1)
+        assert layer.active_count(0) == 4
+
+    def test_frozen_layer_rejects_moves(self):
+        layer = LayerAssignment(4, 3, frozen=True)
+        with pytest.raises(RuntimeError):
+            layer.move_units([0], 1)
+
+    def test_out_of_range_unit_index(self):
+        layer = LayerAssignment(4, 3)
+        with pytest.raises(IndexError):
+            layer.move_units([7], 1)
+
+    def test_out_of_range_subnet_query(self):
+        layer = LayerAssignment(4, 3)
+        with pytest.raises(IndexError):
+            layer.active_mask(3)
+
+    def test_set_assignment_validates_shape_and_range(self):
+        layer = LayerAssignment(4, 2)
+        with pytest.raises(ValueError):
+            layer.set_assignment([0, 1])
+        with pytest.raises(ValueError):
+            layer.set_assignment([0, 1, 5, 0])
+        layer.set_assignment([0, 1, 1, layer.UNUSED])
+        assert layer.active_count(1) == 3
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LayerAssignment(0, 2)
+        with pytest.raises(ValueError):
+            LayerAssignment(4, 0)
+
+    def test_nesting_active_masks(self):
+        layer = LayerAssignment(6, 3)
+        layer.move_units([0, 1], 1)
+        layer.move_units([2], 2)
+        for small, large in ((0, 1), (1, 2)):
+            assert np.all(layer.active_mask(small) <= layer.active_mask(large))
+
+
+class TestSubnetAssignment:
+    def _make(self):
+        layers = [LayerAssignment(6, 3, name="a"), LayerAssignment(4, 3, name="b")]
+        return SubnetAssignment(layers, min_units=1)
+
+    def test_validate_passes_on_fresh_assignment(self):
+        self._make().validate()
+
+    def test_validate_detects_empty_smallest_subnet(self):
+        assignment = self._make()
+        assignment.layers[1].unit_subnet[:] = 2  # nothing left in subnet 0
+        with pytest.raises(ValueError, match="smallest"):
+            assignment.validate()
+
+    def test_by_name(self):
+        assignment = self._make()
+        assert assignment.by_name("b").num_units == 4
+        with pytest.raises(KeyError):
+            assignment.by_name("missing")
+
+    def test_summary_counts(self):
+        assignment = self._make()
+        assignment.layers[0].move_units([0], 1)
+        summary = assignment.summary()
+        assert summary["a"] == [5, 6, 6]
+        assert summary["b"] == [4, 4, 4]
+
+    def test_copy_is_deep(self):
+        assignment = self._make()
+        clone = assignment.copy()
+        clone.layers[0].move_units([0], 2)
+        assert assignment.layers[0].active_count(0) == 6
+
+    def test_requires_consistent_subnet_counts(self):
+        with pytest.raises(ValueError):
+            SubnetAssignment([LayerAssignment(4, 2), LayerAssignment(4, 3)])
+
+    def test_movable_units_respects_frozen_and_last_subnet(self):
+        layers = [LayerAssignment(6, 3, name="a"), LayerAssignment(4, 3, name="out", frozen=True)]
+        assignment = SubnetAssignment(layers)
+        assert assignment.movable_units(1, 0).size == 0
+        assert assignment.movable_units(0, 2).size == 0
+        assert assignment.movable_units(0, 0).size == 6
+
+
+class TestPrefixAssignment:
+    def test_blocks_are_contiguous_and_ordered(self):
+        layer = prefix_assignment(10, 3, [0.3, 0.6, 1.0])
+        np.testing.assert_array_equal(layer.unit_subnet, [0, 0, 0, 1, 1, 1, 2, 2, 2, 2])
+
+    def test_minimum_one_unit_in_first_subnet(self):
+        layer = prefix_assignment(10, 2, [0.01, 1.0])
+        assert layer.active_count(0) >= 1
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            prefix_assignment(10, 2, [0.8, 0.5])
+        with pytest.raises(ValueError):
+            prefix_assignment(10, 3, [0.5, 1.0])
+
+    def test_frozen_prefix_keeps_everything_in_subnet_zero(self):
+        layer = prefix_assignment(5, 3, [0.2, 0.5, 1.0], frozen=True)
+        assert layer.active_count(0) == 5

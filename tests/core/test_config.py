@@ -1,0 +1,77 @@
+"""Tests for the SteppingNet configuration dataclasses."""
+
+import pytest
+
+from repro.core.config import PAPER_CONFIGS, SteppingConfig, TrainingConfig, paper_config
+
+
+class TestTrainingConfig:
+    def test_defaults_valid(self):
+        TrainingConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"learning_rate": 0.0},
+        {"momentum": 1.0},
+        {"batch_size": 0},
+    ])
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainingConfig(**kwargs)
+
+
+class TestSteppingConfig:
+    def test_defaults_match_paper(self):
+        config = SteppingConfig()
+        assert config.num_subnets == 4
+        assert config.beta == pytest.approx(0.9)
+        assert config.gamma == pytest.approx(0.4)
+        assert config.prune_threshold == pytest.approx(1e-5)
+        assert config.alpha_growth == pytest.approx(1.5)
+
+    def test_alphas_grow_by_factor(self):
+        alphas = SteppingConfig().alphas()
+        assert alphas[0] == pytest.approx(1.0)
+        for small, large in zip(alphas, alphas[1:]):
+            assert large == pytest.approx(small * 1.5)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mac_budgets": (0.5,)},                       # needs at least two subnets
+        {"mac_budgets": (0.5, 0.3)},                   # not increasing
+        {"mac_budgets": (0.0, 0.5)},                   # fraction out of range
+        {"mac_budgets": (0.2, 1.5)},                   # fraction above one
+        {"expansion_ratio": 0.0},
+        {"num_iterations": 0},
+        {"batches_per_iteration": 0},
+        {"beta": 0.0},
+        {"gamma": 1.5},
+        {"alpha_growth": 0.0},
+        {"min_units_per_layer": 0},
+    ])
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ValueError):
+            SteppingConfig(**kwargs)
+
+    def test_with_overrides_returns_new_instance(self):
+        config = SteppingConfig()
+        other = config.with_overrides(beta=0.5)
+        assert other.beta == 0.5
+        assert config.beta == 0.9
+
+
+class TestPaperConfigs:
+    def test_all_three_networks_present(self):
+        assert set(PAPER_CONFIGS) == {"lenet-3c1l", "lenet-5", "vgg-16"}
+
+    def test_budgets_match_paper_section_iv(self):
+        assert paper_config("lenet-3c1l").mac_budgets == (0.10, 0.30, 0.50, 0.85)
+        assert paper_config("lenet-5").mac_budgets == (0.15, 0.30, 0.60, 0.85)
+        assert paper_config("vgg-16").mac_budgets == (0.20, 0.40, 0.50, 0.70)
+
+    def test_expansion_ratios_match_paper(self):
+        assert paper_config("lenet-3c1l").expansion_ratio == pytest.approx(1.8)
+        assert paper_config("lenet-5").expansion_ratio == pytest.approx(2.0)
+        assert paper_config("vgg-16").expansion_ratio == pytest.approx(1.8)
+
+    def test_unknown_network(self):
+        with pytest.raises(KeyError):
+            paper_config("alexnet")

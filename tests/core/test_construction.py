@@ -1,0 +1,154 @@
+"""Tests for the neuron-reallocation construction flow (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SteppingConfig, TrainingConfig
+from repro.core.construction import SubnetConstructor
+from repro.core.network import SteppingNetwork
+
+
+@pytest.fixture
+def config():
+    # The smallest budget must stay above the structural floor of the tiny
+    # test network: with min_units_per_layer=1 the cheapest possible subnet
+    # (one filter/neuron per layer) already costs ~16 % of the reference MACs.
+    return SteppingConfig(
+        mac_budgets=(0.2, 0.45, 0.7, 0.9),
+        expansion_ratio=1.5,
+        num_iterations=6,
+        batches_per_iteration=1,
+        retrain_epochs=1,
+        teacher_epochs=1,
+        training=TrainingConfig(learning_rate=0.05, batch_size=16),
+    )
+
+
+@pytest.fixture
+def constructor(tiny_spec, config, image_loader, rng):
+    network = SteppingNetwork(
+        tiny_spec.expand(config.expansion_ratio), num_subnets=4, rng=rng
+    )
+    return SubnetConstructor(
+        network, config, image_loader, reference_macs=tiny_spec.total_macs()
+    )
+
+
+class TestSetup:
+    def test_targets_relative_to_reference(self, constructor, tiny_spec, config):
+        expected = [int(round(frac * tiny_spec.total_macs())) for frac in config.mac_budgets]
+        assert constructor.mac_targets == expected
+
+    def test_macs_per_move_spreads_over_iterations(self, constructor, config):
+        expected = (constructor.total_macs - constructor.mac_targets[0]) / config.num_iterations
+        assert constructor.macs_per_move == pytest.approx(expected)
+
+    def test_subnet_count_mismatch_rejected(self, tiny_spec, config, image_loader, rng):
+        network = SteppingNetwork(tiny_spec, num_subnets=3, rng=rng)
+        with pytest.raises(ValueError):
+            SubnetConstructor(network, config, image_loader)
+
+
+class TestRun:
+    def test_budgets_satisfied_and_nesting_kept(self, constructor):
+        result = constructor.run()
+        network = constructor.network
+        assert result.satisfied
+        macs = [network.subnet_macs(i) for i in range(network.num_subnets)]
+        for value, target in zip(macs, constructor.mac_targets):
+            assert value <= target
+        network.assignment.validate()
+
+    def test_macs_shrink_monotonically_over_iterations(self, constructor):
+        result = constructor.run()
+        subnet0 = [record.subnet_macs[0] for record in result.iterations]
+        assert all(b <= a for a, b in zip(subnet0, subnet0[1:]))
+
+    def test_every_layer_keeps_minimum_units_in_smallest_subnet(self, constructor):
+        constructor.run()
+        for block in constructor.network.parametric_blocks():
+            if block.is_output:
+                continue
+            assert block.layer.assignment.active_count(0) >= 1
+
+    def test_spacing_rule_prevents_premature_moves(self, tiny_spec, image_loader, rng):
+        """Units must not flow out of subnet i before subnet i-1 has shed enough MACs.
+
+        With many iterations the per-iteration quota is small, so after the
+        first reallocation pass the headroom of subnet 1 over subnet 0 is
+        still below the budget gap and only subnet 0 may give units away.
+        """
+        config = SteppingConfig(
+            mac_budgets=(0.15, 0.4, 0.7, 0.9),
+            expansion_ratio=1.5,
+            num_iterations=200,
+            batches_per_iteration=1,
+        )
+        network = SteppingNetwork(tiny_spec.expand(1.5), num_subnets=4, rng=rng)
+        constructor = SubnetConstructor(
+            network, config, image_loader, reference_macs=tiny_spec.total_macs()
+        )
+        importance = constructor._importance_snapshot()
+        moved = constructor._reallocate_units(importance)
+        assert set(moved) <= {0}
+        assert 0 in moved
+
+    def test_spacing_rule_can_be_bypassed_for_trimming(self, constructor):
+        importance = constructor._importance_snapshot()
+        moved = constructor._reallocate_units(importance, respect_spacing=False, uncapped=True)
+        # Without the spacing rule every over-budget subnet may shed units.
+        assert 0 in moved
+
+    def test_history_records_every_iteration(self, constructor):
+        result = constructor.run()
+        assert len(constructor.history) == result.num_iterations
+        assert result.num_iterations >= 1
+
+    def test_final_macs_property(self, constructor):
+        result = constructor.run()
+        assert result.final_macs() == result.iterations[-1].subnet_macs
+
+    def test_moved_units_counted(self, constructor):
+        result = constructor.run()
+        assert sum(sum(record.moved_units.values()) for record in result.iterations) > 0
+
+    def test_output_layer_never_loses_units(self, constructor):
+        constructor.run()
+        output = constructor.network.output_layer
+        assert output.assignment.active_count(0) == output.assignment.num_units
+
+    def test_early_stop_when_budgets_met(self, tiny_spec, image_loader, rng):
+        """With generous budgets the loop stops as soon as they are satisfied."""
+        config = SteppingConfig(
+            mac_budgets=(0.97, 0.98, 0.99, 1.0),
+            expansion_ratio=1.0,
+            num_iterations=20,
+            batches_per_iteration=1,
+        )
+        network = SteppingNetwork(tiny_spec, num_subnets=4, rng=rng)
+        constructor = SubnetConstructor(
+            network, config, image_loader, reference_macs=tiny_spec.total_macs()
+        )
+        result = constructor.run()
+        assert result.satisfied
+        assert result.num_iterations < config.num_iterations
+
+
+class TestStructuralInvariant:
+    def test_no_new_to_old_synapse_after_construction(self, constructor):
+        """The paper's structural rule holds for every pair of adjacent layers."""
+        constructor.run()
+        network = constructor.network
+        for block in network.parametric_blocks():
+            if block.is_output:
+                continue
+            layer = block.layer
+            in_subnet = network.input_unit_subnet(block.param_index)
+            for subnet in range(network.num_subnets):
+                if block.kind == "conv":
+                    mask = layer.channel_mask(subnet, in_subnet)[..., 0, 0]
+                else:
+                    mask = layer.weight_mask(subnet, in_subnet)
+                out_subnet = layer.assignment.unit_subnet
+                violating = mask * (in_subnet[None, :] > out_subnet[:, None])
+                assert violating.sum() == 0

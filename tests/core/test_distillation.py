@@ -1,0 +1,76 @@
+"""Tests for knowledge-distillation retraining (Eq. 4, Sec. III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SteppingConfig, TrainingConfig
+from repro.core.distillation import retrain_with_distillation
+from repro.core.network import SteppingNetwork
+from repro.core.trainer import evaluate_all_subnets, train_plain_model
+from repro.models import build_plain_model
+
+
+@pytest.fixture
+def config():
+    return SteppingConfig(
+        mac_budgets=(0.2, 0.5, 0.8, 0.95),
+        num_iterations=2,
+        batches_per_iteration=1,
+        retrain_epochs=2,
+        training=TrainingConfig(learning_rate=0.05, batch_size=16),
+    )
+
+
+@pytest.fixture
+def network(tiny_spec, rng):
+    return SteppingNetwork(tiny_spec, num_subnets=4, rng=rng)
+
+
+@pytest.fixture
+def teacher(tiny_spec, image_loader):
+    model = build_plain_model(tiny_spec, rng=np.random.default_rng(1))
+    train_plain_model(model, image_loader, epochs=4, training=TrainingConfig(learning_rate=0.05))
+    return model
+
+
+class TestRetraining:
+    def test_improves_subnet_accuracy(self, network, teacher, image_loader, config):
+        before = evaluate_all_subnets(network, image_loader)
+        retrain_with_distillation(network, teacher, image_loader, config, epochs=4)
+        after = evaluate_all_subnets(network, image_loader)
+        assert np.mean(after) > np.mean(before)
+
+    def test_records_one_history_entry_per_epoch(self, network, teacher, image_loader, config):
+        result = retrain_with_distillation(network, teacher, image_loader, config, epochs=3)
+        assert result.epochs == 3
+        assert len(result.history) == 3
+
+    def test_loss_decreases_over_epochs(self, network, teacher, image_loader, config):
+        result = retrain_with_distillation(network, teacher, image_loader, config, epochs=4)
+        losses = result.history.series("loss")
+        assert losses[-1] < losses[0]
+
+    def test_none_teacher_falls_back_to_cross_entropy(self, network, image_loader, config):
+        result = retrain_with_distillation(network, None, image_loader, config, epochs=1)
+        assert len(result.history) == 1
+
+    def test_use_distillation_false_ignores_teacher(self, network, teacher, image_loader, config):
+        no_kd = config.with_overrides(use_distillation=False)
+        result = retrain_with_distillation(network, teacher, image_loader, no_kd, epochs=1)
+        assert len(result.history) == 1
+
+    def test_eval_loader_populates_final_accuracies(self, network, teacher, image_loader, config):
+        result = retrain_with_distillation(
+            network, teacher, image_loader, config, epochs=1, eval_loader=image_loader
+        )
+        assert len(result.final_accuracies) == network.num_subnets
+
+    def test_default_epochs_taken_from_config(self, network, teacher, image_loader, config):
+        result = retrain_with_distillation(network, teacher, image_loader, config)
+        assert result.epochs == config.retrain_epochs
+
+    def test_structures_unchanged_by_retraining(self, network, teacher, image_loader, config):
+        assignments_before = [layer.assignment.unit_subnet.copy() for layer in network.param_layers]
+        retrain_with_distillation(network, teacher, image_loader, config, epochs=1)
+        for layer, before in zip(network.param_layers, assignments_before):
+            np.testing.assert_array_equal(layer.assignment.unit_subnet, before)

@@ -1,0 +1,116 @@
+"""Tests for importance evaluation (Eq. 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.importance import ImportanceResult, evaluate_importance, magnitude_importance
+from repro.core.network import SteppingNetwork
+
+
+@pytest.fixture
+def network(tiny_spec, rng):
+    return SteppingNetwork(tiny_spec, num_subnets=3, rng=rng)
+
+
+class TestSelectionScores:
+    def test_aggregation_over_larger_subnets(self):
+        per_subnet = [
+            {0: np.array([1.0, 2.0])},
+            {0: np.array([10.0, 20.0])},
+            {0: np.array([100.0, 200.0])},
+        ]
+        result = ImportanceResult(per_subnet=per_subnet, alphas=[1.0, 2.0, 4.0])
+        # For subnet 0: 1*g0 + 2*g1 + 4*g2.
+        np.testing.assert_allclose(result.selection_scores(0)[0], [421.0, 842.0])
+        # For subnet 1: 2*g1 + 4*g2.
+        np.testing.assert_allclose(result.selection_scores(1)[0], [420.0, 840.0])
+        # For subnet 2: only its own contribution.
+        np.testing.assert_allclose(result.selection_scores(2)[0], [400.0, 800.0])
+
+    def test_out_of_range_subnet(self):
+        result = ImportanceResult(per_subnet=[{0: np.zeros(2)}], alphas=[1.0])
+        with pytest.raises(IndexError):
+            result.selection_scores(3)
+
+
+class TestEvaluateImportance:
+    def test_shapes_and_nonnegativity(self, network, image_batch):
+        x, y = image_batch
+        result = evaluate_importance(network, x, y, alphas=[1.0, 1.5, 2.25])
+        assert len(result.per_subnet) == 3
+        for grads in result.per_subnet:
+            for param_index, values in grads.items():
+                assert values.shape == (network.param_layers[param_index].assignment.num_units,)
+                assert (values >= 0).all()
+
+    def test_default_alphas_are_uniform(self, network, image_batch):
+        x, y = image_batch
+        result = evaluate_importance(network, x, y)
+        assert result.alphas == [1.0, 1.0, 1.0]
+
+    def test_wrong_alpha_length_rejected(self, network, image_batch):
+        x, y = image_batch
+        with pytest.raises(ValueError):
+            evaluate_importance(network, x, y, alphas=[1.0])
+
+    def test_inactive_units_have_zero_importance(self, network, image_batch):
+        x, y = image_batch
+        layer = network.param_layers[0]
+        layer.assignment.move_units([0], 2)
+        result = evaluate_importance(network, x, y)
+        # In subnet 0 and 1 the moved filter is inactive, so its gradient is zero.
+        assert result.per_subnet[0][0][0] == pytest.approx(0.0)
+        assert result.per_subnet[1][0][0] == pytest.approx(0.0)
+        # In subnet 2 it participates and (generically) receives gradient.
+        assert result.per_subnet[2][0][0] >= 0.0
+
+    def test_importance_is_generically_nonzero(self, network, image_batch):
+        x, y = image_batch
+        result = evaluate_importance(network, x, y)
+        total = sum(values.sum() for grads in result.per_subnet for values in grads.values())
+        assert total > 0.0
+
+    def test_does_not_leave_parameter_gradients_behind(self, network, image_batch):
+        x, y = image_batch
+        evaluate_importance(network, x, y)
+        assert all(p.grad is None for p in network.parameters())
+
+    def test_restores_training_mode(self, network, image_batch):
+        x, y = image_batch
+        network.train()
+        evaluate_importance(network, x, y)
+        assert network.training
+        network.eval()
+        evaluate_importance(network, x, y)
+        assert not network.training
+
+    def test_does_not_perturb_batchnorm_running_stats(self, network, image_batch):
+        x, y = image_batch
+        stats_before = [
+            block.norm.running_mean.copy()
+            for block in network.parametric_blocks()
+            if block.norm is not None
+        ]
+        evaluate_importance(network, x, y)
+        stats_after = [
+            block.norm.running_mean.copy()
+            for block in network.parametric_blocks()
+            if block.norm is not None
+        ]
+        for before, after in zip(stats_before, stats_after):
+            np.testing.assert_allclose(before, after)
+
+
+class TestMagnitudeImportance:
+    def test_one_score_per_unit(self, network):
+        scores = magnitude_importance(network)
+        for index, layer in enumerate(network.param_layers):
+            assert scores[index].shape == (layer.assignment.num_units,)
+            assert (scores[index] >= 0).all()
+
+    def test_larger_weights_score_higher(self, network):
+        layer = network.param_layers[0]
+        layer.weight.data[0] = 100.0
+        layer.weight.data[1] = 0.0
+        scores = magnitude_importance(network)
+        assert scores[0][0] > scores[0][1]

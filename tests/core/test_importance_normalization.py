@@ -1,0 +1,105 @@
+"""Tests for the cross-layer importance-score normalisation (DESIGN.md §7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SteppingConfig
+from repro.core.construction import SubnetConstructor
+from repro.core.importance import ImportanceResult, evaluate_importance
+
+
+class TestSelectionScoreNormalization:
+    def _result(self):
+        # Two layers with wildly different raw gradient magnitudes, as a
+        # conv layer and an FC layer would produce.
+        per_subnet = [
+            {0: np.array([100.0, 300.0, 200.0]), 1: np.array([0.001, 0.003, 0.002])},
+            {0: np.array([10.0, 30.0, 20.0]), 1: np.array([0.0001, 0.0003, 0.0002])},
+        ]
+        return ImportanceResult(per_subnet=per_subnet, alphas=[1.0, 1.5])
+
+    def test_raw_scores_are_scale_dominated(self):
+        scores = self._result().selection_scores(0, normalize=False)
+        assert scores[0].min() > scores[1].max()
+
+    def test_normalized_scores_are_comparable_across_layers(self):
+        scores = self._result().selection_scores(0, normalize=True)
+        assert scores[0].mean() == pytest.approx(1.0)
+        assert scores[1].mean() == pytest.approx(1.0)
+        # The within-layer ordering is preserved by the rescaling.
+        assert list(np.argsort(scores[0])) == [0, 2, 1]
+        assert list(np.argsort(scores[1])) == [0, 2, 1]
+
+    def test_normalization_preserves_relative_ranking_within_layer(self):
+        raw = self._result().selection_scores(0, normalize=False)
+        normalized = self._result().selection_scores(0, normalize=True)
+        for layer in raw:
+            assert list(np.argsort(raw[layer])) == list(np.argsort(normalized[layer]))
+
+    def test_all_zero_layer_left_unchanged(self):
+        result = ImportanceResult(
+            per_subnet=[{0: np.zeros(3), 1: np.array([1.0, 2.0, 3.0])}], alphas=[1.0]
+        )
+        scores = result.selection_scores(0, normalize=True)
+        np.testing.assert_array_equal(scores[0], np.zeros(3))
+
+    def test_default_is_unnormalized(self):
+        raw = self._result().selection_scores(0)
+        explicit = self._result().selection_scores(0, normalize=False)
+        for layer in raw:
+            np.testing.assert_array_equal(raw[layer], explicit[layer])
+
+
+class TestConfigFlag:
+    def test_enabled_by_default(self):
+        assert SteppingConfig().normalize_importance is True
+
+    def test_can_be_disabled(self):
+        config = SteppingConfig(normalize_importance=False)
+        assert config.normalize_importance is False
+
+    def test_with_overrides_round_trip(self):
+        config = SteppingConfig().with_overrides(normalize_importance=False)
+        assert config.normalize_importance is False
+
+
+class TestConstructionEffect:
+    @pytest.fixture
+    def importance(self, stepping_network, image_batch):
+        inputs, labels = image_batch
+        return evaluate_importance(stepping_network, inputs, labels)
+
+    def test_evaluate_importance_covers_all_layers(self, stepping_network, importance):
+        hidden = [b for b in stepping_network.parametric_blocks()]
+        scores = importance.selection_scores(0, normalize=True)
+        # Every parametric layer with importance scales recorded is present.
+        assert set(scores) <= {block.param_index for block in hidden}
+        assert scores
+
+    def test_normalized_construction_keeps_layers_balanced(
+        self, stepping_network, stepping_config, image_loader
+    ):
+        """With normalisation no hidden layer collapses to the floor while
+        another keeps most of its units in the smallest subnet."""
+        constructor = SubnetConstructor(
+            stepping_network,
+            stepping_config.with_overrides(normalize_importance=True),
+            image_loader,
+            reference_macs=stepping_network.total_macs(),
+        )
+        constructor.run()
+        counts = [
+            block.layer.assignment.active_count(0)
+            for block in stepping_network.parametric_blocks()
+            if not block.is_output
+        ]
+        fractions = [
+            count / block.layer.assignment.num_units
+            for count, block in zip(
+                counts,
+                [b for b in stepping_network.parametric_blocks() if not b.is_output],
+            )
+        ]
+        # No hidden layer is drained to (almost) nothing while another stays
+        # (almost) dense — the pathology the normalisation removes.
+        assert max(fractions) - min(fractions) < 0.9

@@ -1,0 +1,174 @@
+"""Tests for the incremental inference engine — the reuse guarantee of SteppingNet."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import prefix_assignment
+from repro.core.incremental import IncrementalInference, anytime_schedule
+from repro.core.network import SteppingNetwork
+from repro.nn.tensor import no_grad
+
+
+@pytest.fixture
+def network(tiny_spec, rng, image_loader):
+    """A stepping network with a non-trivial, irregular subnet structure."""
+    net = SteppingNetwork(tiny_spec.expand(1.5), num_subnets=3, rng=rng)
+    # Scatter units over subnets (including some unused) to exercise the
+    # general case rather than the all-in-subnet-0 default.
+    scatter_rng = np.random.default_rng(7)
+    for block in net.parametric_blocks():
+        if block.is_output:
+            continue
+        layer = block.layer
+        assignment = scatter_rng.integers(0, 4, size=layer.assignment.num_units)
+        assignment[0] = 0  # keep the minimum-width invariant
+        layer.assignment.set_assignment(assignment)
+    net.assignment.validate()
+    return net
+
+
+@pytest.fixture
+def inputs(image_batch):
+    return image_batch[0]
+
+
+class TestExactness:
+    def test_initial_run_matches_direct_forward(self, network, inputs):
+        engine = IncrementalInference(network)
+        result = engine.run(inputs, subnet=0)
+        network.eval()
+        with no_grad():
+            direct = network.forward(inputs, subnet=0).data
+        np.testing.assert_allclose(result.logits, direct, atol=1e-10)
+
+    @pytest.mark.parametrize("path", [(0, 1, 2), (0, 2), (1, 2)])
+    def test_stepping_matches_direct_forward_of_target_subnet(self, network, inputs, path):
+        engine = IncrementalInference(network)
+        result = engine.run(inputs, subnet=path[0])
+        for level in path[1:]:
+            result = engine.step_to(level)
+        network.eval()
+        with no_grad():
+            direct = network.forward(inputs, subnet=path[-1]).data
+        np.testing.assert_allclose(result.logits, direct, atol=1e-10)
+
+    def test_step_up_convenience(self, network, inputs):
+        engine = IncrementalInference(network)
+        engine.run(inputs, subnet=0)
+        result = engine.step_up()
+        assert result.subnet == 1
+
+    def test_prune_mask_respected(self, network, inputs):
+        layer = network.param_layers[0]
+        layer.prune_mask[:, :, 0, 0] = 0.0
+        engine = IncrementalInference(network, apply_prune=True)
+        result = engine.run(inputs, subnet=2)
+        network.eval()
+        with no_grad():
+            direct = network.forward(inputs, subnet=2, apply_prune=True).data
+        np.testing.assert_allclose(result.logits, direct, atol=1e-10)
+
+
+class TestMacAccounting:
+    def test_step_macs_equal_subnet_difference(self, network, inputs):
+        engine = IncrementalInference(network)
+        engine.run(inputs, subnet=0)
+        result = engine.step_to(2)
+        assert result.macs_executed == network.subnet_macs(2) - network.subnet_macs(0)
+        assert result.macs_reused == network.subnet_macs(0)
+        assert result.cumulative_macs == network.subnet_macs(2)
+
+    def test_total_stepped_macs_equal_largest_subnet(self, network, inputs):
+        results = anytime_schedule(network, inputs)
+        total_executed = sum(step.macs_executed for step in results)
+        assert total_executed == network.subnet_macs(network.num_subnets - 1)
+
+    def test_reuse_fraction_grows_with_each_step(self, network, inputs):
+        results = anytime_schedule(network, inputs)
+        fractions = [step.reuse_fraction for step in results[1:]]
+        assert all(f > 0 for f in fractions)
+
+    def test_stepping_cheaper_than_rerunning(self, network, inputs):
+        """The headline claim: refining via steps costs less than re-running each subnet."""
+        results = anytime_schedule(network, inputs)
+        stepped = sum(step.macs_executed for step in results)
+        rerun = sum(network.subnet_macs(i) for i in range(network.num_subnets))
+        assert stepped < rerun
+
+
+class TestPredictionsAndState:
+    def test_predictions_shape(self, network, inputs):
+        engine = IncrementalInference(network)
+        result = engine.run(inputs, subnet=0)
+        assert result.predictions.shape == (inputs.shape[0],)
+
+    def test_steps_are_recorded(self, network, inputs):
+        engine = IncrementalInference(network)
+        engine.run(inputs, subnet=0)
+        engine.step_to(1)
+        engine.step_to(2)
+        assert [step.subnet for step in engine.steps] == [0, 1, 2]
+        assert engine.current_subnet == 2
+
+    def test_reset_clears_state(self, network, inputs):
+        engine = IncrementalInference(network)
+        engine.run(inputs, subnet=0)
+        engine.reset()
+        assert engine.current_subnet == -1
+        assert engine.steps == []
+
+    def test_run_on_new_batch_resets_cache(self, network, inputs):
+        engine = IncrementalInference(network)
+        engine.run(inputs, subnet=0)
+        other = inputs + 1.0
+        result = engine.run(other, subnet=0)
+        network.eval()
+        with no_grad():
+            direct = network.forward(other, subnet=0).data
+        np.testing.assert_allclose(result.logits, direct, atol=1e-10)
+
+
+class TestErrors:
+    def test_step_before_run(self, network):
+        with pytest.raises(RuntimeError):
+            IncrementalInference(network).step_to(1)
+
+    def test_step_down_rejected(self, network, inputs):
+        engine = IncrementalInference(network)
+        engine.run(inputs, subnet=2)
+        with pytest.raises(ValueError):
+            engine.step_to(1)
+
+    def test_step_out_of_range(self, network, inputs):
+        engine = IncrementalInference(network)
+        engine.run(inputs, subnet=0)
+        with pytest.raises(IndexError):
+            engine.step_to(10)
+
+    def test_anytime_schedule_requires_levels(self, network, inputs):
+        with pytest.raises(ValueError):
+            anytime_schedule(network, inputs, subnets=[])
+
+    def test_flat_input_rejected_for_conv_network(self, network):
+        with pytest.raises(ValueError):
+            IncrementalInference(network).run(np.zeros((2, 10)), subnet=0)
+
+
+class TestMlpNetwork:
+    def test_incremental_reuse_on_mlp(self, mlp_spec, rng):
+        network = SteppingNetwork(mlp_spec, num_subnets=3, rng=rng)
+        for block in network.parametric_blocks():
+            if block.is_output:
+                continue
+            layer = block.layer
+            layer.assignment.set_assignment(
+                prefix_assignment(layer.assignment.num_units, 3, [0.4, 0.7, 1.0]).unit_subnet
+            )
+        x = np.random.default_rng(0).standard_normal((5, 16))
+        engine = IncrementalInference(network)
+        engine.run(x, subnet=0)
+        stepped = engine.step_to(2)
+        network.eval()
+        with no_grad():
+            direct = network.forward(x, subnet=2).data
+        np.testing.assert_allclose(stepped.logits, direct, atol=1e-10)

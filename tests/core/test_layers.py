@@ -1,0 +1,207 @@
+"""Tests for the masked stepping layers and the weight-mask construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.layers import (
+    MaskedBatchNorm1d,
+    MaskedBatchNorm2d,
+    SteppingConv2d,
+    SteppingLinear,
+    build_unit_mask,
+    build_weight_mask,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestBuildWeightMask:
+    def test_all_units_in_subnet_zero_gives_full_mask(self):
+        mask = build_weight_mask(np.zeros(3, int), np.zeros(4, int), subnet=0)
+        np.testing.assert_allclose(mask, np.ones((3, 4)))
+
+    def test_membership_excludes_larger_subnet_units(self):
+        out_subnet = np.array([0, 1])
+        in_subnet = np.array([0, 1])
+        mask = build_weight_mask(out_subnet, in_subnet, subnet=0)
+        # Only the (old out, old in) synapse is active in subnet 0.
+        np.testing.assert_allclose(mask, [[1, 0], [0, 0]])
+
+    def test_structural_rule_blocks_new_to_old_synapses(self):
+        out_subnet = np.array([0, 1])
+        in_subnet = np.array([0, 1])
+        mask = build_weight_mask(out_subnet, in_subnet, subnet=1)
+        # Synapse from the new input unit (subnet 1) into the old output
+        # unit (subnet 0) is forbidden; everything else active.
+        np.testing.assert_allclose(mask, [[1, 0], [1, 1]])
+
+    def test_disabling_structural_rule_allows_new_to_old(self):
+        out_subnet = np.array([0, 1])
+        in_subnet = np.array([0, 1])
+        mask = build_weight_mask(out_subnet, in_subnet, subnet=1, enforce_incremental=False)
+        np.testing.assert_allclose(mask, np.ones((2, 2)))
+
+    def test_prune_mask_is_applied(self):
+        prune = np.array([[1.0, 0.0], [1.0, 1.0]])
+        mask = build_weight_mask(np.zeros(2, int), np.zeros(2, int), 0, prune_mask=prune)
+        np.testing.assert_allclose(mask, prune)
+
+    def test_unused_units_never_active(self):
+        out_subnet = np.array([0, 3])  # 3 == UNUSED for a 3-subnet layer
+        mask = build_weight_mask(out_subnet, np.zeros(2, int), subnet=2)
+        np.testing.assert_allclose(mask[1], [0, 0])
+
+    def test_masks_are_nested_across_subnets(self):
+        rng = np.random.default_rng(0)
+        out_subnet = rng.integers(0, 3, size=10)
+        in_subnet = rng.integers(0, 3, size=8)
+        previous = build_weight_mask(out_subnet, in_subnet, 0)
+        for subnet in range(1, 3):
+            current = build_weight_mask(out_subnet, in_subnet, subnet)
+            assert np.all(previous <= current)
+            previous = current
+
+
+class TestSteppingLinear:
+    def _layer(self, enforce=True):
+        rng = np.random.default_rng(0)
+        layer = SteppingLinear(4, 3, num_subnets=3, enforce_incremental=enforce, rng=rng)
+        return layer
+
+    def test_inactive_output_units_are_zero(self):
+        layer = self._layer()
+        layer.assignment.move_units([2], 1)
+        out = layer(Tensor(np.ones((2, 4))), subnet=0, in_unit_subnet=np.zeros(4, int))
+        np.testing.assert_allclose(out.data[:, 2], 0.0)
+        assert np.abs(out.data[:, :2]).sum() > 0
+
+    def test_inactive_inputs_do_not_affect_old_outputs(self):
+        """The incremental property at the layer level: output of an old unit
+        is identical whether or not newer input units carry values."""
+        layer = self._layer()
+        in_subnet = np.array([0, 0, 1, 1])
+        x_small = np.array([[1.0, 2.0, 0.0, 0.0]])
+        x_large = np.array([[1.0, 2.0, 5.0, -7.0]])
+        out_small = layer(Tensor(x_small), 0, in_subnet).data
+        out_large = layer(Tensor(x_large), 1, in_subnet).data
+        # Unit outputs that were active in subnet 0 keep the same value.
+        np.testing.assert_allclose(out_small[0], out_large[0], atol=1e-12)
+
+    def test_without_structural_rule_old_outputs_change(self):
+        layer = self._layer(enforce=False)
+        in_subnet = np.array([0, 0, 1, 1])
+        out_small = layer(Tensor(np.array([[1.0, 2.0, 0.0, 0.0]])), 0, in_subnet).data
+        out_large = layer(Tensor(np.array([[1.0, 2.0, 5.0, -7.0]])), 1, in_subnet).data
+        assert not np.allclose(out_small[0], out_large[0])
+
+    def test_active_macs_counts_mask_entries(self):
+        layer = self._layer()
+        layer.assignment.move_units([2], 1)
+        in_subnet = np.array([0, 0, 1, 1])
+        # Subnet 0: 2 active outputs x 2 active inputs.
+        assert layer.active_macs(0, in_subnet) == 4
+        # Subnet 1: old outputs keep 2 inputs each, new output uses all 4.
+        assert layer.active_macs(1, in_subnet) == 2 * 2 + 4
+
+    def test_unit_macs_per_output(self):
+        layer = self._layer()
+        in_subnet = np.zeros(4, int)
+        np.testing.assert_allclose(layer.unit_macs(0, in_subnet), [4, 4, 4])
+
+    def test_prune_mask_reduces_macs_but_not_structure(self):
+        layer = self._layer()
+        layer.prune_mask[0, :2] = 0.0
+        assert layer.active_macs(0, np.zeros(4, int)) == 10
+        assert layer.active_macs(0, np.zeros(4, int), apply_prune=False) == 12
+
+    def test_importance_scale_gradient_collected(self):
+        layer = self._layer()
+        out = layer(Tensor(np.ones((2, 4))), 0, np.zeros(4, int), collect_importance=True)
+        out.sum().backward()
+        assert layer.last_importance_scale is not None
+        assert layer.last_importance_scale.grad is not None
+        assert layer.last_importance_scale.grad.shape == (3,)
+
+    def test_importance_scale_cleared_when_not_collecting(self):
+        layer = self._layer()
+        layer(Tensor(np.ones((2, 4))), 0, np.zeros(4, int), collect_importance=True)
+        layer(Tensor(np.ones((2, 4))), 0, np.zeros(4, int), collect_importance=False)
+        assert layer.last_importance_scale is None
+
+    def test_importance_gradient_zero_for_inactive_units(self):
+        layer = self._layer()
+        layer.assignment.move_units([1], 2)
+        out = layer(Tensor(np.ones((2, 4))), 0, np.zeros(4, int), collect_importance=True)
+        out.sum().backward()
+        assert layer.last_importance_scale.grad[1] == pytest.approx(0.0)
+
+
+class TestSteppingConv2d:
+    def _layer(self):
+        return SteppingConv2d(2, 4, 3, num_subnets=3, padding=1, rng=np.random.default_rng(0))
+
+    def test_forward_shape(self):
+        layer = self._layer()
+        out = layer(Tensor(np.zeros((2, 2, 8, 8))), 0, np.zeros(2, int))
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_inactive_filters_are_zero(self):
+        layer = self._layer()
+        layer.assignment.move_units([3], 2)
+        out = layer(Tensor(np.ones((1, 2, 6, 6))), 0, np.zeros(2, int))
+        np.testing.assert_allclose(out.data[:, 3], 0.0)
+
+    def test_active_macs_scale_with_spatial_size(self):
+        layer = self._layer()
+        small = layer.active_macs(0, np.zeros(2, int), (8, 8))
+        large = layer.active_macs(0, np.zeros(2, int), (16, 16))
+        assert large == 4 * small
+
+    def test_mac_formula_matches_hand_count(self):
+        layer = self._layer()
+        # 4 filters x 2 input channels x 3x3 kernel x 8x8 output positions.
+        assert layer.active_macs(0, np.zeros(2, int), (8, 8)) == 4 * 2 * 9 * 64
+
+    def test_unit_macs_shape(self):
+        layer = self._layer()
+        assert layer.unit_macs(0, np.zeros(2, int), (8, 8)).shape == (4,)
+
+    def test_filter_level_importance_scale(self):
+        layer = self._layer()
+        out = layer(Tensor(np.ones((1, 2, 6, 6))), 0, np.zeros(2, int), collect_importance=True)
+        out.sum().backward()
+        assert layer.last_importance_scale.grad.shape == (4,)
+
+    def test_output_spatial_size(self):
+        layer = SteppingConv2d(1, 1, 3, num_subnets=2, stride=2, padding=1)
+        assert layer.output_spatial_size(8, 8) == (4, 4)
+
+
+class TestMaskedBatchNorm:
+    def test_inactive_channel_stats_frozen(self):
+        norm = MaskedBatchNorm2d(3)
+        x = Tensor(np.random.default_rng(0).standard_normal((8, 3, 4, 4)) + 5.0)
+        active = np.array([True, True, False])
+        norm(x, active)
+        assert norm.running_mean[0] != 0.0
+        assert norm.running_mean[2] == 0.0
+        assert norm.running_var[2] == 1.0
+
+    def test_output_masks_inactive_channels(self):
+        norm = MaskedBatchNorm2d(3)
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 3, 4, 4)))
+        out = norm(x, np.array([True, False, True]))
+        np.testing.assert_allclose(out.data[:, 1], 0.0)
+
+    def test_eval_mode_does_not_touch_stats(self):
+        norm = MaskedBatchNorm1d(2)
+        norm.eval()
+        before = norm.running_mean.copy()
+        norm(Tensor(np.random.default_rng(0).standard_normal((4, 2)) + 3), np.array([True, True]))
+        np.testing.assert_allclose(norm.running_mean, before)
+
+    def test_active_channel_statistics_match_plain_batchnorm(self):
+        """When every channel is active the masked BN behaves like plain BN."""
+        norm = MaskedBatchNorm1d(3)
+        x = Tensor(np.random.default_rng(0).standard_normal((16, 3)) * 2 + 1)
+        out = norm(x, np.array([True, True, True]))
+        np.testing.assert_allclose(out.data.mean(axis=0), np.zeros(3), atol=1e-8)

@@ -1,0 +1,63 @@
+"""Tests for MAC reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.mac import MacReport, dense_macs, mac_report
+from repro.core.network import SteppingNetwork
+
+
+@pytest.fixture
+def network(tiny_spec, rng):
+    net = SteppingNetwork(tiny_spec.expand(1.5), num_subnets=3, rng=rng)
+    for block in net.parametric_blocks():
+        if block.is_output:
+            continue
+        units = block.layer.assignment.num_units
+        assignment = np.zeros(units, dtype=int)
+        assignment[units // 3: 2 * units // 3] = 1
+        assignment[2 * units // 3:] = 2
+        block.layer.assignment.set_assignment(assignment)
+    return net
+
+
+class TestMacReport:
+    def test_fractions_relative_to_reference_spec(self, network, tiny_spec):
+        report = mac_report(network, reference_spec=tiny_spec)
+        assert report.reference_macs == tiny_spec.total_macs()
+        assert len(report.fractions) == 3
+
+    def test_default_reference_is_expanded_network(self, network):
+        report = mac_report(network)
+        assert report.fractions[-1] == pytest.approx(1.0)
+
+    def test_incremental_macs_sum_to_largest(self, network):
+        report = mac_report(network)
+        assert sum(report.incremental_macs()) == report.subnet_macs[-1]
+
+    def test_within_budgets(self, network):
+        report = mac_report(network)
+        generous = [f + 0.05 for f in report.fractions]
+        tight = [f - 0.05 for f in report.fractions]
+        assert report.within_budgets(generous)
+        assert not report.within_budgets(tight)
+
+    def test_within_budgets_length_check(self, network):
+        report = mac_report(network)
+        with pytest.raises(ValueError):
+            report.within_budgets([0.5])
+
+    def test_as_rows_format(self, network):
+        rows = mac_report(network).as_rows()
+        assert rows[0]["subnet"] == 1
+        assert set(rows[0]) == {"subnet", "macs", "mac_fraction"}
+
+    def test_per_layer_totals_match_subnet_macs(self, network):
+        report = mac_report(network)
+        for subnet, per_layer in enumerate(report.per_layer):
+            assert sum(per_layer.values()) == report.subnet_macs[subnet]
+
+
+class TestDenseMacs:
+    def test_matches_spec(self, tiny_spec):
+        assert dense_macs(tiny_spec) == tiny_spec.total_macs()

@@ -1,0 +1,86 @@
+"""Property-based tests of the mask algebra underlying SteppingNet.
+
+These are the invariants the whole design rests on:
+
+* nesting — subnet ``i``'s weight mask is contained in subnet ``i+1``'s;
+* the structural rule — no active synapse runs from a unit introduced in
+  a larger subnet into a unit of a smaller subnet;
+* reuse — the rows of old units are identical in every subnet that
+  contains them, which is exactly why their activations can be cached.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.layers import build_weight_mask
+
+
+def assignments(max_units=12, num_levels=4):
+    """Random unit-to-subnet assignments including the unused level."""
+    return st.lists(
+        st.integers(0, num_levels), min_size=1, max_size=max_units
+    ).map(lambda values: np.asarray(values, dtype=np.int64))
+
+
+@settings(max_examples=60, deadline=None)
+@given(assignments(), assignments(), st.integers(0, 3))
+def test_mask_entries_are_binary(out_subnet, in_subnet, subnet):
+    mask = build_weight_mask(out_subnet, in_subnet, subnet)
+    assert set(np.unique(mask)).issubset({0.0, 1.0})
+
+
+@settings(max_examples=60, deadline=None)
+@given(assignments(), assignments())
+def test_masks_nest_across_subnets(out_subnet, in_subnet):
+    previous = None
+    for subnet in range(4):
+        mask = build_weight_mask(out_subnet, in_subnet, subnet)
+        if previous is not None:
+            assert np.all(previous <= mask)
+        previous = mask
+
+
+@settings(max_examples=60, deadline=None)
+@given(assignments(), assignments(), st.integers(0, 3))
+def test_structural_rule_never_violated(out_subnet, in_subnet, subnet):
+    mask = build_weight_mask(out_subnet, in_subnet, subnet)
+    forbidden = in_subnet[None, :] > out_subnet[:, None]
+    assert np.all(mask[forbidden] == 0.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(assignments(), assignments(), st.integers(0, 2))
+def test_old_unit_rows_identical_in_all_larger_subnets(out_subnet, in_subnet, subnet):
+    """Rows of units active in `subnet` do not change when the subnet grows —
+    the precondition for reusing their cached activations."""
+    small = build_weight_mask(out_subnet, in_subnet, subnet)
+    large = build_weight_mask(out_subnet, in_subnet, subnet + 1)
+    active_rows = out_subnet <= subnet
+    np.testing.assert_array_equal(small[active_rows], large[active_rows])
+
+
+@settings(max_examples=60, deadline=None)
+@given(assignments(), assignments(), st.integers(0, 3))
+def test_inactive_units_have_empty_rows_and_columns(out_subnet, in_subnet, subnet):
+    mask = build_weight_mask(out_subnet, in_subnet, subnet)
+    assert np.all(mask[out_subnet > subnet, :] == 0.0)
+    assert np.all(mask[:, in_subnet > subnet] == 0.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(assignments(), assignments(), st.integers(0, 3))
+def test_disabling_structure_only_adds_entries(out_subnet, in_subnet, subnet):
+    constrained = build_weight_mask(out_subnet, in_subnet, subnet, enforce_incremental=True)
+    free = build_weight_mask(out_subnet, in_subnet, subnet, enforce_incremental=False)
+    assert np.all(constrained <= free)
+
+
+@settings(max_examples=60, deadline=None)
+@given(assignments(), assignments(), st.integers(0, 3), st.data())
+def test_prune_mask_only_removes_entries(out_subnet, in_subnet, subnet, data):
+    rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+    prune = (rng.random((out_subnet.size, in_subnet.size)) > 0.3).astype(float)
+    without = build_weight_mask(out_subnet, in_subnet, subnet)
+    with_prune = build_weight_mask(out_subnet, in_subnet, subnet, prune_mask=prune)
+    assert np.all(with_prune <= without)
+    assert np.all(with_prune <= prune)

@@ -1,0 +1,165 @@
+"""Tests for the SteppingNetwork container."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import SteppingNetwork
+from repro.models import lenet5, lenet_3c1l, mlp, tiny_cnn
+from repro.nn.tensor import no_grad
+
+
+@pytest.fixture
+def network(tiny_spec, rng):
+    return SteppingNetwork(tiny_spec, num_subnets=3, rng=rng)
+
+
+class TestConstruction:
+    def test_parametric_layer_count_matches_spec(self, network, tiny_spec):
+        assert len(network.param_layers) == len(tiny_spec.parametric_layers())
+
+    def test_output_layer_is_frozen_and_additive(self, network):
+        assert network.output_layer.assignment.frozen
+        assert not network.output_layer.enforce_incremental
+
+    def test_hidden_layers_enforce_incremental_by_default(self, network):
+        for layer in network.param_layers[:-1]:
+            assert layer.enforce_incremental
+
+    def test_invalid_subnet_count(self, tiny_spec):
+        with pytest.raises(ValueError):
+            SteppingNetwork(tiny_spec, num_subnets=0)
+
+    def test_mlp_spec_builds_without_conv_blocks(self, mlp_spec, rng):
+        network = SteppingNetwork(mlp_spec, num_subnets=2, rng=rng)
+        kinds = {block.kind for block in network.blocks}
+        assert "conv" not in kinds
+
+    def test_lenet5_and_lenet3c1l_build(self, rng):
+        for spec in (lenet_3c1l(width_scale=0.25, input_shape=(3, 16, 16)),
+                     lenet5(width_scale=1.0, input_shape=(3, 24, 24))):
+            network = SteppingNetwork(spec, num_subnets=4, rng=rng)
+            assert network.num_subnets == 4
+
+    def test_describe_lists_all_layers(self, network):
+        text = network.describe()
+        for layer in network.param_layers:
+            assert layer.layer_name in text
+
+
+class TestInputUnitSubnet:
+    def test_first_layer_inputs_always_active(self, network):
+        first_param = network.parametric_blocks()[0].param_index
+        np.testing.assert_array_equal(network.input_unit_subnet(first_param), np.zeros(3, int))
+
+    def test_flatten_expansion_repeats_channel_assignment(self, network):
+        # The first linear layer after flatten sees H*W features per conv filter.
+        linear_block = [b for b in network.parametric_blocks() if b.kind == "linear"][0]
+        conv_block = [b for b in network.parametric_blocks() if b.kind == "conv"][-1]
+        conv_layer = conv_block.layer
+        conv_layer.assignment.move_units([0], 2)
+        in_subnet = network.input_unit_subnet(linear_block.param_index)
+        expansion = linear_block.in_expansion
+        assert in_subnet.shape[0] == conv_layer.assignment.num_units * expansion
+        np.testing.assert_array_equal(in_subnet[:expansion], np.full(expansion, 2))
+
+    def test_unknown_param_index(self, network):
+        with pytest.raises(IndexError):
+            network.input_unit_subnet(99)
+
+
+class TestForward:
+    def test_logits_shape_per_subnet(self, network, image_batch):
+        x, _ = image_batch
+        for subnet in range(network.num_subnets):
+            logits = network.forward(x, subnet=subnet)
+            assert logits.shape == (x.shape[0], 4)
+
+    def test_default_subnet_is_largest(self, network, image_batch):
+        x, _ = image_batch
+        network.eval()
+        with no_grad():
+            default = network.forward(x).data
+            largest = network.forward(x, subnet=network.num_subnets - 1).data
+        np.testing.assert_allclose(default, largest)
+
+    def test_out_of_range_subnet(self, network, image_batch):
+        x, _ = image_batch
+        with pytest.raises(IndexError):
+            network.forward(x, subnet=7)
+
+    def test_conv_network_rejects_flat_input(self, network):
+        with pytest.raises(ValueError):
+            network.forward(np.zeros((2, 10)), subnet=0)
+
+    def test_return_cache_contains_every_parametric_block(self, network, image_batch):
+        x, _ = image_batch
+        network.eval()
+        with no_grad():
+            _, cache = network.forward(x, subnet=1, return_cache=True)
+        assert set(cache) == {b.param_index for b in network.parametric_blocks()}
+
+    def test_moving_a_unit_removes_it_from_the_small_subnet(self, network, image_batch):
+        """Moving a filter out of subnet 0 changes subnet-0 logits.
+
+        Note that the largest subnet's output generally changes as well:
+        per the paper, the moved neuron's synapses into neurons that stay
+        in the smaller subnet are removed permanently, for every subnet.
+        """
+        x, _ = image_batch
+        network.eval()
+        with no_grad():
+            before_small = network.forward(x, subnet=0).data.copy()
+        network.param_layers[0].assignment.move_units([1], 1)
+        with no_grad():
+            after_small = network.forward(x, subnet=0).data
+        assert not np.allclose(before_small, after_small)
+
+    def test_moved_unit_keeps_contributing_to_larger_subnets(self, network, image_batch):
+        """A filter moved to subnet 1 is still executed by subnets 1 and 2."""
+        x, _ = image_batch
+        layer = network.param_layers[0]
+        layer.assignment.move_units([1], 1)
+        network.eval()
+        with no_grad():
+            _, cache = network.forward(x, subnet=1, return_cache=True)
+        assert np.abs(cache[0][:, 1]).sum() > 0
+
+    def test_mlp_forward_accepts_2d_input(self, mlp_spec, rng):
+        network = SteppingNetwork(mlp_spec, num_subnets=2, rng=rng)
+        logits = network.forward(np.zeros((3, 16)), subnet=0)
+        assert logits.shape == (3, 4)
+
+
+class TestMacAccounting:
+    def test_macs_monotone_in_subnet_index(self, network):
+        macs = [network.subnet_macs(i) for i in range(network.num_subnets)]
+        assert macs == sorted(macs)
+
+    def test_initial_macs_equal_dense_network(self, network, tiny_spec):
+        # All units start in subnet 0, so every subnet is the full network.
+        assert network.subnet_macs(0) == tiny_spec.total_macs()
+
+    def test_moving_units_reduces_small_subnet_macs(self, network):
+        before_small = network.subnet_macs(0)
+        before_large = network.subnet_macs(2)
+        network.param_layers[0].assignment.move_units([0, 1], 1)
+        assert network.subnet_macs(0) < before_small
+        # The largest subnet may also lose a few MACs: synapses from the
+        # moved filters into units that stay in subnet 0 are removed for
+        # every subnet (paper Sec. III-A1), but it never loses more than
+        # the small subnet did.
+        assert network.subnet_macs(2) <= before_large
+        assert (before_large - network.subnet_macs(2)) <= (before_small - network.subnet_macs(0))
+
+    def test_layer_macs_keys_are_layer_names(self, network):
+        macs = network.layer_macs(0)
+        assert set(macs) == {layer.layer_name for layer in network.param_layers}
+
+    def test_mac_fractions_against_reference(self, network, tiny_spec):
+        fractions = network.mac_fractions(reference_macs=tiny_spec.total_macs())
+        assert fractions[0] == pytest.approx(1.0)
+
+    def test_importance_scales_empty_without_collection(self, network, image_batch):
+        x, _ = image_batch
+        network.forward(x, subnet=0)
+        assert network.importance_scales() == {}

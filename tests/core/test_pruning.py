@@ -1,0 +1,92 @@
+"""Tests for revivable unstructured pruning."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import SteppingNetwork
+from repro.core.pruning import (
+    apply_unstructured_pruning,
+    pruning_summary,
+    revive_incoming_synapses,
+    revive_units,
+)
+
+
+@pytest.fixture
+def network(tiny_spec, rng):
+    return SteppingNetwork(tiny_spec, num_subnets=3, rng=rng)
+
+
+class TestApplyPruning:
+    def test_threshold_zero_prunes_nothing(self, network):
+        report = apply_unstructured_pruning(network, threshold=0.0)
+        assert report.total_pruned == 0
+        assert report.pruned_fraction == 0.0
+
+    def test_huge_threshold_prunes_everything(self, network):
+        report = apply_unstructured_pruning(network, threshold=1e9)
+        assert report.total_pruned == report.total_weights
+
+    def test_small_weights_are_pruned(self, network):
+        layer = network.param_layers[0]
+        layer.weight.data[0, 0, 0, 0] = 1e-9
+        report = apply_unstructured_pruning(network, threshold=1e-5)
+        assert layer.prune_mask[0, 0, 0, 0] == 0.0
+        assert report.per_layer_pruned[layer.layer_name] >= 1
+
+    def test_pruning_is_revivable_on_recompute(self, network):
+        layer = network.param_layers[0]
+        layer.weight.data[0, 0, 0, 0] = 1e-9
+        apply_unstructured_pruning(network, threshold=1e-5)
+        assert layer.prune_mask[0, 0, 0, 0] == 0.0
+        layer.weight.data[0, 0, 0, 0] = 1.0
+        apply_unstructured_pruning(network, threshold=1e-5)
+        assert layer.prune_mask[0, 0, 0, 0] == 1.0
+
+    def test_negative_threshold_rejected(self, network):
+        with pytest.raises(ValueError):
+            apply_unstructured_pruning(network, threshold=-1.0)
+
+    def test_pruning_reduces_mac_count(self, network):
+        before = network.subnet_macs(0)
+        layer = network.param_layers[0]
+        layer.weight.data[0] = 0.0
+        apply_unstructured_pruning(network, threshold=1e-5)
+        assert network.subnet_macs(0) < before
+
+    def test_report_totals_consistent(self, network):
+        report = apply_unstructured_pruning(network, threshold=1e-5)
+        assert report.total_weights == sum(
+            layer.weight.data.size for layer in network.param_layers
+        )
+
+
+class TestRevive:
+    def test_revive_units_restores_mask_rows(self, network):
+        layer = network.param_layers[0]
+        layer.prune_mask[1] = 0.0
+        revived = revive_units(layer, [1])
+        assert revived == layer.prune_mask[1].size
+        np.testing.assert_allclose(layer.prune_mask[1], 1.0)
+
+    def test_revive_empty_list(self, network):
+        assert revive_units(network.param_layers[0], []) == 0
+
+    def test_revive_rejects_non_stepping_layer(self):
+        with pytest.raises(TypeError):
+            revive_units(object(), [0])
+
+    def test_revive_incoming_synapses_by_param_index(self, network):
+        layer = network.param_layers[1]
+        layer.prune_mask[0] = 0.0
+        revive_incoming_synapses(network, 1, [0])
+        np.testing.assert_allclose(layer.prune_mask[0], 1.0)
+
+
+class TestSummary:
+    def test_summary_fraction_range(self, network):
+        network.param_layers[0].prune_mask[0] = 0.0
+        summary = pruning_summary(network)
+        for fraction in summary.values():
+            assert 0.0 <= fraction <= 1.0
+        assert summary[network.param_layers[0].layer_name] > 0.0

@@ -1,0 +1,125 @@
+"""Tests for shared training utilities and learning-rate suppression."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.network import SteppingNetwork
+from repro.core.trainer import (
+    apply_lr_suppression,
+    evaluate_all_subnets,
+    evaluate_plain_model,
+    evaluate_subnet,
+    make_optimizer,
+    suppression_factors,
+    train_plain_model,
+    train_subnets_round,
+)
+from repro.data import DataLoader
+from repro.models import build_plain_model
+from repro.nn.losses import CrossEntropyLoss
+
+
+@pytest.fixture
+def network(tiny_spec, rng):
+    return SteppingNetwork(tiny_spec, num_subnets=3, rng=rng)
+
+
+class TestSuppressionFactors:
+    def test_exponent_matches_paper_formula(self):
+        factors = suppression_factors(np.array([0, 1, 2]), training_subnet=2, beta=0.9)
+        np.testing.assert_allclose(factors, [0.81, 0.9, 1.0])
+
+    def test_units_of_current_or_larger_subnet_unscaled(self):
+        factors = suppression_factors(np.array([2, 3]), training_subnet=1, beta=0.5)
+        np.testing.assert_allclose(factors, [1.0, 1.0])
+
+    def test_beta_one_is_identity(self):
+        factors = suppression_factors(np.array([0, 1]), 3, beta=1.0)
+        np.testing.assert_allclose(factors, [1.0, 1.0])
+
+
+class TestApplyLrSuppression:
+    def test_scales_hidden_weight_gradients_by_unit_owner(self, network, image_batch):
+        x, y = image_batch
+        layer = network.param_layers[0]
+        layer.assignment.move_units([0], 1)  # filter 0 now belongs to subnet 1
+        logits = network.forward(x, subnet=2)
+        CrossEntropyLoss()(logits, y).backward()
+        grad_before = layer.weight.grad.copy()
+        apply_lr_suppression(network, training_subnet=2, beta=0.5)
+        # Filter 0 (subnet 1): scaled by 0.5; filter 1 (subnet 0): scaled by 0.25.
+        np.testing.assert_allclose(layer.weight.grad[0], grad_before[0] * 0.5)
+        np.testing.assert_allclose(layer.weight.grad[1], grad_before[1] * 0.25)
+
+    def test_beta_one_leaves_gradients_unchanged(self, network, image_batch):
+        x, y = image_batch
+        logits = network.forward(x, subnet=1)
+        CrossEntropyLoss()(logits, y).backward()
+        grads_before = [p.grad.copy() for p in network.parameters() if p.grad is not None]
+        apply_lr_suppression(network, training_subnet=1, beta=1.0)
+        grads_after = [p.grad for p in network.parameters() if p.grad is not None]
+        for before, after in zip(grads_before, grads_after):
+            np.testing.assert_allclose(before, after)
+
+    def test_output_layer_columns_scaled_by_input_feature_owner(self, network, image_batch):
+        x, y = image_batch
+        last_conv_block = [b for b in network.parametric_blocks() if b.kind == "conv"][-1]
+        # Hidden layer feeding the classifier through flatten:
+        classifier_block = network.parametric_blocks()[-1]
+        feeder = network.param_layers[classifier_block.prev_param_index]
+        feeder.assignment.move_units([0], 1)
+        logits = network.forward(x, subnet=2)
+        CrossEntropyLoss()(logits, y).backward()
+        classifier = network.output_layer
+        grad_before = classifier.weight.grad.copy()
+        apply_lr_suppression(network, training_subnet=2, beta=0.5)
+        in_subnet = network.input_unit_subnet(classifier_block.param_index)
+        expected_factors = np.power(0.5, np.maximum(2 - in_subnet, 0))
+        np.testing.assert_allclose(classifier.weight.grad, grad_before * expected_factors[None, :])
+
+
+class TestTrainingLoops:
+    def test_train_subnets_round_reduces_loss(self, network, image_loader):
+        optimizer = make_optimizer(network, TrainingConfig(learning_rate=0.05))
+        first = train_subnets_round(network, image_loader, optimizer, num_batches=2, beta=0.9)
+        second = train_subnets_round(network, image_loader, optimizer, num_batches=2, beta=0.9)
+        assert second < first
+
+    def test_train_subnets_round_returns_mean_loss(self, network, image_loader):
+        optimizer = make_optimizer(network, TrainingConfig())
+        loss = train_subnets_round(network, image_loader, optimizer, num_batches=1)
+        assert np.isfinite(loss) and loss > 0
+
+    def test_train_plain_model_improves_accuracy(self, tiny_spec, image_dataset):
+        loader = DataLoader(image_dataset, batch_size=16, shuffle=True, seed=0)
+        model = build_plain_model(tiny_spec, rng=np.random.default_rng(0))
+        before = evaluate_plain_model(model, loader)
+        train_plain_model(model, loader, epochs=8, training=TrainingConfig(learning_rate=0.05))
+        after = evaluate_plain_model(model, loader)
+        assert after > before
+
+    def test_make_optimizer_covers_all_parameters(self, network):
+        optimizer = make_optimizer(network, TrainingConfig())
+        count = sum(len(group["params"]) for group in optimizer.param_groups)
+        assert count == len(list(network.parameters()))
+
+
+class TestEvaluation:
+    def test_evaluate_subnet_range(self, network, image_loader):
+        accuracy = evaluate_subnet(network, image_loader, subnet=0)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_evaluate_all_subnets_length(self, network, image_loader):
+        accuracies = evaluate_all_subnets(network, image_loader)
+        assert len(accuracies) == network.num_subnets
+
+    def test_evaluation_restores_training_flag(self, network, image_loader):
+        network.train()
+        evaluate_subnet(network, image_loader, subnet=0)
+        assert network.training
+
+    def test_evaluate_plain_model_range(self, tiny_spec, image_loader):
+        model = build_plain_model(tiny_spec)
+        accuracy = evaluate_plain_model(model, image_loader)
+        assert 0.0 <= accuracy <= 1.0

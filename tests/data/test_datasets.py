@@ -1,0 +1,131 @@
+"""Tests for the synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    ArrayDataset,
+    SyntheticCIFAR,
+    SyntheticImageConfig,
+    SyntheticVectors,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    train_test_split,
+)
+
+
+class TestArrayDataset:
+    def test_length_and_indexing(self):
+        ds = ArrayDataset(np.zeros((10, 3, 4, 4)), np.arange(10) % 2)
+        assert len(ds) == 10
+        image, label = ds[3]
+        assert image.shape == (3, 4, 4)
+        assert label == 1
+
+    def test_num_classes_inferred(self):
+        ds = ArrayDataset(np.zeros((6, 2)), np.array([0, 1, 2, 0, 1, 2]))
+        assert ds.num_classes == 3
+
+    def test_num_classes_override(self):
+        ds = ArrayDataset(np.zeros((2, 2)), np.array([0, 1]), num_classes=10)
+        assert ds.num_classes == 10
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_subset(self):
+        ds = ArrayDataset(np.arange(10).reshape(10, 1), np.arange(10) % 2)
+        sub = ds.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        assert sub[1][0][0] == 2
+        assert sub.num_classes == ds.num_classes
+
+
+class TestSyntheticCIFAR:
+    def test_shapes_and_labels(self):
+        config = SyntheticImageConfig(num_classes=5, image_size=16, samples_per_class=4, seed=1)
+        ds = SyntheticCIFAR(config)
+        assert len(ds) == 20
+        image, label = ds[0]
+        assert image.shape == (3, 16, 16)
+        assert 0 <= label < 5
+        assert ds.num_classes == 5
+
+    def test_all_classes_present(self):
+        ds = SyntheticCIFAR(SyntheticImageConfig(num_classes=6, samples_per_class=3, image_size=12))
+        assert set(ds.labels.tolist()) == set(range(6))
+
+    def test_deterministic_given_seed(self):
+        config = SyntheticImageConfig(num_classes=3, image_size=12, samples_per_class=4, seed=7)
+        a = SyntheticCIFAR(config)
+        b = SyntheticCIFAR(config)
+        np.testing.assert_allclose(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_train_test_share_prototypes_but_differ_in_samples(self):
+        config = SyntheticImageConfig(num_classes=3, image_size=12, samples_per_class=4, seed=3)
+        train = SyntheticCIFAR(config, train=True)
+        test = SyntheticCIFAR(config, train=False)
+        np.testing.assert_allclose(train.prototypes, test.prototypes)
+        assert not np.allclose(train.images, test.images)
+
+    def test_noise_controls_difficulty(self):
+        clean = SyntheticCIFAR(SyntheticImageConfig(num_classes=3, image_size=12, samples_per_class=4, noise_std=0.0))
+        noisy = SyntheticCIFAR(SyntheticImageConfig(num_classes=3, image_size=12, samples_per_class=4, noise_std=1.0))
+        assert noisy.images.std() > clean.images.std()
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            SyntheticCIFAR(SyntheticImageConfig(num_classes=1))
+        with pytest.raises(ValueError):
+            SyntheticCIFAR(SyntheticImageConfig(image_size=4))
+
+    def test_cifar10_and_cifar100_factories(self):
+        ten = synthetic_cifar10(samples_per_class=2, image_size=12)
+        hundred = synthetic_cifar100(samples_per_class=1, image_size=12)
+        assert ten.num_classes == 10
+        assert hundred.num_classes == 100
+        assert len(hundred) == 100
+
+    def test_classes_are_distinguishable_by_prototype(self):
+        """Different class prototypes differ far more than within-class samples."""
+        ds = SyntheticCIFAR(SyntheticImageConfig(num_classes=4, image_size=16, samples_per_class=8, noise_std=0.2))
+        protos = ds.prototypes.reshape(4, -1)
+        cross_class = np.linalg.norm(protos[0] - protos[1])
+        assert cross_class > 1.0
+
+
+class TestSyntheticVectors:
+    def test_shapes(self):
+        ds = SyntheticVectors(num_classes=3, dim=8, samples_per_class=10)
+        assert len(ds) == 30
+        sample, label = ds[0]
+        assert sample.shape == (8,)
+        assert ds.num_classes == 3
+
+    def test_classes_form_separated_blobs(self):
+        ds = SyntheticVectors(num_classes=2, dim=4, samples_per_class=30, noise_std=0.1, seed=1)
+        class0 = ds.images[ds.labels == 0].mean(axis=0)
+        class1 = ds.images[ds.labels == 1].mean(axis=0)
+        assert np.linalg.norm(class0 - class1) > 1.0
+
+
+class TestSplit:
+    def test_split_sizes(self):
+        ds = ArrayDataset(np.zeros((20, 2)), np.arange(20) % 4)
+        train, test = train_test_split(ds, test_fraction=0.25, seed=0)
+        assert len(train) == 15
+        assert len(test) == 5
+
+    def test_split_disjoint(self):
+        ds = ArrayDataset(np.arange(20).reshape(20, 1), np.arange(20) % 4)
+        train, test = train_test_split(ds, test_fraction=0.3, seed=0)
+        train_values = set(train.images[:, 0].tolist())
+        test_values = set(test.images[:, 0].tolist())
+        assert train_values.isdisjoint(test_values)
+
+    def test_invalid_fraction(self):
+        ds = ArrayDataset(np.zeros((4, 1)), np.zeros(4))
+        with pytest.raises(ValueError):
+            train_test_split(ds, test_fraction=1.5)

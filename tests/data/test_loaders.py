@@ -1,0 +1,81 @@
+"""Tests for the DataLoader."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import ArrayDataset
+from repro.data.loaders import DataLoader
+from repro.data.transforms import Normalize
+
+
+def make_dataset(n=20, channels=2, size=4):
+    images = np.arange(n * channels * size * size, dtype=float).reshape(n, channels, size, size)
+    labels = np.arange(n) % 3
+    return ArrayDataset(images, labels)
+
+
+class TestBatching:
+    def test_batch_shapes(self):
+        loader = DataLoader(make_dataset(), batch_size=8)
+        x, y = next(iter(loader))
+        assert x.shape == (8, 2, 4, 4)
+        assert y.shape == (8,)
+        assert y.dtype == np.int64
+
+    def test_len_rounds_up(self):
+        assert len(DataLoader(make_dataset(20), batch_size=8)) == 3
+
+    def test_len_drop_last(self):
+        assert len(DataLoader(make_dataset(20), batch_size=8, drop_last=True)) == 2
+
+    def test_drop_last_skips_partial_batch(self):
+        loader = DataLoader(make_dataset(20), batch_size=8, drop_last=True)
+        sizes = [len(y) for _, y in loader]
+        assert sizes == [8, 8]
+
+    def test_all_samples_covered_without_shuffle(self):
+        loader = DataLoader(make_dataset(10), batch_size=4)
+        seen = np.concatenate([x[:, 0, 0, 0] for x, _ in loader])
+        assert len(seen) == 10
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(), batch_size=0)
+
+
+class TestShuffling:
+    def test_shuffle_changes_order_between_epochs(self):
+        loader = DataLoader(make_dataset(32), batch_size=32, shuffle=True, seed=0)
+        first = next(iter(loader))[1].copy()
+        second = next(iter(loader))[1].copy()
+        assert not np.array_equal(first, second)
+
+    def test_same_seed_gives_same_first_epoch(self):
+        a = DataLoader(make_dataset(32), batch_size=32, shuffle=True, seed=5)
+        b = DataLoader(make_dataset(32), batch_size=32, shuffle=True, seed=5)
+        np.testing.assert_array_equal(next(iter(a))[1], next(iter(b))[1])
+
+    def test_no_shuffle_preserves_order(self):
+        loader = DataLoader(make_dataset(6), batch_size=6, shuffle=False)
+        _, labels = next(iter(loader))
+        np.testing.assert_array_equal(labels, np.arange(6) % 3)
+
+
+class TestTransformsAndFullBatch:
+    def test_transform_applied_per_sample(self):
+        ds = ArrayDataset(np.ones((4, 2, 3, 3)), np.zeros(4))
+        loader = DataLoader(ds, batch_size=4, transform=Normalize([1.0, 1.0], [2.0, 2.0]))
+        x, _ = next(iter(loader))
+        np.testing.assert_allclose(x, np.zeros((4, 2, 3, 3)))
+
+    def test_full_batch_returns_everything(self):
+        loader = DataLoader(make_dataset(10), batch_size=3)
+        x, y = loader.full_batch()
+        assert x.shape[0] == 10
+        assert y.shape == (10,)
+
+    def test_full_batch_applies_transform(self):
+        ds = ArrayDataset(np.full((3, 1, 2, 2), 4.0), np.zeros(3))
+        loader = DataLoader(ds, batch_size=2, transform=Normalize([4.0], [1.0]))
+        x, _ = loader.full_batch()
+        np.testing.assert_allclose(x, np.zeros((3, 1, 2, 2)))

@@ -1,0 +1,87 @@
+"""Tests for data transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.transforms import (
+    AdditiveGaussianNoise,
+    Compose,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    dataset_statistics,
+)
+
+
+class TestNormalize:
+    def test_standardises(self):
+        sample = np.stack([np.full((4, 4), 10.0), np.full((4, 4), -10.0)])
+        out = Normalize([10.0, -10.0], [2.0, 5.0])(sample)
+        np.testing.assert_allclose(out, np.zeros((2, 4, 4)))
+
+    def test_rejects_zero_std(self):
+        with pytest.raises(ValueError):
+            Normalize([0.0], [0.0])
+
+
+class TestFlip:
+    def test_always_flip(self):
+        sample = np.arange(8, dtype=float).reshape(1, 2, 4)
+        out = RandomHorizontalFlip(p=1.0)(sample)
+        np.testing.assert_allclose(out[0, 0], [3, 2, 1, 0])
+
+    def test_never_flip(self):
+        sample = np.arange(8, dtype=float).reshape(1, 2, 4)
+        np.testing.assert_allclose(RandomHorizontalFlip(p=0.0)(sample), sample)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            RandomHorizontalFlip(p=2.0)
+
+
+class TestCrop:
+    def test_preserves_shape(self):
+        sample = np.random.default_rng(0).standard_normal((3, 8, 8))
+        out = RandomCrop(padding=2, seed=0)(sample)
+        assert out.shape == (3, 8, 8)
+
+    def test_zero_padding_is_identity(self):
+        sample = np.ones((3, 8, 8))
+        np.testing.assert_allclose(RandomCrop(padding=0)(sample), sample)
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ValueError):
+            RandomCrop(padding=-1)
+
+
+class TestNoiseAndCompose:
+    def test_noise_zero_std_identity(self):
+        sample = np.ones((1, 4, 4))
+        np.testing.assert_allclose(AdditiveGaussianNoise(0.0)(sample), sample)
+
+    def test_noise_changes_values(self):
+        sample = np.ones((1, 4, 4))
+        out = AdditiveGaussianNoise(0.5, seed=0)(sample)
+        assert not np.allclose(out, sample)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            AdditiveGaussianNoise(-1.0)
+
+    def test_compose_applies_in_order(self):
+        sample = np.full((1, 2, 2), 4.0)
+        pipeline = Compose([Normalize([4.0], [2.0]), Normalize([0.0], [0.5])])
+        np.testing.assert_allclose(pipeline(sample), np.zeros((1, 2, 2)))
+
+
+class TestStatistics:
+    def test_dataset_statistics(self):
+        images = np.concatenate([np.zeros((5, 2, 3, 3)), np.ones((5, 2, 3, 3))])
+        mean, std = dataset_statistics(images)
+        np.testing.assert_allclose(mean, [0.5, 0.5])
+        np.testing.assert_allclose(std, [0.5, 0.5])
+
+    def test_std_floor(self):
+        images = np.zeros((4, 1, 2, 2))
+        _, std = dataset_statistics(images)
+        assert std[0] > 0

@@ -1,0 +1,76 @@
+"""Tests for the dense (plain) network builder."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_plain_model, get_model_spec, lenet5, lenet_3c1l, mlp, tiny_cnn
+from repro.nn.tensor import Tensor
+
+
+class TestForwardShapes:
+    def test_tiny_cnn_logits_shape(self):
+        spec = tiny_cnn(num_classes=7, input_shape=(3, 16, 16))
+        model = build_plain_model(spec, rng=np.random.default_rng(0))
+        out = model(np.zeros((5, 3, 16, 16)))
+        assert out.shape == (5, 7)
+
+    def test_lenet_3c1l_shape(self):
+        spec = lenet_3c1l(num_classes=10, input_shape=(3, 16, 16), width_scale=0.25)
+        model = build_plain_model(spec)
+        assert model(np.zeros((2, 3, 16, 16))).shape == (2, 10)
+
+    def test_lenet5_shape(self):
+        spec = lenet5(num_classes=10, input_shape=(3, 24, 24), width_scale=1.0)
+        model = build_plain_model(spec)
+        assert model(np.zeros((2, 3, 24, 24))).shape == (2, 10)
+
+    def test_mlp_accepts_2d_and_4d_input(self):
+        spec = mlp(num_classes=3, input_dim=12, hidden=(8,))
+        model = build_plain_model(spec)
+        assert model(np.zeros((4, 12))).shape == (4, 3)
+        assert model(np.zeros((4, 12, 1, 1))).shape == (4, 3)
+
+    def test_conv_model_rejects_flat_input(self):
+        model = build_plain_model(tiny_cnn(input_shape=(3, 16, 16)))
+        with pytest.raises(ValueError):
+            model(np.zeros((4, 3 * 16 * 16)))
+
+    def test_vgg16_forward_at_32(self):
+        spec = get_model_spec("vgg-16", num_classes=10, width_scale=0.05, input_shape=(3, 32, 32))
+        model = build_plain_model(spec)
+        assert model(np.zeros((1, 3, 32, 32))).shape == (1, 10)
+
+
+class TestPredictHelpers:
+    def test_predict_proba_rows_sum_to_one(self):
+        model = build_plain_model(tiny_cnn(num_classes=5, input_shape=(3, 12, 12)))
+        probs = model.predict_proba(np.random.default_rng(0).standard_normal((3, 3, 12, 12)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(3), atol=1e-9)
+        assert (probs >= 0).all()
+
+    def test_predict_logits_matches_forward(self):
+        model = build_plain_model(tiny_cnn(num_classes=4, input_shape=(3, 12, 12)))
+        model.eval()
+        x = np.random.default_rng(1).standard_normal((2, 3, 12, 12))
+        np.testing.assert_allclose(model.predict_logits(x), model(x).data)
+
+    def test_predict_does_not_build_graph(self):
+        model = build_plain_model(tiny_cnn(num_classes=4, input_shape=(3, 12, 12)))
+        model.predict_logits(np.zeros((1, 3, 12, 12)))
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestDeterminism:
+    def test_same_rng_same_model(self):
+        spec = tiny_cnn(num_classes=4, input_shape=(3, 12, 12))
+        a = build_plain_model(spec, rng=np.random.default_rng(3))
+        b = build_plain_model(spec, rng=np.random.default_rng(3))
+        x = np.random.default_rng(0).standard_normal((2, 3, 12, 12))
+        a.eval()
+        b.eval()
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_parameter_count_scales_with_width(self):
+        small = build_plain_model(tiny_cnn(width_scale=0.5, input_shape=(3, 12, 12)))
+        large = build_plain_model(tiny_cnn(width_scale=1.0, input_shape=(3, 12, 12)))
+        assert large.num_parameters() > small.num_parameters()

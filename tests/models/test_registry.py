@@ -1,0 +1,38 @@
+"""Tests for the model registry."""
+
+import pytest
+
+from repro.models import registry
+from repro.models.spec import ArchitectureSpec
+
+
+class TestRegistry:
+    def test_paper_models_registered(self):
+        available = registry.available_models()
+        for name in ("lenet-3c1l", "lenet-5", "vgg-16"):
+            assert name in available
+
+    def test_get_model_spec_is_case_insensitive(self):
+        spec = registry.get_model_spec("LeNet-3C1L", num_classes=10)
+        assert isinstance(spec, ArchitectureSpec)
+        assert spec.num_classes == 10
+
+    def test_kwargs_forwarded(self):
+        spec = registry.get_model_spec("mlp", num_classes=7, input_dim=5)
+        assert spec.num_classes == 7
+        assert spec.input_shape[0] == 5
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="available"):
+            registry.get_model_spec("resnet-152")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            registry.register_model("mlp", registry.zoo.mlp)
+
+    def test_register_and_use_custom_model(self):
+        name = "custom-test-model"
+        if name not in registry.available_models():
+            registry.register_model(name, lambda **kw: registry.zoo.mlp(**kw))
+        spec = registry.get_model_spec(name, num_classes=3)
+        assert spec.num_classes == 3

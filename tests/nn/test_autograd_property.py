@@ -1,0 +1,134 @@
+"""Property-based tests of the autograd engine (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def small_arrays(min_dims=1, max_dims=2, max_side=5):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=min_dims, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False),
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_sum_gradient_is_all_ones(array):
+    t = Tensor(array, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(array))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_identity_through_reshape_transpose(array):
+    """Reshaping and transposing never change the gradient of a sum."""
+    t = Tensor(array, requires_grad=True)
+    out = t.reshape(-1).reshape(array.shape)
+    if array.ndim == 2:
+        out = out.T.T
+    out.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(array))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(), st.floats(-2.0, 2.0, allow_nan=False))
+def test_linearity_of_backward(array, scale):
+    """grad of (c * x).sum() is c everywhere — backward is linear."""
+    t = Tensor(array, requires_grad=True)
+    (t * scale).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(array, scale), atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_relu_output_nonnegative_and_gradient_bounded(array):
+    t = Tensor(array, requires_grad=True)
+    out = t.relu()
+    assert (out.data >= 0).all()
+    out.sum().backward()
+    assert ((t.grad == 0) | (t.grad == 1)).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(min_dims=2, max_dims=2))
+def test_softmax_rows_are_distributions(array):
+    probs = F.softmax(Tensor(array)).data
+    assert (probs >= 0).all()
+    np.testing.assert_allclose(probs.sum(axis=-1), np.ones(array.shape[0]), atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(min_dims=2, max_dims=2))
+def test_log_softmax_never_positive(array):
+    log_probs = F.log_softmax(Tensor(array)).data
+    assert (log_probs <= 1e-12).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(2, 5)),
+        elements=st.floats(-4.0, 4.0, allow_nan=False),
+    )
+)
+def test_cross_entropy_is_nonnegative_and_bounded_by_log_classes_plus_margin(logits):
+    labels = np.zeros(logits.shape[0], dtype=int)
+    loss = F.cross_entropy(Tensor(logits), labels).item()
+    assert loss >= -1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 3), st.integers(2, 4)),
+        elements=st.floats(-3.0, 3.0, allow_nan=False),
+    )
+)
+def test_kl_divergence_nonnegative(student_logits):
+    rng = np.random.default_rng(0)
+    teacher = rng.random(student_logits.shape) + 0.1
+    teacher /= teacher.sum(axis=1, keepdims=True)
+    kl = F.kl_divergence(teacher, Tensor(student_logits)).item()
+    assert kl >= -1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(1, 3),  # batch
+    st.integers(1, 3),  # in channels
+    st.integers(1, 3),  # out channels
+    st.integers(4, 7),  # spatial
+)
+def test_conv_gradient_shapes_always_match_parameters(batch, c_in, c_out, size):
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((batch, c_in, size, size)), requires_grad=True)
+    w = Tensor(rng.standard_normal((c_out, c_in, 3, 3)), requires_grad=True)
+    b = Tensor(rng.standard_normal(c_out), requires_grad=True)
+    F.conv2d(x, w, b, stride=1, padding=1).sum().backward()
+    assert x.grad.shape == x.shape
+    assert w.grad.shape == w.shape
+    assert b.grad.shape == b.shape
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_arrays(min_dims=2, max_dims=2, max_side=4), small_arrays(min_dims=2, max_dims=2, max_side=4))
+def test_addition_gradient_shapes_match_operands(a, b):
+    """Even under broadcasting, each operand's gradient matches its own shape."""
+    try:
+        np.broadcast_shapes(a.shape, b.shape)
+    except ValueError:
+        pytest.skip("shapes do not broadcast")
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta + tb).sum().backward()
+    assert ta.grad.shape == a.shape
+    assert tb.grad.shape == b.shape

@@ -1,0 +1,59 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFanComputation:
+    def test_linear_shape(self):
+        assert init._fan_in_out((8, 4)) == (4, 8)
+
+    def test_conv_shape(self):
+        fan_in, fan_out = init._fan_in_out((16, 3, 3, 3))
+        assert fan_in == 3 * 9
+        assert fan_out == 16 * 9
+
+
+class TestDistributions:
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_normal((2000, 100), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 100), rel=0.05)
+
+    def test_kaiming_uniform_bounds(self):
+        w = init.kaiming_uniform((64, 32), np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 32)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(1)
+        w = init.xavier_normal((1000, 1000), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 2000), rel=0.1)
+
+    def test_xavier_uniform_bounds(self):
+        w = init.xavier_uniform((50, 30), np.random.default_rng(0))
+        assert np.abs(w).max() <= np.sqrt(6.0 / 80)
+
+    def test_zeros_ones(self):
+        assert init.zeros((3, 3)).sum() == 0
+        assert init.ones((3, 3)).sum() == 9
+
+    def test_uniform_bias_bounds(self):
+        b = init.uniform_bias(16, (100,), np.random.default_rng(0))
+        assert np.abs(b).max() <= 0.25
+
+    def test_reproducibility_with_same_rng_seed(self):
+        a = init.kaiming_normal((4, 4), np.random.default_rng(42))
+        b = init.kaiming_normal((4, 4), np.random.default_rng(42))
+        np.testing.assert_allclose(a, b)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert init.get_initializer("xavier_uniform") is init.xavier_uniform
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="available"):
+            init.get_initializer("nope")

@@ -1,0 +1,103 @@
+"""Tests for the loss modules, in particular the distillation blend of Eq. (4)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.losses import CrossEntropyLoss, DistillationLoss, KLDivergenceLoss, MSELoss
+from repro.nn.tensor import Tensor
+
+
+class TestCrossEntropyLoss:
+    def test_matches_functional(self):
+        logits = Tensor(np.random.default_rng(0).standard_normal((6, 4)))
+        labels = np.array([0, 1, 2, 3, 0, 1])
+        assert CrossEntropyLoss()(logits, labels).item() == pytest.approx(
+            F.cross_entropy(logits, labels).item()
+        )
+
+    def test_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[20.0, -20.0], [-20.0, 20.0]]))
+        loss = CrossEntropyLoss()(logits, np.array([0, 1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(label_smoothing=1.0)
+
+
+class TestKLDivergenceLoss:
+    def test_zero_when_student_matches_teacher(self):
+        logits = np.array([[0.2, 1.3, -0.5]])
+        teacher = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        assert KLDivergenceLoss()(teacher, Tensor(logits)).item() == pytest.approx(0.0, abs=1e-10)
+
+    def test_gradient_pulls_student_towards_teacher(self):
+        teacher = np.array([[1.0, 0.0]])
+        student = Tensor(np.array([[0.0, 0.0]]), requires_grad=True)
+        KLDivergenceLoss()(teacher, student).backward()
+        # Increasing the first logit decreases the loss.
+        assert student.grad[0, 0] < 0
+        assert student.grad[0, 1] > 0
+
+
+class TestDistillationLoss:
+    def test_gamma_one_equals_cross_entropy(self):
+        logits = Tensor(np.random.default_rng(1).standard_normal((4, 3)))
+        labels = np.array([0, 1, 2, 0])
+        teacher = np.random.default_rng(2).standard_normal((4, 3))
+        blended = DistillationLoss(gamma=1.0)(logits, labels, teacher)
+        assert blended.item() == pytest.approx(F.cross_entropy(logits, labels).item())
+
+    def test_no_teacher_falls_back_to_cross_entropy(self):
+        logits = Tensor(np.random.default_rng(1).standard_normal((4, 3)))
+        labels = np.array([0, 1, 2, 0])
+        loss = DistillationLoss(gamma=0.4)(logits, labels, None)
+        assert loss.item() == pytest.approx(F.cross_entropy(logits, labels).item())
+
+    def test_blend_is_between_components(self):
+        rng = np.random.default_rng(3)
+        logits = Tensor(rng.standard_normal((8, 5)))
+        labels = rng.integers(0, 5, size=8)
+        teacher_logits = rng.standard_normal((8, 5))
+        gamma = 0.4
+        blended = DistillationLoss(gamma=gamma)(logits, labels, teacher_logits).item()
+        ce = F.cross_entropy(logits, labels).item()
+        teacher_probs = np.exp(teacher_logits) / np.exp(teacher_logits).sum(axis=1, keepdims=True)
+        kl = F.kl_divergence(teacher_probs, logits).item()
+        assert blended == pytest.approx(gamma * ce + (1 - gamma) * kl, rel=1e-9)
+
+    def test_paper_default_gamma(self):
+        assert DistillationLoss().gamma == pytest.approx(0.4)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            DistillationLoss(gamma=1.5)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            DistillationLoss(temperature=0.0)
+
+    def test_temperature_softens_teacher(self):
+        logits = Tensor(np.zeros((2, 3)), requires_grad=True)
+        labels = np.array([0, 1])
+        teacher = np.array([[5.0, 0.0, 0.0], [0.0, 5.0, 0.0]])
+        sharp = DistillationLoss(gamma=0.0, temperature=1.0)(logits, labels, teacher).item()
+        soft = DistillationLoss(gamma=0.0, temperature=10.0)(logits, labels, teacher).item()
+        # A softer teacher is closer to the uniform student, so the KL shrinks.
+        assert soft < sharp
+
+
+class TestMSELoss:
+    def test_zero_for_identical(self):
+        pred = Tensor(np.ones((3, 2)))
+        assert MSELoss()(pred, np.ones((3, 2))).item() == pytest.approx(0.0)
+
+    def test_value(self):
+        pred = Tensor(np.zeros((2, 2)))
+        assert MSELoss()(pred, np.ones((2, 2))).item() == pytest.approx(1.0)
+
+    def test_gradient(self):
+        pred = Tensor(np.zeros((1, 2)), requires_grad=True)
+        MSELoss()(pred, np.array([[2.0, 2.0]])).backward()
+        np.testing.assert_allclose(pred.grad, [[-2.0, -2.0]])

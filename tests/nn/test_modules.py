@@ -1,0 +1,231 @@
+"""Tests for the Module system and the layer library."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.modules.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class TestModuleRegistration:
+    def test_parameters_are_registered(self):
+        layer = nn.Linear(4, 3)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_modules_traversal(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+        assert len(list(model.parameters())) == 4
+
+    def test_named_modules_includes_children(self):
+        model = nn.Sequential(nn.Linear(2, 2))
+        names = [name for name, _ in model.named_modules()]
+        assert "" in names and "0" in names
+
+    def test_buffers_registered(self):
+        bn = nn.BatchNorm1d(3)
+        buffer_names = [name for name, _ in bn.named_buffers()]
+        assert set(buffer_names) == {"running_mean", "running_var"}
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        model.eval()
+        assert not model.training
+        assert not model[1].training
+        model.train()
+        assert model[1].training
+
+    def test_zero_grad_clears_all(self):
+        model = nn.Linear(3, 2)
+        out = model(Tensor(np.ones((1, 3))))
+        out.sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_num_parameters(self):
+        model = nn.Linear(4, 3)
+        assert model.num_parameters() == 4 * 3 + 3
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_repr_contains_children(self):
+        model = nn.Sequential(nn.Linear(2, 2))
+        assert "Linear" in repr(model)
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = nn.Sequential(nn.Linear(4, 3), nn.BatchNorm1d(3))
+        b = nn.Sequential(nn.Linear(4, 3), nn.BatchNorm1d(3))
+        state = a.state_dict()
+        b.load_state_dict(state)
+        np.testing.assert_allclose(a[0].weight.data, b[0].weight.data)
+        np.testing.assert_allclose(a[1].running_mean, b[1].running_mean)
+
+    def test_shape_mismatch_raises(self):
+        a = nn.Linear(4, 3)
+        b = nn.Linear(4, 2)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            b.load_state_dict(a.state_dict())
+
+    def test_unexpected_key_strict(self):
+        a = nn.Linear(4, 3)
+        state = a.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+        a.load_state_dict(state, strict=False)
+
+
+class TestLinear:
+    def test_forward_shape_and_math(self):
+        layer = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        x = np.ones((4, 3))
+        out = layer(Tensor(x))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_no_bias(self):
+        layer = nn.Linear(3, 2, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 2)
+
+    def test_reproducible_with_rng(self):
+        a = nn.Linear(5, 5, rng=np.random.default_rng(7))
+        b = nn.Linear(5, 5, rng=np.random.default_rng(7))
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+
+class TestConv2d:
+    def test_forward_shape(self):
+        layer = nn.Conv2d(3, 8, 3, padding=1)
+        out = layer(Tensor(np.zeros((2, 3, 16, 16))))
+        assert out.shape == (2, 8, 16, 16)
+
+    def test_stride_halves_resolution(self):
+        layer = nn.Conv2d(3, 4, 3, stride=2, padding=1)
+        out = layer(Tensor(np.zeros((1, 3, 16, 16))))
+        assert out.shape == (1, 4, 8, 8)
+
+    def test_output_spatial_size_helper(self):
+        layer = nn.Conv2d(3, 4, 5, stride=1, padding=0)
+        assert layer.output_spatial_size(32, 32) == (28, 28)
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 4, 0)
+
+
+class TestNormalisationLayers:
+    def test_batchnorm1d_shape_check(self):
+        bn = nn.BatchNorm1d(4)
+        with pytest.raises(ValueError):
+            bn(Tensor(np.zeros((2, 3))))
+
+    def test_batchnorm2d_shape_check(self):
+        bn = nn.BatchNorm2d(4)
+        with pytest.raises(ValueError):
+            bn(Tensor(np.zeros((2, 3, 8, 8))))
+
+    def test_batchnorm_normalises_training_batch(self):
+        bn = nn.BatchNorm1d(3)
+        x = Tensor(np.random.default_rng(0).standard_normal((64, 3)) * 4 + 7)
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=0), np.zeros(3), atol=1e-7)
+
+    def test_reset_running_stats(self):
+        bn = nn.BatchNorm1d(3)
+        bn(Tensor(np.random.default_rng(0).standard_normal((8, 3)) + 5))
+        bn.reset_running_stats()
+        np.testing.assert_allclose(bn.running_mean, np.zeros(3))
+
+    def test_eval_mode_is_deterministic_function(self):
+        bn = nn.BatchNorm1d(3)
+        bn(Tensor(np.random.default_rng(0).standard_normal((8, 3))))
+        bn.eval()
+        x = Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(bn(x).data, bn(x).data)
+
+
+class TestOtherLayers:
+    def test_flatten(self):
+        out = nn.Flatten()(Tensor(np.zeros((2, 3, 4, 5))))
+        assert out.shape == (2, 60)
+
+    def test_relu_layer(self):
+        out = nn.ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_leaky_relu(self):
+        out = nn.LeakyReLU(0.1)(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [-0.1, 2.0])
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_dropout_eval_identity(self):
+        drop = nn.Dropout(0.9)
+        drop.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_max_avg_pool_layers(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4))
+        assert nn.MaxPool2d(2)(x).shape == (1, 1, 2, 2)
+        assert nn.AvgPool2d(2)(x).shape == (1, 1, 2, 2)
+
+    def test_global_avg_pool_layer(self):
+        x = Tensor(np.ones((2, 5, 3, 3)))
+        np.testing.assert_allclose(nn.GlobalAvgPool2d()(x).data, np.ones((2, 5)))
+
+
+class TestContainers:
+    def test_sequential_forward_order(self):
+        model = nn.Sequential(nn.Linear(4, 8, rng=np.random.default_rng(0)), nn.ReLU(), nn.Flatten())
+        out = model(Tensor(np.ones((2, 4))))
+        assert out.shape == (2, 8)
+        assert (out.data >= 0).all()
+
+    def test_sequential_append_and_index(self):
+        model = nn.Sequential(nn.Linear(2, 2))
+        model.append(nn.ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], nn.ReLU)
+
+    def test_module_list_registers_parameters(self):
+        modules = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(list(modules.parameters())) == 4
+        assert len(modules) == 2
+
+    def test_module_list_not_callable(self):
+        with pytest.raises(RuntimeError):
+            nn.ModuleList([])(None)
+
+
+class TestTraining:
+    def test_linear_model_learns_xor_like_split(self):
+        """End-to-end sanity: a tiny MLP fits a separable blob problem."""
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(-2, 0.3, (30, 2)), rng.normal(2, 0.3, (30, 2))])
+        y = np.array([0] * 30 + [1] * 30)
+        model = nn.Sequential(nn.Linear(2, 16, rng=rng), nn.ReLU(), nn.Linear(16, 2, rng=rng))
+        optimizer = nn.SGD(model.parameters(), lr=0.1)
+        loss_fn = nn.CrossEntropyLoss()
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = loss_fn(model(Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+        accuracy = nn.functional.accuracy(model(Tensor(x)), y)
+        assert accuracy >= 0.95

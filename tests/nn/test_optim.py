@@ -1,0 +1,150 @@
+"""Tests for optimizers and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.modules.module import Parameter
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, ExponentialLR, StepLR
+
+
+def make_param(value=1.0, shape=(3,)):
+    return Parameter(np.full(shape, value))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = make_param(1.0)
+        p.grad = np.full(3, 0.5)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, np.full(3, 0.95))
+
+    def test_skips_params_without_grad(self):
+        p = make_param(1.0)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, np.ones(3))
+
+    def test_momentum_accumulates(self):
+        p = make_param(0.0)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.ones(3)
+        opt.step()
+        first = p.data.copy()
+        p.grad = np.ones(3)
+        opt.step()
+        # Second step moves further because of the momentum buffer.
+        assert np.all((first - p.data) > 1.0)
+
+    def test_weight_decay_pulls_towards_zero(self):
+        p = make_param(1.0)
+        p.grad = np.zeros(3)
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, np.full(3, 0.95))
+
+    def test_nesterov(self):
+        p = make_param(0.0)
+        opt = SGD([p], lr=0.1, momentum=0.9, nesterov=True)
+        p.grad = np.ones(3)
+        opt.step()
+        assert p.data[0] < -0.1  # larger step than plain SGD
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.1, momentum=-0.5)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        p = make_param()
+        p.grad = np.ones(3)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_param_groups_with_different_lrs(self):
+        p1, p2 = make_param(1.0), make_param(1.0)
+        opt = SGD([{"params": [p1], "lr": 0.1}, {"params": [p2], "lr": 0.01}], lr=0.5)
+        p1.grad = np.ones(3)
+        p2.grad = np.ones(3)
+        opt.step()
+        np.testing.assert_allclose(p1.data, np.full(3, 0.9))
+        np.testing.assert_allclose(p2.data, np.full(3, 0.99))
+
+    def test_set_lr(self):
+        opt = SGD([make_param()], lr=0.1)
+        opt.set_lr(0.5)
+        assert opt.lr == 0.5
+
+
+class TestAdam:
+    def test_first_step_magnitude_close_to_lr(self):
+        p = make_param(0.0)
+        p.grad = np.full(3, 10.0)
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(np.abs(p.data), np.full(3, 0.01), rtol=1e-3)
+
+    def test_converges_on_quadratic(self):
+        p = make_param(5.0, shape=(1,))
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            p.grad = 2 * p.data  # d/dx x^2
+            opt.step()
+        assert abs(p.data[0]) < 0.05
+
+    def test_weight_decay(self):
+        p = make_param(1.0)
+        p.grad = np.zeros(3)
+        Adam([p], lr=0.1, weight_decay=1.0).step()
+        assert np.all(p.data < 1.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([make_param()], betas=(1.5, 0.9))
+
+
+class TestSchedulers:
+    def _opt(self, lr=1.0):
+        return SGD([make_param()], lr=lr)
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_step_lr_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=0)
+
+    def test_cosine_reaches_eta_min(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.05)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.05)
+
+    def test_cosine_monotone_decrease(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=5)
+        previous = opt.lr
+        for _ in range(5):
+            sched.step()
+            assert opt.lr <= previous + 1e-12
+            previous = opt.lr
+
+    def test_exponential(self):
+        opt = self._opt()
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.25)

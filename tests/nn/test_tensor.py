@@ -1,0 +1,304 @@
+"""Unit tests for the autograd Tensor."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, concatenate, no_grad, stack, where
+
+
+class TestBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_shares_data_but_not_graph(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert np.shares_memory(d.data, t.data)
+
+    def test_copy_is_independent(self):
+        t = Tensor([1.0, 2.0])
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_zeros_ones_randn_constructors(self):
+        assert Tensor.zeros((2, 3)).data.sum() == 0
+        assert Tensor.ones((2, 3)).data.sum() == 6
+        assert Tensor.randn(4, 5, rng=np.random.default_rng(0)).shape == (4, 5)
+
+
+class TestArithmeticGradients:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [3.0, 4.0])
+        np.testing.assert_allclose(b.grad, [1.0, 2.0])
+
+    def test_sub_and_neg_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a - b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [-1.0, -1.0])
+
+    def test_div_backward(self):
+        a = Tensor([4.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul_backward(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        b = Tensor(np.arange(12, dtype=float).reshape(3, 4), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 4)) @ b.data.T)
+        np.testing.assert_allclose(b.grad, a.data.T @ np.ones((2, 4)))
+
+    def test_radd_rmul_with_scalars(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (2.0 * a + 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 2.0])
+
+    def test_rsub_rdiv(self):
+        a = Tensor([2.0], requires_grad=True)
+        (4.0 - a).backward()
+        np.testing.assert_allclose(a.grad, [-1.0])
+        b = Tensor([2.0], requires_grad=True)
+        (4.0 / b).backward()
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_gradient_accumulation_over_reuse(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a).backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_broadcast_add_unbroadcasts_gradient(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((1, 3)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (1, 3)
+        np.testing.assert_allclose(b.grad, [[2.0, 2.0, 2.0]])
+
+    def test_broadcast_scalar_bias(self):
+        a = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(b.grad, [4.0, 4.0, 4.0])
+
+
+class TestReductionsAndShape:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_gradient_scaled(self):
+        a = Tensor(np.arange(4, dtype=float), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, [0.25] * 4)
+
+    def test_mean_over_axis_tuple(self):
+        a = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        out = a.mean(axis=(1, 2))
+        assert out.shape == (2,)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3, 4), 1.0 / 12))
+
+    def test_max_backward_routes_to_argmax(self):
+        a = Tensor([[1.0, 5.0, 2.0]], requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_splits_ties(self):
+        a = Tensor([[3.0, 3.0]], requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5]])
+
+    def test_reshape_roundtrip_gradient(self):
+        a = Tensor(np.arange(6, dtype=float), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(6))
+
+    def test_reshape_accepts_tuple(self):
+        a = Tensor(np.arange(6, dtype=float))
+        assert a.reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_gradient(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        (a.T * Tensor(np.arange(6, dtype=float).reshape(3, 2))).sum().backward()
+        assert a.grad.shape == (2, 3)
+
+    def test_getitem_gradient_scatters(self):
+        a = Tensor(np.arange(5, dtype=float), requires_grad=True)
+        a[1:3].sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 1.0, 0.0, 0.0])
+
+
+class TestElementwise:
+    def test_exp_log_roundtrip_gradient(self):
+        a = Tensor([0.5, 1.5], requires_grad=True)
+        a.exp().log().sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0], atol=1e-9)
+
+    def test_relu_gradient_mask(self):
+        a = Tensor([-1.0, 2.0], requires_grad=True)
+        a.relu().sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+
+    def test_sigmoid_at_zero(self):
+        a = Tensor([0.0], requires_grad=True)
+        out = a.sigmoid()
+        assert out.item() == pytest.approx(0.5)
+        out.backward()
+        np.testing.assert_allclose(a.grad, [0.25])
+
+    def test_tanh_gradient(self):
+        a = Tensor([0.0], requires_grad=True)
+        a.tanh().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_sqrt(self):
+        a = Tensor([4.0], requires_grad=True)
+        a.sqrt().backward()
+        np.testing.assert_allclose(a.grad, [0.25])
+
+    def test_clip_gradient_zero_outside(self):
+        a = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_abs_gradient_sign(self):
+        a = Tensor([-2.0, 3.0], requires_grad=True)
+        a.abs().sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0, 1.0])
+
+
+class TestBackwardSemantics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_grad_argument(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            t.backward()
+        t.backward(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(t.grad, [1.0, 1.0])
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_no_grad_disables_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        from repro.nn.tensor import is_grad_enabled
+
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a * 2
+        c = a * 3
+        (b + c).backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_deep_chain_does_not_recurse(self):
+        a = Tensor([1.0], requires_grad=True)
+        x = a
+        for _ in range(2000):
+            x = x + 1.0
+        x.backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+
+class TestCombinators:
+    def test_stack_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        stack([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_concatenate_gradient_splits(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (3,)
+        (out * Tensor([1.0, 2.0, 3.0])).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 2.0])
+        np.testing.assert_allclose(b.grad, [3.0])
+
+    def test_where_routes_gradients(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([10.0, 20.0], requires_grad=True)
+        where(np.array([True, False]), a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+
+class TestNumericalGradients:
+    def test_composite_expression_matches_numerical(self, gradcheck):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 2)), requires_grad=True)
+
+        def build():
+            return ((a @ b).tanh() * 2.0 + 1.0).sum()
+
+        gradcheck(build, [a, b])
+
+    def test_division_and_exp_matches_numerical(self, gradcheck):
+        rng = np.random.default_rng(1)
+        a = Tensor(rng.standard_normal((2, 3)) + 3.0, requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 3)) + 3.0, requires_grad=True)
+
+        def build():
+            return ((a / b).exp()).mean()
+
+        gradcheck(build, [a, b])

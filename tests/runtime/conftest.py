@@ -1,0 +1,24 @@
+"""Runtime-test fixtures.
+
+The root ``stepping_network`` fixture is a freshly initialised network in
+which every unit still belongs to the smallest subnet (that is how
+construction starts), so all subnets have identical MAC counts.  The
+runtime package is about the *differences* between subnet levels, so the
+fixture is overridden here with calibrated nested prefix assignments —
+four genuinely distinct subnet sizes — without running the (slow)
+construction flow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import set_prefix_assignments
+from repro.core import SteppingNetwork
+
+
+@pytest.fixture
+def stepping_network(tiny_spec, rng):
+    network = SteppingNetwork(tiny_spec.expand(1.5), num_subnets=4, rng=rng)
+    set_prefix_assignments(network, [0.25, 0.5, 0.75, 1.0])
+    network.assignment.validate()
+    return network

@@ -1,0 +1,145 @@
+"""Tests for the anytime executors (reuse vs recompute)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.runtime.executor import AnytimeExecutor, RecomputeExecutor
+from repro.runtime.platform import ResourceTrace
+from repro.runtime.policies import ConfidencePolicy, FixedSubnetPolicy, GreedyPolicy
+
+
+@pytest.fixture
+def inputs(image_batch):
+    images, _ = image_batch
+    return images[:4]
+
+
+@pytest.fixture
+def fast_trace():
+    return ResourceTrace.constant(1e12)
+
+
+class TestAnytimeExecutor:
+    def test_reaches_largest_subnet_with_generous_resources(self, stepping_network, inputs, fast_trace):
+        executor = AnytimeExecutor(stepping_network, fast_trace, GreedyPolicy())
+        record = executor.execute(inputs, deadline=100.0)
+        assert record.final_subnet == stepping_network.num_subnets - 1
+        assert len(record.steps) == stepping_network.num_subnets
+
+    def test_total_macs_equal_largest_subnet(self, stepping_network, inputs, fast_trace):
+        executor = AnytimeExecutor(stepping_network, fast_trace, GreedyPolicy())
+        record = executor.execute(inputs, deadline=100.0)
+        assert record.total_macs_executed == pytest.approx(
+            stepping_network.subnet_macs(stepping_network.num_subnets - 1)
+        )
+
+    def test_logits_match_direct_forward(self, stepping_network, inputs, fast_trace):
+        executor = AnytimeExecutor(stepping_network, fast_trace, GreedyPolicy())
+        record = executor.execute(inputs, deadline=100.0)
+        stepping_network.eval()
+        direct = stepping_network.forward(inputs, subnet=stepping_network.num_subnets - 1)
+        np.testing.assert_allclose(record.final_logits, direct.data, rtol=1e-8, atol=1e-8)
+
+    def test_deadline_limits_stepping(self, stepping_network, inputs):
+        macs_first = stepping_network.subnet_macs(0)
+        # Rate such that the first subnet takes exactly 1s; deadline allows little more.
+        trace = ResourceTrace.constant(float(macs_first))
+        executor = AnytimeExecutor(stepping_network, trace, GreedyPolicy())
+        record = executor.execute(inputs, deadline=1.5)
+        assert record.final_subnet < stepping_network.num_subnets - 1
+        assert record.deadline_met
+
+    def test_zero_throughput_reports_infinite_finish(self, stepping_network, inputs):
+        trace = ResourceTrace.constant(0.0)
+        executor = AnytimeExecutor(stepping_network, trace, GreedyPolicy())
+        record = executor.execute(inputs, deadline=1.0)
+        assert math.isinf(record.finish_time)
+        assert not record.deadline_met
+
+    def test_confidence_policy_may_stop_early(self, stepping_network, inputs, fast_trace):
+        executor = AnytimeExecutor(
+            stepping_network, fast_trace, ConfidencePolicy(threshold=1e-6)
+        )
+        record = executor.execute(inputs, deadline=100.0)
+        assert record.final_subnet == 0
+        assert "confident" in record.stop_reason
+
+    def test_fixed_policy_stops_at_level(self, stepping_network, inputs, fast_trace):
+        executor = AnytimeExecutor(stepping_network, fast_trace, FixedSubnetPolicy(subnet=1))
+        record = executor.execute(inputs, deadline=100.0)
+        assert record.final_subnet == 1
+
+    def test_reuse_recorded_for_later_steps(self, stepping_network, inputs, fast_trace):
+        executor = AnytimeExecutor(stepping_network, fast_trace, GreedyPolicy())
+        record = executor.execute(inputs, deadline=100.0)
+        assert record.steps[0].macs_reused == 0.0
+        assert all(step.macs_reused > 0 for step in record.steps[1:])
+
+    def test_overhead_charged_per_step(self, stepping_network, inputs, fast_trace):
+        executor = AnytimeExecutor(
+            stepping_network, fast_trace, GreedyPolicy(), overhead_per_step=0.25
+        )
+        record = executor.execute(inputs, deadline=100.0)
+        assert record.finish_time >= 0.25 * len(record.steps)
+
+    def test_negative_overhead_rejected(self, stepping_network, fast_trace):
+        with pytest.raises(ValueError):
+            AnytimeExecutor(stepping_network, fast_trace, overhead_per_step=-0.1)
+
+    def test_start_subnet(self, stepping_network, inputs, fast_trace):
+        executor = AnytimeExecutor(stepping_network, fast_trace, FixedSubnetPolicy(subnet=1))
+        record = executor.execute(inputs, deadline=100.0, start_subnet=1)
+        assert record.steps[0].subnet == 1
+
+    def test_subnet_completed_by(self, stepping_network, inputs):
+        macs_first = stepping_network.subnet_macs(0)
+        trace = ResourceTrace.constant(float(macs_first))
+        executor = AnytimeExecutor(stepping_network, trace, GreedyPolicy())
+        record = executor.execute(inputs, deadline=50.0)
+        assert record.subnet_completed_by(0.0) == -1
+        assert record.subnet_completed_by(record.finish_time) == record.final_subnet
+
+
+class TestRecomputeExecutor:
+    def test_charges_full_macs_per_step(self, stepping_network, inputs, fast_trace):
+        executor = RecomputeExecutor(stepping_network, fast_trace, GreedyPolicy())
+        record = executor.execute(inputs, deadline=100.0)
+        expected = sum(
+            stepping_network.subnet_macs(i) for i in range(stepping_network.num_subnets)
+        )
+        assert record.total_macs_executed == pytest.approx(expected)
+        assert record.total_macs_reused == 0.0
+
+    def test_more_expensive_than_reuse(self, stepping_network, inputs, fast_trace):
+        reuse = AnytimeExecutor(stepping_network, fast_trace, GreedyPolicy()).execute(
+            inputs, deadline=100.0
+        )
+        recompute = RecomputeExecutor(stepping_network, fast_trace, GreedyPolicy()).execute(
+            inputs, deadline=100.0
+        )
+        assert recompute.total_macs_executed > reuse.total_macs_executed
+
+    def test_same_final_logits_as_reuse(self, stepping_network, inputs, fast_trace):
+        reuse = AnytimeExecutor(stepping_network, fast_trace, GreedyPolicy()).execute(
+            inputs, deadline=100.0
+        )
+        recompute = RecomputeExecutor(stepping_network, fast_trace, GreedyPolicy()).execute(
+            inputs, deadline=100.0
+        )
+        np.testing.assert_allclose(reuse.final_logits, recompute.final_logits, rtol=1e-8)
+
+    def test_reaches_fewer_levels_under_tight_budget(self, stepping_network, inputs):
+        # A budget that lets the reuse executor finish all levels but the
+        # recompute executor pay for each level from scratch.
+        largest = stepping_network.subnet_macs(stepping_network.num_subnets - 1)
+        trace = ResourceTrace.constant(float(largest))
+        deadline = 1.05  # just enough for ~1x the largest subnet's MACs
+        reuse = AnytimeExecutor(stepping_network, trace, GreedyPolicy()).execute(
+            inputs, deadline=deadline
+        )
+        recompute = RecomputeExecutor(stepping_network, trace, GreedyPolicy()).execute(
+            inputs, deadline=deadline
+        )
+        assert reuse.final_subnet >= recompute.final_subnet

@@ -1,0 +1,99 @@
+"""Tests for the latency model and per-subnet latency tables."""
+
+import pytest
+
+from repro.runtime.latency import (
+    LatencyModel,
+    deadline_feasible_subnet,
+    latency_table,
+    subnet_latencies,
+)
+from repro.runtime.platform import MOBILE_SOC, PlatformSpec, ResourceTrace
+
+
+class TestLatencyModel:
+    def test_latency_simple(self):
+        model = LatencyModel(macs_per_second=100.0)
+        assert model.latency(250.0) == pytest.approx(2.5)
+
+    def test_latency_with_overhead(self):
+        model = LatencyModel(100.0, invocation_overhead=0.1)
+        assert model.latency(100.0, invocations=2) == pytest.approx(1.2)
+
+    def test_macs_within_window(self):
+        model = LatencyModel(100.0, invocation_overhead=0.1)
+        assert model.macs_within(1.1, invocations=1) == pytest.approx(100.0)
+
+    def test_macs_within_overhead_dominates(self):
+        model = LatencyModel(100.0, invocation_overhead=1.0)
+        assert model.macs_within(0.5) == 0.0
+
+    def test_from_platform(self):
+        model = LatencyModel.from_platform(MOBILE_SOC, "saver")
+        assert model.macs_per_second == pytest.approx(MOBILE_SOC.throughput("saver"))
+        assert model.invocation_overhead == MOBILE_SOC.invocation_overhead
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            LatencyModel(0.0)
+
+    def test_negative_macs_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(10.0).latency(-1.0)
+
+
+class TestSubnetLatencies:
+    def test_rows_per_subnet(self, stepping_network):
+        model = LatencyModel(1e6)
+        rows = subnet_latencies(stepping_network, model)
+        assert len(rows) == stepping_network.num_subnets
+
+    def test_cumulative_latency_increases(self, stepping_network):
+        model = LatencyModel(1e6)
+        rows = subnet_latencies(stepping_network, model)
+        latencies = [row["cumulative_latency"] for row in rows]
+        assert latencies == sorted(latencies)
+
+    def test_incremental_sums_to_cumulative(self, stepping_network):
+        model = LatencyModel(1e6)
+        rows = subnet_latencies(stepping_network, model)
+        total_incremental_macs = sum(row["incremental_macs"] for row in rows)
+        assert total_incremental_macs == pytest.approx(rows[-1]["macs"])
+
+
+class TestLatencyTable:
+    def test_covers_all_modes(self, stepping_network):
+        table = latency_table(stepping_network, MOBILE_SOC)
+        modes = {row["mode"] for row in table}
+        assert modes == set(MOBILE_SOC.power_modes)
+
+    def test_platform_without_modes_uses_peak(self, stepping_network):
+        platform = PlatformSpec("bare", 1e6)
+        table = latency_table(stepping_network, platform)
+        assert {row["mode"] for row in table} == {"peak"}
+
+
+class TestDeadlineFeasibleSubnet:
+    def test_generous_deadline_allows_largest(self, stepping_network):
+        trace = ResourceTrace.constant(1e12)
+        feasible = deadline_feasible_subnet(stepping_network, trace, 0.0, deadline=10.0)
+        assert feasible == stepping_network.num_subnets - 1
+
+    def test_impossible_deadline(self, stepping_network):
+        trace = ResourceTrace.constant(1.0)
+        feasible = deadline_feasible_subnet(stepping_network, trace, 0.0, deadline=1e-9)
+        assert feasible == -1
+
+    def test_intermediate_budget_selects_partial_subnet(self, stepping_network):
+        macs_small = stepping_network.subnet_macs(0)
+        macs_large = stepping_network.subnet_macs(stepping_network.num_subnets - 1)
+        # Rate chosen so only the two smallest subnets fit in one second.
+        rate = (stepping_network.subnet_macs(1) + macs_small) / 2.0
+        trace = ResourceTrace.constant(rate)
+        feasible = deadline_feasible_subnet(stepping_network, trace, 0.0, deadline=1.0)
+        assert 0 <= feasible < stepping_network.num_subnets - 1 or macs_large <= rate
+
+    def test_invalid_deadline_rejected(self, stepping_network):
+        trace = ResourceTrace.constant(1e6)
+        with pytest.raises(ValueError):
+            deadline_feasible_subnet(stepping_network, trace, 1.0, deadline=0.5)

@@ -1,0 +1,218 @@
+"""Tests for platform specs and piecewise-constant resource traces."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.platform import (
+    EMBEDDED_MCU,
+    MOBILE_SOC,
+    VEHICLE_ECU,
+    PlatformSpec,
+    ResourcePhase,
+    ResourceTrace,
+)
+
+
+class TestPlatformSpec:
+    def test_throughput_peak(self):
+        platform = PlatformSpec("p", peak_macs_per_second=1e6)
+        assert platform.throughput() == 1e6
+
+    def test_throughput_mode(self):
+        platform = PlatformSpec("p", 1e6, power_modes={"saver": 0.25})
+        assert platform.throughput("saver") == pytest.approx(2.5e5)
+
+    def test_unknown_mode_raises(self):
+        platform = PlatformSpec("p", 1e6, power_modes={"saver": 0.25})
+        with pytest.raises(KeyError):
+            platform.throughput("turbo")
+
+    def test_invalid_peak_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformSpec("p", 0.0)
+
+    def test_invalid_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformSpec("p", 1e6, invocation_overhead=-1.0)
+
+    def test_invalid_mode_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformSpec("p", 1e6, power_modes={"broken": 1.5})
+
+    @pytest.mark.parametrize("platform", [MOBILE_SOC, VEHICLE_ECU, EMBEDDED_MCU])
+    def test_predefined_platforms_are_valid(self, platform):
+        assert platform.peak_macs_per_second > 0
+        for mode in platform.power_modes:
+            assert 0 < platform.throughput(mode) <= platform.peak_macs_per_second
+
+
+class TestResourcePhase:
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            ResourcePhase(-1.0, 10.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ResourcePhase(0.0, -5.0)
+
+
+class TestResourceTrace:
+    def test_requires_at_least_one_phase(self):
+        with pytest.raises(ValueError):
+            ResourceTrace([])
+
+    def test_duplicate_start_times_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceTrace([ResourcePhase(0.0, 1.0), ResourcePhase(0.0, 2.0)])
+
+    def test_phases_sorted_on_construction(self):
+        trace = ResourceTrace([ResourcePhase(5.0, 2.0), ResourcePhase(0.0, 1.0)])
+        assert trace.boundaries() == [0.0, 5.0]
+
+    def test_constant_trace_throughput(self):
+        trace = ResourceTrace.constant(100.0)
+        assert trace.throughput_at(0.0) == 100.0
+        assert trace.throughput_at(1e9) == 100.0
+
+    def test_throughput_before_first_phase_is_zero(self):
+        trace = ResourceTrace([ResourcePhase(2.0, 100.0)])
+        assert trace.throughput_at(1.0) == 0.0
+        assert trace.throughput_at(2.0) == 100.0
+
+    def test_throughput_switches_at_boundary(self):
+        trace = ResourceTrace.from_pairs([(0.0, 100.0), (1.0, 50.0)])
+        assert trace.throughput_at(0.5) == 100.0
+        assert trace.throughput_at(1.0) == 50.0
+        assert trace.throughput_at(10.0) == 50.0
+
+    def test_phase_at_returns_governing_phase(self):
+        trace = ResourceTrace.from_pairs([(0.0, 100.0), (1.0, 50.0)])
+        assert trace.phase_at(0.2).macs_per_second == 100.0
+        assert trace.phase_at(3.0).macs_per_second == 50.0
+
+    def test_available_macs_constant(self):
+        trace = ResourceTrace.constant(10.0)
+        assert trace.available_macs(0.0, 2.0) == pytest.approx(20.0)
+
+    def test_available_macs_across_phase_change(self):
+        trace = ResourceTrace.from_pairs([(0.0, 10.0), (1.0, 2.0)])
+        assert trace.available_macs(0.0, 2.0) == pytest.approx(12.0)
+
+    def test_available_macs_empty_window(self):
+        trace = ResourceTrace.constant(10.0)
+        assert trace.available_macs(1.0, 1.0) == 0.0
+
+    def test_available_macs_invalid_window_rejected(self):
+        trace = ResourceTrace.constant(10.0)
+        with pytest.raises(ValueError):
+            trace.available_macs(2.0, 1.0)
+
+    def test_time_to_execute_constant(self):
+        trace = ResourceTrace.constant(10.0)
+        assert trace.time_to_execute(25.0, 0.0) == pytest.approx(2.5)
+
+    def test_time_to_execute_with_offset(self):
+        trace = ResourceTrace.constant(10.0)
+        assert trace.time_to_execute(10.0, 3.0) == pytest.approx(4.0)
+
+    def test_time_to_execute_across_phase_change(self):
+        trace = ResourceTrace.from_pairs([(0.0, 10.0), (1.0, 5.0)])
+        # 10 MACs in the first second, the remaining 5 at 5 MAC/s.
+        assert trace.time_to_execute(15.0, 0.0) == pytest.approx(2.0)
+
+    def test_time_to_execute_zero_work(self):
+        trace = ResourceTrace.constant(10.0)
+        assert trace.time_to_execute(0.0, 7.0) == 7.0
+
+    def test_time_to_execute_negative_rejected(self):
+        trace = ResourceTrace.constant(10.0)
+        with pytest.raises(ValueError):
+            trace.time_to_execute(-1.0, 0.0)
+
+    def test_time_to_execute_infinite_when_no_throughput(self):
+        trace = ResourceTrace.from_pairs([(0.0, 10.0), (1.0, 0.0)])
+        assert math.isinf(trace.time_to_execute(100.0, 0.0))
+
+    def test_time_skips_zero_rate_phase(self):
+        trace = ResourceTrace.from_pairs([(0.0, 0.0), (1.0, 10.0)])
+        assert trace.time_to_execute(10.0, 0.0) == pytest.approx(2.0)
+
+    def test_scaled(self):
+        trace = ResourceTrace.constant(10.0).scaled(2.0)
+        assert trace.throughput_at(0.0) == 20.0
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ValueError):
+            ResourceTrace.constant(10.0).scaled(0.0)
+
+    def test_shifted(self):
+        trace = ResourceTrace.from_pairs([(0.0, 10.0), (2.0, 5.0)]).shifted(1.0)
+        assert trace.throughput_at(0.5) == 0.0 or trace.throughput_at(1.0) == 10.0
+        assert trace.throughput_at(3.5) == 5.0
+
+    def test_mean_throughput(self):
+        trace = ResourceTrace.from_pairs([(0.0, 10.0), (1.0, 0.0)])
+        assert trace.mean_throughput(0.0, 2.0) == pytest.approx(5.0)
+
+    def test_len(self):
+        assert len(ResourceTrace.from_pairs([(0.0, 1.0), (1.0, 2.0)])) == 2
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+rates = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def traces(draw):
+    count = draw(st.integers(min_value=1, max_value=6))
+    starts = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+    )
+    phase_rates = draw(st.lists(rates, min_size=count, max_size=count))
+    return ResourceTrace(
+        [ResourcePhase(start, rate) for start, rate in zip(starts, phase_rates)]
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(trace=traces(), split=st.floats(min_value=0.0, max_value=1.0), t0=st.floats(0, 50), span=st.floats(0, 50))
+def test_available_macs_is_additive_over_subintervals(trace, split, t0, span):
+    """MACs over [t0, t1] equal the sum over any split of the interval."""
+    t1 = t0 + span
+    mid = t0 + split * span
+    total = trace.available_macs(t0, t1)
+    parts = trace.available_macs(t0, mid) + trace.available_macs(mid, t1)
+    assert total == pytest.approx(parts, rel=1e-9, abs=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(trace=traces(), macs=st.floats(min_value=0.0, max_value=1e6), start=st.floats(0, 50))
+def test_time_to_execute_consistent_with_available_macs(trace, macs, start):
+    """The work finished at the returned time is at least the requested work."""
+    finish = trace.time_to_execute(macs, start)
+    if math.isinf(finish):
+        total = trace.available_macs(start, start + 1e6)
+        assert total < macs or macs == 0
+    else:
+        assert finish >= start
+        delivered = trace.available_macs(start, finish)
+        assert delivered == pytest.approx(macs, rel=1e-6, abs=1e-6) or delivered >= macs
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=traces(), t=st.floats(min_value=0.0, max_value=200.0))
+def test_throughput_is_non_negative(trace, t):
+    assert trace.throughput_at(t) >= 0.0

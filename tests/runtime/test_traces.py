@@ -1,0 +1,125 @@
+"""Tests for the resource-trace generators."""
+
+import pytest
+
+from repro.runtime.platform import MOBILE_SOC
+from repro.runtime.traces import (
+    bursty_trace,
+    constant_trace,
+    duty_cycle_trace,
+    peak_to_seconds,
+    power_mode_switch_trace,
+    ramp_trace,
+    trace_library,
+)
+
+
+class TestConstantTrace:
+    def test_rate(self):
+        trace = constant_trace(123.0)
+        assert trace.throughput_at(0.0) == 123.0
+        assert len(trace) == 1
+
+
+class TestPowerModeSwitch:
+    def test_switches_to_low_mode(self):
+        trace = power_mode_switch_trace(MOBILE_SOC, "normal", "saver", switch_time=1.0)
+        assert trace.throughput_at(0.5) == MOBILE_SOC.throughput("normal")
+        assert trace.throughput_at(1.5) == MOBILE_SOC.throughput("saver")
+
+    def test_recovers(self):
+        trace = power_mode_switch_trace(
+            MOBILE_SOC, "normal", "saver", switch_time=1.0, recover_time=2.0
+        )
+        assert trace.throughput_at(3.0) == MOBILE_SOC.throughput("normal")
+
+    def test_invalid_switch_time(self):
+        with pytest.raises(ValueError):
+            power_mode_switch_trace(MOBILE_SOC, "normal", "saver", switch_time=0.0)
+
+    def test_invalid_recover_time(self):
+        with pytest.raises(ValueError):
+            power_mode_switch_trace(
+                MOBILE_SOC, "normal", "saver", switch_time=2.0, recover_time=1.0
+            )
+
+
+class TestDutyCycle:
+    def test_alternates(self):
+        trace = duty_cycle_trace(100.0, 10.0, period=1.0, duty=0.5, cycles=3)
+        assert trace.throughput_at(0.25) == 100.0
+        assert trace.throughput_at(0.75) == 10.0
+        assert trace.throughput_at(1.25) == 100.0
+
+    def test_phase_count(self):
+        trace = duty_cycle_trace(100.0, 10.0, period=1.0, cycles=4)
+        assert len(trace) == 8
+
+    @pytest.mark.parametrize("kwargs", [
+        {"period": 0.0},
+        {"duty": 0.0},
+        {"duty": 1.0},
+        {"cycles": 0},
+    ])
+    def test_invalid_arguments(self, kwargs):
+        defaults = {"period": 1.0, "duty": 0.5, "cycles": 2}
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            duty_cycle_trace(100.0, 10.0, **defaults)
+
+
+class TestBurstyTrace:
+    def test_rates_limited_to_base_and_burst(self):
+        trace = bursty_trace(100.0, 20.0, duration=10.0, mean_burst_length=1.0, seed=1)
+        rates = {phase.macs_per_second for phase in trace.phases}
+        assert rates <= {100.0, 20.0}
+
+    def test_reproducible_with_seed(self):
+        a = bursty_trace(100.0, 20.0, duration=10.0, mean_burst_length=1.0, seed=3)
+        b = bursty_trace(100.0, 20.0, duration=10.0, mean_burst_length=1.0, seed=3)
+        assert [p.start_time for p in a.phases] == [p.start_time for p in b.phases]
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            bursty_trace(100.0, 20.0, duration=0.0, mean_burst_length=1.0)
+
+    def test_invalid_burst_fraction(self):
+        with pytest.raises(ValueError):
+            bursty_trace(100.0, 20.0, duration=5.0, mean_burst_length=1.0, burst_fraction=1.5)
+
+
+class TestRampTrace:
+    def test_monotone_rates(self):
+        trace = ramp_trace(10.0, 100.0, duration=4.0, steps=5)
+        rates = [phase.macs_per_second for phase in trace.phases]
+        assert rates == sorted(rates)
+        assert len(trace) == 5
+
+    def test_descending_ramp(self):
+        trace = ramp_trace(100.0, 10.0, duration=4.0, steps=4)
+        rates = [phase.macs_per_second for phase in trace.phases]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            ramp_trace(1.0, 2.0, duration=1.0, steps=0)
+
+
+class TestTraceLibrary:
+    def test_contains_expected_scenarios(self):
+        library = trace_library(MOBILE_SOC, seed=0)
+        assert {"steady-high", "steady-low", "power-switch", "duty-cycle", "bursty"} <= set(library)
+
+    def test_steady_low_is_slower(self):
+        library = trace_library(MOBILE_SOC, seed=0)
+        assert library["steady-low"].throughput_at(0.0) < library["steady-high"].throughput_at(0.0)
+
+
+def test_peak_to_seconds_scaling():
+    assert peak_to_seconds(1e6, reference_macs=1e6) == pytest.approx(1.0)
+    assert peak_to_seconds(2e6, reference_macs=1e6) == pytest.approx(0.5)
+
+
+def test_peak_to_seconds_invalid():
+    with pytest.raises(ValueError):
+        peak_to_seconds(0.0)
