@@ -27,11 +27,15 @@ Subpackages
 ``repro.runtime``
     Resource-varying platform simulation: traces, latency models, step-up
     policies, anytime executors and frame-stream simulation.
+``repro.serving``
+    Event-driven multi-request serving: request streams (Poisson, bursty,
+    trace replay), pluggable schedulers (FIFO/EDF/priority), execution
+    backends and the serving engine with load metrics.
 """
 
-from . import analysis, baselines, core, data, models, nn, runtime, utils
+from . import analysis, baselines, core, data, models, nn, runtime, serving, utils
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "nn",
@@ -41,6 +45,7 @@ __all__ = [
     "baselines",
     "analysis",
     "runtime",
+    "serving",
     "utils",
     "__version__",
 ]

@@ -97,6 +97,41 @@ class AccuracyMacCurve:
         ]
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of ``values`` (NaN when empty).
+
+    The serving metrics (p50/p95/p99 latency) go through this helper so
+    every report uses the same interpolation convention.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return float("nan")
+    return float(np.percentile(array, q))
+
+
+def latency_summary(values: Sequence[float], quantiles: Sequence[float] = (50.0, 95.0, 99.0)) -> dict:
+    """Mean/max plus the requested latency percentiles as ``{"p50": ...}`` keys."""
+    array = np.asarray(list(values), dtype=float)
+    summary = {
+        "count": int(array.size),
+        "mean": float(array.mean()) if array.size else float("nan"),
+        "max": float(array.max()) if array.size else float("nan"),
+    }
+    for q in quantiles:
+        summary[f"p{q:g}"] = percentile(array, q)
+    return summary
+
+
+def deadline_miss_rate(met_flags: Sequence[bool]) -> float:
+    """Fraction of requests that missed their deadline (0.0 when empty)."""
+    flags = list(met_flags)
+    if not flags:
+        return 0.0
+    return sum(1 for met in flags if not met) / len(flags)
+
+
 def monotonic_violations(values: Sequence[float], tolerance: float = 0.0) -> int:
     """Count decreases along a sequence expected to be non-decreasing.
 

@@ -21,8 +21,39 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..nn import functional as F
-from ..nn.tensor import Tensor, no_grad
+from ..nn.tensor import Tensor, default_dtype, no_grad
 from .network import Block, SteppingNetwork
+
+
+@dataclass
+class InferenceState:
+    """Suspended execution state of one in-flight anytime inference.
+
+    The serving engine multiplexes many requests over one accelerator;
+    when a request is preempted at a subnet boundary its activation cache
+    must survive until it is scheduled again.  ``export_state`` /
+    ``import_state`` move this state in and out of an
+    :class:`IncrementalInference` engine in O(1) (references only), so a
+    single engine can context-switch between requests the way a real
+    accelerator swaps scratch memory.  Use :meth:`copy` when an isolated
+    snapshot (e.g. for speculative execution) is needed instead.
+    """
+
+    input: Optional[np.ndarray]
+    cache: Dict[int, np.ndarray]
+    logits: Optional[np.ndarray]
+    current_subnet: int
+    steps: List["StepResult"]
+
+    def copy(self) -> "InferenceState":
+        """Deep copy of the cached activations (for isolated snapshots)."""
+        return InferenceState(
+            input=None if self.input is None else self.input.copy(),
+            cache={key: value.copy() for key, value in self.cache.items()},
+            logits=None if self.logits is None else self.logits.copy(),
+            current_subnet=self.current_subnet,
+            steps=list(self.steps),
+        )
 
 
 @dataclass
@@ -63,10 +94,11 @@ def _batch_norm_eval(z: np.ndarray, norm, channels: np.ndarray) -> np.ndarray:
 
     ``z`` holds only the selected channels (in the order of ``channels``).
     """
-    gamma = norm.gamma.data[channels]
-    beta = norm.beta.data[channels]
-    mean = norm.running_mean[channels]
-    var = norm.running_var[channels]
+    dtype = z.dtype
+    gamma = norm.gamma.data[channels].astype(dtype, copy=False)
+    beta = norm.beta.data[channels].astype(dtype, copy=False)
+    mean = norm.running_mean[channels].astype(dtype, copy=False)
+    var = norm.running_var[channels].astype(dtype, copy=False)
     if z.ndim == 4:
         shape = (1, -1, 1, 1)
     else:
@@ -91,9 +123,14 @@ class IncrementalInference:
     (up to floating-point associativity).
     """
 
-    def __init__(self, network: SteppingNetwork, apply_prune: bool = True) -> None:
+    def __init__(
+        self, network: SteppingNetwork, apply_prune: bool = True, dtype=None
+    ) -> None:
         self.network = network
         self.apply_prune = apply_prune
+        # float64 reproduces the training-time forward pass bit-for-bit;
+        # float32 halves the memory traffic of deployment-style serving.
+        self.dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
         self.reset()
 
     def reset(self) -> None:
@@ -110,10 +147,38 @@ class IncrementalInference:
         """Index of the last executed subnet (-1 before :meth:`run`)."""
         return self._current_subnet
 
+    def export_state(self) -> InferenceState:
+        """Detach the in-flight execution state (suspend).
+
+        The engine is reset afterwards and can immediately serve another
+        input batch; the returned state re-enters via
+        :meth:`import_state`.  References are moved, not copied.
+        """
+        state = InferenceState(
+            input=self._input,
+            cache=self._cache,
+            logits=self._logits,
+            current_subnet=self._current_subnet,
+            steps=self.steps,
+        )
+        self.reset()
+        return state
+
+    def import_state(self, state: Optional[InferenceState]) -> None:
+        """Re-attach a previously exported execution state (resume)."""
+        if state is None:
+            self.reset()
+            return
+        self._input = state.input
+        self._cache = state.cache
+        self._logits = state.logits
+        self._current_subnet = state.current_subnet
+        self.steps = state.steps
+
     def run(self, inputs: np.ndarray, subnet: int = 0) -> StepResult:
         """Execute ``subnet`` from scratch on a new input batch."""
         self.reset()
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=self.dtype)
         if inputs.ndim == 2 and self.network.spec._has_conv():
             raise ValueError("convolutional network expects (N, C, H, W) input")
         self._input = inputs
@@ -142,7 +207,7 @@ class IncrementalInference:
         was_training = network.training
         network.eval()
         try:
-            with no_grad():
+            with no_grad(), default_dtype(self.dtype):
                 logits = self._walk(from_subnet, to_subnet)
         finally:
             network.train(was_training)
@@ -201,21 +266,22 @@ class IncrementalInference:
             shape = (current.shape[0], layer.assignment.num_units) + (
                 () if block.kind == "linear" else layer.output_spatial_size(*block.in_spatial)
             )
-            cached = np.zeros(shape)
+            cached = np.zeros(shape, dtype=self.dtype)
             self._cache[block.param_index] = cached
 
         if new_units.size:
+            bias = layer.bias.data[new_units].astype(self.dtype, copy=False)
             if block.kind == "conv":
                 mask = layer.channel_mask(to_subnet, in_subnet, self.apply_prune)[new_units]
-                weight = layer.weight.data[new_units] * mask
+                weight = (layer.weight.data[new_units] * mask).astype(self.dtype, copy=False)
                 z = F.conv2d(
                     Tensor(current), Tensor(weight), bias=None, stride=layer.stride, padding=layer.padding
                 ).data
-                z = z + layer.bias.data[new_units].reshape(1, -1, 1, 1)
+                z = z + bias.reshape(1, -1, 1, 1)
             else:
                 mask = layer.weight_mask(to_subnet, in_subnet, self.apply_prune)[new_units]
-                weight = layer.weight.data[new_units] * mask
-                z = current @ weight.T + layer.bias.data[new_units].reshape(1, -1)
+                weight = (layer.weight.data[new_units] * mask).astype(self.dtype, copy=False)
+                z = current @ weight.T + bias.reshape(1, -1)
             if block.norm is not None:
                 z = _batch_norm_eval(z, block.norm, new_units)
             z = _activation_np(z, block.activation)
@@ -233,9 +299,10 @@ class IncrementalInference:
         layer = block.layer
         in_subnet = network.input_unit_subnet(block.param_index)
         mask = layer.weight_mask(to_subnet, in_subnet, self.apply_prune)
-        weight = layer.weight.data * mask
+        weight = (layer.weight.data * mask).astype(self.dtype, copy=False)
         if from_subnet < 0 or self._logits is None:
-            return current @ weight.T + layer.bias.data.reshape(1, -1)
+            bias = layer.bias.data.astype(self.dtype, copy=False)
+            return current @ weight.T + bias.reshape(1, -1)
         new_features = np.where((in_subnet > from_subnet) & (in_subnet <= to_subnet))[0]
         if new_features.size == 0:
             return self._logits.copy()

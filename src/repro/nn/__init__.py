@@ -28,11 +28,23 @@ from .modules import (
     Tanh,
 )
 from .optim import SGD, Adam, CosineAnnealingLR, ExponentialLR, LRScheduler, Optimizer, StepLR
-from .tensor import Tensor, concatenate, no_grad, stack, where
+from .tensor import (
+    Tensor,
+    concatenate,
+    default_dtype,
+    get_default_dtype,
+    no_grad,
+    set_default_dtype,
+    stack,
+    where,
+)
 
 __all__ = [
     "Tensor",
     "no_grad",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
     "stack",
     "concatenate",
     "where",

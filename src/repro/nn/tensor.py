@@ -21,6 +21,7 @@ backward passes for efficiency.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -28,6 +29,56 @@ import numpy as np
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _grad_enabled = True
+
+def _coerce_float_dtype(dtype) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved.kind != "f":
+        raise ValueError(f"default dtype must be a floating dtype, got {resolved}")
+    return resolved
+
+
+# Default floating dtype of newly created tensors.  Training needs the
+# float64 head-room of the numerical gradient checks, but inference-only
+# paths (the incremental engine, the serving backends) run noticeably
+# faster in float32, so the default is configurable per process
+# (``REPRO_DEFAULT_DTYPE``), globally (:func:`set_default_dtype`) or for
+# a scoped region (:class:`default_dtype`).
+_DEFAULT_DTYPE = _coerce_float_dtype(os.environ.get("REPRO_DEFAULT_DTYPE", "float64"))
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype array-likes are converted to when no dtype is given."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the process-wide default floating dtype; returns the previous one."""
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = _coerce_float_dtype(dtype)
+    return previous
+
+
+class default_dtype:
+    """Context manager scoping :func:`set_default_dtype` to a region.
+
+    Used by inference paths that want float32 arithmetic without
+    affecting training code running in the same process::
+
+        with default_dtype(np.float32):
+            logits = F.conv2d(Tensor(x), Tensor(w)).data
+    """
+
+    def __init__(self, dtype) -> None:
+        self._dtype = dtype
+        self._previous: Optional[np.dtype] = None
+
+    def __enter__(self) -> "default_dtype":
+        self._previous = set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        set_default_dtype(self._previous)
 
 
 class no_grad:
@@ -53,10 +104,10 @@ def is_grad_enabled() -> bool:
     return _grad_enabled
 
 
-def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype)
+    return np.asarray(value, dtype=dtype if dtype is not None else _DEFAULT_DTYPE)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -85,7 +136,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload.  Converted to ``float64`` by default.
+        Array-like payload.  Converted to :func:`get_default_dtype`
+        (``float64`` unless reconfigured).
     requires_grad:
         When ``True`` the tensor participates in gradient computation and
         ``backward`` accumulates into :attr:`grad`.

@@ -18,6 +18,11 @@ This package provides the substrate to *evaluate* that scenario:
 * :mod:`repro.runtime.simulation` — stream-level simulation (a sequence
   of frames with deadlines) and its summary metrics.
 
+The executors are single-request drivers over the
+:class:`~repro.serving.backend.ExecutionBackend` protocol; the
+:mod:`repro.serving` package schedules many such requests concurrently
+over one shared trace.
+
 Everything operates on plain numbers and numpy arrays; the only model
 dependency is a :class:`~repro.core.network.SteppingNetwork` (or any
 object exposing the same ``subnet_macs``/incremental-inference
@@ -32,6 +37,7 @@ from .policies import (
     DeadlineAwarePolicy,
     FixedSubnetPolicy,
     GreedyPolicy,
+    LoadAdaptivePolicy,
     PolicyDecision,
     PolicyState,
     SteppingPolicy,
@@ -49,6 +55,7 @@ from .traces import (
     duty_cycle_trace,
     power_mode_switch_trace,
     ramp_trace,
+    random_walk_trace,
     trace_library,
 )
 
@@ -67,6 +74,7 @@ __all__ = [
     "DeadlineAwarePolicy",
     "FixedSubnetPolicy",
     "GreedyPolicy",
+    "LoadAdaptivePolicy",
     "PolicyDecision",
     "PolicyState",
     "SteppingPolicy",
@@ -80,5 +88,6 @@ __all__ = [
     "duty_cycle_trace",
     "power_mode_switch_trace",
     "ramp_trace",
+    "random_walk_trace",
     "trace_library",
 ]

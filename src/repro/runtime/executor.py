@@ -13,6 +13,12 @@ step-up re-executes the *full* MAC count of the target subnet.  Comparing
 the two executors on the same trace quantifies the benefit of
 SteppingNet's computational reuse (the runtime benchmark does exactly
 that).
+
+Both executors are thin single-request drivers over the
+:class:`~repro.serving.backend.ExecutionBackend` sessions that the
+multi-request :class:`~repro.serving.engine.ServingEngine` schedules
+under load — the step cost model (delta MACs vs full recompute) lives in
+exactly one place, the backend.
 """
 
 from __future__ import annotations
@@ -23,7 +29,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..core.incremental import IncrementalInference
+from ..serving.backend import (
+    ExecutionBackend,
+    ExecutionSession,
+    RecomputeBackend,
+    SteppingBackend,
+    StepOutcome,
+)
 from .platform import ResourceTrace
 from .policies import GreedyPolicy, PolicyState, SteppingPolicy, prediction_confidence
 
@@ -73,10 +85,27 @@ class ExecutionRecord:
 
     @property
     def deadline_met(self) -> bool:
-        """True when at least one step finished before the deadline."""
+        """True when a usable result existed at the deadline.
+
+        The mandatory first step (the smallest requested subnet — the
+        platform always wants at least a preliminary answer) must have
+        *completed*, i.e. have a finite finish time, at or before the
+        deadline; the exact boundary ``finish_time == deadline`` counts
+        as met.  Later optional refinements that overrun the deadline do
+        not revoke it — the earlier result is still delivered — but an
+        execution with no completed step (empty record, or a starved
+        trace whose first step never finishes) never meets a deadline,
+        and without a deadline it still requires the mandatory step to
+        have actually finished.
+        """
+        if not self.steps:
+            return False
+        first_finish = self.steps[0].finish_time
+        if not math.isfinite(first_finish):
+            return False
         if self.deadline is None:
-            return bool(self.steps)
-        return any(step.finish_time <= self.deadline for step in self.steps)
+            return True
+        return first_finish <= self.deadline
 
     @property
     def predictions(self) -> Optional[np.ndarray]:
@@ -103,7 +132,14 @@ class ExecutionRecord:
 
 
 class AnytimeExecutor:
-    """Step-by-step execution of a stepping network with activation reuse."""
+    """Step-by-step execution of a stepping network with activation reuse.
+
+    ``dtype`` defaults to float64 so the anytime logits reproduce the
+    training-time forward pass bit-for-bit; pass ``np.float32`` (the
+    serving default) for deployment-style inference.
+    """
+
+    backend_factory = SteppingBackend
 
     def __init__(
         self,
@@ -112,6 +148,7 @@ class AnytimeExecutor:
         policy: Optional[SteppingPolicy] = None,
         overhead_per_step: float = 0.0,
         apply_prune: bool = True,
+        dtype=np.float64,
     ) -> None:
         if overhead_per_step < 0:
             raise ValueError("overhead_per_step must be non-negative")
@@ -120,6 +157,28 @@ class AnytimeExecutor:
         self.policy = policy or GreedyPolicy()
         self.overhead_per_step = overhead_per_step
         self.apply_prune = apply_prune
+        self.backend: ExecutionBackend = self.backend_factory(
+            network, policy=self.policy, apply_prune=apply_prune, dtype=dtype
+        )
+
+    @classmethod
+    def from_backend(
+        cls,
+        backend: ExecutionBackend,
+        trace: ResourceTrace,
+        overhead_per_step: float = 0.0,
+    ) -> "AnytimeExecutor":
+        """Wrap an existing backend (shared with a serving engine)."""
+        executor = cls.__new__(cls)
+        if overhead_per_step < 0:
+            raise ValueError("overhead_per_step must be non-negative")
+        executor.network = backend.network
+        executor.trace = trace
+        executor.policy = backend.policy
+        executor.overhead_per_step = overhead_per_step
+        executor.apply_prune = backend.apply_prune
+        executor.backend = backend
+        return executor
 
     # ------------------------------------------------------------------
     def execute(
@@ -135,17 +194,18 @@ class AnytimeExecutor:
         invokes the network wants at least a preliminary answer); further
         levels are subject to the policy and the deadline.
         """
-        engine = IncrementalInference(self.network, apply_prune=self.apply_prune)
+        session = self.backend.open(inputs, start_subnet=start_subnet)
         record = ExecutionRecord(deadline=deadline)
 
-        step = engine.run(inputs, subnet=start_subnet)
-        time = self._finish_time(step.macs_executed, start_time)
-        record.steps.append(self._record_step(step, start_time, time, deadline))
-        record.final_logits = step.logits
+        cost = session.next_step_macs()
+        outcome = session.advance()
+        time = self._finish_time(cost, start_time)
+        record.steps.append(self._record_step(outcome, start_time, time, deadline))
+        record.final_logits = outcome.logits
         record.stop_reason = "initial subnet executed"
 
         while True:
-            state = self._policy_state(engine, record, time, deadline)
+            state = self._policy_state(session, time, deadline)
             if state is None:
                 record.stop_reason = "largest subnet reached"
                 break
@@ -154,13 +214,15 @@ class AnytimeExecutor:
                 record.stop_reason = decision.reason
                 break
             start = time
-            step = engine.step_up()
-            time = self._finish_time(step.macs_executed, start)
-            record.steps.append(self._record_step(step, start, time, deadline))
-            record.final_logits = step.logits
+            cost = session.next_step_macs()
+            outcome = session.advance()
+            time = self._finish_time(cost, start)
+            record.steps.append(self._record_step(outcome, start, time, deadline))
+            record.final_logits = outcome.logits
             if math.isinf(time):
                 record.stop_reason = "trace provides no further throughput"
                 break
+        session.suspend()
         return record
 
     # ------------------------------------------------------------------
@@ -170,33 +232,32 @@ class AnytimeExecutor:
             return finish
         return finish + self.overhead_per_step
 
-    def _record_step(self, step, start_time: float, finish_time: float, deadline) -> StepRecord:
+    def _record_step(
+        self, outcome: StepOutcome, start_time: float, finish_time: float, deadline
+    ) -> StepRecord:
         met = finish_time <= deadline if deadline is not None else True
         return StepRecord(
-            subnet=step.subnet,
+            subnet=outcome.subnet,
             start_time=start_time,
             finish_time=finish_time,
-            macs_executed=float(step.macs_executed),
-            macs_reused=float(step.macs_reused),
-            confidence=prediction_confidence(step.logits),
+            macs_executed=float(outcome.macs_charged),
+            macs_reused=float(outcome.macs_reused),
+            confidence=prediction_confidence(outcome.logits),
             met_deadline=met,
-            logits=step.logits,
+            logits=outcome.logits,
         )
 
     def _policy_state(
-        self, engine: IncrementalInference, record: ExecutionRecord, time: float, deadline
+        self, session: ExecutionSession, time: float, deadline
     ) -> Optional[PolicyState]:
-        current = engine.current_subnet
-        if current + 1 >= self.network.num_subnets:
+        next_macs = session.next_step_macs()
+        if next_macs is None:
             return None
-        next_macs = self.network.subnet_macs(
-            current + 1, apply_prune=self.apply_prune
-        ) - self.network.subnet_macs(current, apply_prune=self.apply_prune)
         estimated_finish = self._finish_time(next_macs, time)
         return PolicyState(
-            current_subnet=current,
-            num_subnets=self.network.num_subnets,
-            logits=record.final_logits,
+            current_subnet=session.current_subnet,
+            num_subnets=self.backend.num_subnets,
+            logits=session.logits,
             current_time=time,
             deadline=deadline,
             next_step_macs=float(next_macs),
@@ -215,66 +276,4 @@ class RecomputeExecutor(AnytimeExecutor):
     deployment gap the paper attributes to the slimmable network.
     """
 
-    def execute(
-        self,
-        inputs: np.ndarray,
-        start_time: float = 0.0,
-        deadline: Optional[float] = None,
-        start_subnet: int = 0,
-    ) -> ExecutionRecord:
-        engine = IncrementalInference(self.network, apply_prune=self.apply_prune)
-        record = ExecutionRecord(deadline=deadline)
-
-        step = engine.run(inputs, subnet=start_subnet)
-        full_macs = self.network.subnet_macs(start_subnet, apply_prune=self.apply_prune)
-        time = self._finish_time(full_macs, start_time)
-        record.steps.append(self._record_full_step(step, full_macs, start_time, time, deadline))
-        record.final_logits = step.logits
-        record.stop_reason = "initial subnet executed"
-
-        while True:
-            state = self._policy_state(engine, record, time, deadline)
-            if state is None:
-                record.stop_reason = "largest subnet reached"
-                break
-            # A recompute platform must pay the full target-subnet cost.
-            target = engine.current_subnet + 1
-            full_macs = self.network.subnet_macs(target, apply_prune=self.apply_prune)
-            estimated_finish = self._finish_time(full_macs, time)
-            state = PolicyState(
-                current_subnet=state.current_subnet,
-                num_subnets=state.num_subnets,
-                logits=state.logits,
-                current_time=state.current_time,
-                deadline=state.deadline,
-                next_step_macs=float(full_macs),
-                estimated_finish_time=estimated_finish,
-            )
-            decision = self.policy.decide(state)
-            if not decision.step_up:
-                record.stop_reason = decision.reason
-                break
-            start = time
-            step = engine.step_up()
-            time = self._finish_time(full_macs, start)
-            record.steps.append(self._record_full_step(step, full_macs, start, time, deadline))
-            record.final_logits = step.logits
-            if math.isinf(time):
-                record.stop_reason = "trace provides no further throughput"
-                break
-        return record
-
-    def _record_full_step(
-        self, step, full_macs: float, start_time: float, finish_time: float, deadline
-    ) -> StepRecord:
-        met = finish_time <= deadline if deadline is not None else True
-        return StepRecord(
-            subnet=step.subnet,
-            start_time=start_time,
-            finish_time=finish_time,
-            macs_executed=float(full_macs),
-            macs_reused=0.0,
-            confidence=prediction_confidence(step.logits),
-            met_deadline=met,
-            logits=step.logits,
-        )
+    backend_factory = RecomputeBackend

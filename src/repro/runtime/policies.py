@@ -46,7 +46,12 @@ def prediction_entropy(logits: np.ndarray) -> float:
 
 @dataclass(frozen=True)
 class PolicyState:
-    """Everything a policy may inspect when deciding whether to step up."""
+    """Everything a policy may inspect when deciding whether to step up.
+
+    ``queue_depth`` is the number of *other* requests waiting for the
+    same accelerator; single-request executors leave it at 0, the
+    serving engine fills it in so policies can yield under load.
+    """
 
     current_subnet: int
     num_subnets: int
@@ -55,6 +60,7 @@ class PolicyState:
     deadline: Optional[float]
     next_step_macs: float
     estimated_finish_time: float
+    queue_depth: int = 0
 
     @property
     def confidence(self) -> float:
@@ -167,6 +173,39 @@ class DeadlineAwarePolicy(SteppingPolicy):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DeadlineAwarePolicy(margin={self.margin})"
+
+
+class LoadAdaptivePolicy(SteppingPolicy):
+    """Refine while the system is idle, yield the accelerator under load.
+
+    Steps up like :class:`GreedyPolicy` when at most ``max_queue_depth``
+    other requests are waiting; beyond that it emits the current result
+    so queued requests get their mandatory first level sooner.  This is
+    the serving-engine counterpart of confidence-based early exit:
+    latency SLOs are protected by spending refinement MACs only when
+    nobody is waiting for them.
+    """
+
+    name = "load-adaptive"
+
+    def __init__(self, max_queue_depth: int = 0) -> None:
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be non-negative")
+        self.max_queue_depth = max_queue_depth
+
+    def decide(self, state: PolicyState) -> PolicyDecision:
+        if not state.has_larger_subnet:
+            return PolicyDecision(False, "already at the largest subnet")
+        if state.queue_depth > self.max_queue_depth:
+            return PolicyDecision(
+                False, f"yielding: {state.queue_depth} requests waiting"
+            )
+        if state.deadline is not None and state.estimated_finish_time > state.deadline:
+            return PolicyDecision(False, "next step would miss the deadline")
+        return PolicyDecision(True, "queue shallow enough to keep refining")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LoadAdaptivePolicy(max_queue_depth={self.max_queue_depth})"
 
 
 class FixedSubnetPolicy(SteppingPolicy):

@@ -2,10 +2,15 @@
 
 The scenario from the paper's introduction: a perception stack receives a
 stream of frames; each frame must produce *some* decision by its deadline
-and refines that decision while resources remain.  The simulation drives
-one :class:`~repro.runtime.executor.AnytimeExecutor` (or the recompute
-variant) per frame against a shared :class:`ResourceTrace` and aggregates
-accuracy, deadline behaviour and MAC spend across the stream.
+and refines that decision while resources remain.  :func:`simulate_stream`
+runs the frame stream through the event-driven
+:class:`~repro.serving.engine.ServingEngine` in its single-tenant
+configuration — FIFO scheduling (head-of-line blocking, run to
+completion), no admission control, the frame's own policy deciding when
+to stop — and aggregates accuracy, deadline behaviour and MAC spend
+across the stream.  For open-loop multi-request workloads (Poisson
+arrivals, EDF/priority scheduling, preemption) use the serving engine
+directly.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from .executor import AnytimeExecutor, ExecutionRecord
+from .executor import AnytimeExecutor, ExecutionRecord, StepRecord
 from .platform import ResourceTrace
 from .policies import SteppingPolicy
 
@@ -162,35 +167,71 @@ def simulate_stream(
     executor: AnytimeExecutor,
     requests: Sequence[InferenceRequest],
 ) -> SimulationSummary:
-    """Run every request through ``executor`` and aggregate the outcomes.
+    """Run every request through ``executor``'s backend and aggregate outcomes.
 
     Requests are processed in arrival order; a frame whose predecessor is
     still executing starts as soon as the predecessor finishes (head-of-
-    line blocking, single-accelerator platform).
+    line blocking, single-accelerator platform).  Internally the stream
+    is served by the event-driven :class:`~repro.serving.engine.ServingEngine`
+    configured to reproduce exactly these semantics: FIFO scheduling
+    runs each frame to its policy's stopping point before the next frame
+    touches the accelerator, and no frame is dropped or force-stopped at
+    its deadline (the policy alone decides, as the single-shot executor
+    always did).
     """
-    summary = SimulationSummary()
-    time_available = 0.0
-    for request in sorted(requests, key=lambda r: r.arrival_time):
-        start_time = max(request.arrival_time, time_available)
-        record = executor.execute(
-            request.inputs, start_time=start_time, deadline=request.deadline
-        )
-        time_available = record.finish_time if np.isfinite(record.finish_time) else request.deadline
+    from ..serving.engine import ServingEngine
+    from ..serving.request import Request
 
-        logits_at_deadline = None
-        subnet_at_deadline = -1
-        for step in record.steps:
-            if step.finish_time <= request.deadline and step.logits is not None:
-                logits_at_deadline = step.logits
-                subnet_at_deadline = step.subnet
+    ordered = sorted(requests, key=lambda r: r.arrival_time)
+    serving_requests = [
+        Request(
+            request_id=index,
+            arrival_time=request.arrival_time,
+            inputs=request.inputs,
+            deadline=request.deadline,
+            labels=request.labels,
+        )
+        for index, request in enumerate(ordered)
+    ]
+    engine = ServingEngine(
+        executor.backend,
+        executor.trace,
+        scheduler="fifo",
+        overhead_per_step=executor.overhead_per_step,
+        drop_expired=False,
+        enforce_deadline=False,
+    )
+    report = engine.serve(serving_requests)
+
+    summary = SimulationSummary()
+    for request, job in zip(ordered, report.jobs):
+        record = ExecutionRecord(deadline=request.deadline, stop_reason=job.stop_reason)
+        for step in job.steps:
+            record.steps.append(
+                StepRecord(
+                    subnet=step.subnet,
+                    start_time=step.start_time,
+                    finish_time=step.finish_time,
+                    macs_executed=step.macs_charged,
+                    macs_reused=step.macs_reused,
+                    confidence=step.confidence,
+                    met_deadline=(
+                        step.finish_time <= request.deadline
+                        if request.deadline is not None
+                        else True
+                    ),
+                    logits=step.logits,
+                )
+            )
+        record.final_logits = job.final_logits
 
         summary.frames.append(
             FrameResult(
                 request=request,
                 record=record,
                 accuracy=_accuracy(record.final_logits, request.labels),
-                accuracy_at_deadline=_accuracy(logits_at_deadline, request.labels),
-                subnet_at_deadline=subnet_at_deadline,
+                accuracy_at_deadline=_accuracy(job.logits_at_deadline(), request.labels),
+                subnet_at_deadline=job.subnet_at_deadline,
                 deadline_met=record.deadline_met,
             )
         )

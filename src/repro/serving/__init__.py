@@ -1,0 +1,69 @@
+"""Event-driven multi-request serving of stepping networks.
+
+The runtime package simulates *one* anytime inference on a varying
+platform; this package scales that to a production-style serving system:
+many concurrent requests, an arrival process, a pluggable scheduler and
+a shared accelerator, with preemption and resumption of in-flight
+stepping networks at subnet granularity.
+
+* :mod:`repro.serving.request` — the :class:`Request` abstraction and
+  request-stream generators (Poisson, bursty, periodic, trace replay);
+* :mod:`repro.serving.backend` — the :class:`ExecutionBackend` protocol
+  with the SteppingNet (reuse) and recompute (slimmable) backends;
+* :mod:`repro.serving.scheduler` — FIFO / EDF / priority scheduling of
+  subnet steps;
+* :mod:`repro.serving.engine` — the discrete-event
+  :class:`ServingEngine` and its :class:`ServingReport` metrics
+  (throughput, p50/p95/p99 latency, deadline-miss rate).
+"""
+
+from .backend import (
+    DEFAULT_SERVING_DTYPE,
+    ExecutionBackend,
+    ExecutionSession,
+    RecomputeBackend,
+    ServingJob,
+    SteppingBackend,
+    StepOutcome,
+)
+from .engine import JobRecord, ServedStep, ServingEngine, ServingReport
+from .request import (
+    Request,
+    bursty_stream,
+    periodic_stream,
+    poisson_stream,
+    trace_replay_stream,
+)
+from .scheduler import (
+    SCHEDULERS,
+    EDFScheduler,
+    FIFOScheduler,
+    PriorityScheduler,
+    Scheduler,
+    get_scheduler,
+)
+
+__all__ = [
+    "DEFAULT_SERVING_DTYPE",
+    "ExecutionBackend",
+    "ExecutionSession",
+    "StepOutcome",
+    "SteppingBackend",
+    "RecomputeBackend",
+    "ServingJob",
+    "ServingEngine",
+    "ServingReport",
+    "JobRecord",
+    "ServedStep",
+    "Request",
+    "poisson_stream",
+    "bursty_stream",
+    "periodic_stream",
+    "trace_replay_stream",
+    "Scheduler",
+    "FIFOScheduler",
+    "EDFScheduler",
+    "PriorityScheduler",
+    "SCHEDULERS",
+    "get_scheduler",
+]

@@ -1,0 +1,239 @@
+"""Execution backends: how one request's anytime inference is carried out.
+
+An :class:`ExecutionBackend` owns a trained network, a step-up policy and
+one :class:`~repro.core.incremental.IncrementalInference` engine.  It
+opens an :class:`ExecutionSession` per request; the session exposes the
+cost of the next subnet step (``next_step_macs``), executes it
+(``advance``) and survives preemption — between two of its steps, other
+sessions may use the engine, the accelerator's scratch state being moved
+in and out via the engine's ``export_state`` / ``import_state``.
+
+Two concrete backends reproduce the paper's deployment comparison:
+
+* :class:`SteppingBackend` — SteppingNet: stepping from subnet ``i`` to
+  ``i+1`` costs only the delta MACs (activation reuse);
+* :class:`RecomputeBackend` — a slimmable-style platform: every step
+  re-executes the full target subnet from scratch.
+
+Both produce identical logits per level (the same subnet is evaluated);
+only the charged cost differs, so serving the same request stream
+through both isolates the value of reuse under load.  The single-request
+executors in :mod:`repro.runtime.executor` are thin drivers over these
+same sessions, so "one batch on an idle device" and "hundreds of
+requests under contention" exercise one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.incremental import IncrementalInference, InferenceState
+from ..runtime.policies import GreedyPolicy, SteppingPolicy
+from .request import Request
+
+#: Inference-path dtype: serving runs float32 by default (half the memory
+#: traffic, same comparisons), while the single-shot executors default to
+#: float64 to reproduce the training-time forward pass bit-for-bit.
+DEFAULT_SERVING_DTYPE = np.dtype(np.float32)
+
+
+@dataclass
+class StepOutcome:
+    """Result of advancing a session by one subnet level."""
+
+    subnet: int
+    logits: np.ndarray
+    macs_charged: float
+    macs_reused: float
+
+
+class ExecutionSession:
+    """One request's in-flight execution state on a backend.
+
+    Sessions are lazily bound to the backend's shared inference engine:
+    whenever a session advances it first re-imports its suspended state
+    (if another session ran in between), models the cost of the next
+    subnet level and records the outcome.  All state transfers are O(1).
+    """
+
+    def __init__(self, backend: "ExecutionBackend", inputs: np.ndarray, start_subnet: int) -> None:
+        if not 0 <= start_subnet < backend.num_subnets:
+            raise IndexError(f"start_subnet {start_subnet} out of range")
+        self.backend = backend
+        self.inputs = inputs
+        self.start_subnet = start_subnet
+        self._state: Optional[InferenceState] = None
+        self._started = False
+        self._current_subnet = -1
+        self._last_logits: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def current_subnet(self) -> int:
+        """Last completed subnet level (-1 before the first step)."""
+        return self._current_subnet
+
+    @property
+    def logits(self) -> Optional[np.ndarray]:
+        """Logits of the last completed level."""
+        return self._last_logits
+
+    def next_subnet(self) -> Optional[int]:
+        """The level the next :meth:`advance` would execute (None when done)."""
+        if not self._started:
+            return self.start_subnet
+        target = self._current_subnet + 1
+        return target if target < self.backend.num_subnets else None
+
+    def next_step_macs(self) -> Optional[float]:
+        """Cost (MACs) the backend charges for the next step (None when done)."""
+        target = self.next_subnet()
+        if target is None:
+            return None
+        return self.backend.step_cost(self._current_subnet if self._started else -1, target)
+
+    # ------------------------------------------------------------------
+    def advance(self) -> StepOutcome:
+        """Execute the next subnet level and return its outcome."""
+        target = self.next_subnet()
+        if target is None:
+            raise RuntimeError("session already reached the largest subnet")
+        cost = self.next_step_macs()
+        engine = self.backend.bind(self)
+        if not self._started:
+            step = engine.run(self.inputs, subnet=target)
+            self._started = True
+        else:
+            step = engine.step_to(target)
+        self._current_subnet = step.subnet
+        self._last_logits = step.logits
+        return StepOutcome(
+            subnet=step.subnet,
+            logits=step.logits,
+            macs_charged=float(cost),
+            macs_reused=float(step.macs_reused) if self.backend.reuses_activations else 0.0,
+        )
+
+    def suspend(self) -> None:
+        """Explicitly detach this session's state from the shared engine."""
+        self.backend.unbind(self)
+
+    # ------------------------------------------------------------------
+    # Used by the backend to move state in and out of the shared engine.
+    def _export(self, engine: IncrementalInference) -> None:
+        self._state = engine.export_state()
+
+    def _import(self, engine: IncrementalInference) -> None:
+        engine.import_state(self._state)
+        self._state = None
+
+
+class ExecutionBackend:
+    """A network + policy + shared inference engine that serves sessions.
+
+    Subclasses define :attr:`name`, :attr:`reuses_activations` and
+    :meth:`step_cost` — everything else (session lifecycle, state
+    swapping) is common.
+    """
+
+    name = "backend"
+    reuses_activations = True
+
+    def __init__(
+        self,
+        network,
+        policy: Optional[SteppingPolicy] = None,
+        apply_prune: bool = True,
+        dtype=DEFAULT_SERVING_DTYPE,
+    ) -> None:
+        self.network = network
+        self.policy = policy or GreedyPolicy()
+        self.apply_prune = apply_prune
+        self.dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+        self._engine = IncrementalInference(network, apply_prune=apply_prune, dtype=self.dtype)
+        self._active: Optional[ExecutionSession] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_subnets(self) -> int:
+        return self.network.num_subnets
+
+    def subnet_macs(self, subnet: int) -> float:
+        return float(self.network.subnet_macs(subnet, apply_prune=self.apply_prune))
+
+    def step_cost(self, from_subnet: int, to_subnet: int) -> float:
+        """MACs charged for stepping ``from_subnet`` -> ``to_subnet``."""
+        raise NotImplementedError
+
+    def open(self, inputs: np.ndarray, start_subnet: int = 0) -> ExecutionSession:
+        """Start a new session for one request's input batch."""
+        return ExecutionSession(self, np.asarray(inputs), start_subnet)
+
+    # ------------------------------------------------------------------
+    # Engine context switching (accelerator scratch-memory model).
+    def bind(self, session: ExecutionSession) -> IncrementalInference:
+        """Make ``session`` the engine's resident context."""
+        if self._active is not session:
+            if self._active is not None:
+                self._active._export(self._engine)
+            session._import(self._engine)
+            self._active = session
+        return self._engine
+
+    def unbind(self, session: ExecutionSession) -> None:
+        if self._active is session:
+            session._export(self._engine)
+            self._active = None
+
+
+class SteppingBackend(ExecutionBackend):
+    """SteppingNet serving: step-ups pay only the delta MACs."""
+
+    name = "steppingnet"
+    reuses_activations = True
+
+    def step_cost(self, from_subnet: int, to_subnet: int) -> float:
+        base = self.subnet_macs(from_subnet) if from_subnet >= 0 else 0.0
+        return self.subnet_macs(to_subnet) - base
+
+
+class RecomputeBackend(ExecutionBackend):
+    """Slimmable-style serving: every step re-executes the full subnet.
+
+    Logits are computed with the same incremental engine (identical
+    numerics per level); only the charged MACs model the recomputation,
+    mirroring :class:`~repro.runtime.executor.RecomputeExecutor`.
+    """
+
+    name = "recompute"
+    reuses_activations = False
+
+    def step_cost(self, from_subnet: int, to_subnet: int) -> float:
+        return self.subnet_macs(to_subnet)
+
+
+@dataclass
+class ServingJob:
+    """Scheduler-visible bookkeeping for one in-flight request.
+
+    Wraps the immutable :class:`~repro.serving.request.Request` together
+    with its :class:`ExecutionSession` and the engine's progress notes;
+    schedulers read ``request`` (arrival, deadline, priority) and may
+    inspect progress (e.g. least-attained-service policies later).
+    """
+
+    request: Request
+    session: ExecutionSession
+    first_scheduled_at: Optional[float] = None
+    steps_executed: int = 0
+
+    @property
+    def started(self) -> bool:
+        return self.steps_executed > 0
+
+    @property
+    def current_subnet(self) -> int:
+        return self.session.current_subnet

@@ -1,0 +1,454 @@
+"""Event-driven multi-request serving engine.
+
+:class:`ServingEngine` multiplexes many in-flight anytime inferences
+over one shared :class:`~repro.runtime.platform.ResourceTrace` (a single
+accelerator whose available throughput varies over time).  The engine is
+a discrete-event simulator whose unit of work is one *subnet step*:
+
+1. requests are admitted as simulated time passes their arrival;
+2. at every step boundary the pluggable
+   :class:`~repro.serving.scheduler.Scheduler` picks which ready job
+   runs next — so any job can be preempted between subnet levels and
+   resumed later, its activation cache surviving via the incremental
+   engine's suspend/resume state;
+3. the selected job executes exactly one subnet level, charged at the
+   backend's cost model (delta MACs for SteppingNet, full-subnet MACs
+   for the recompute baseline) against the shared trace;
+4. a job leaves the system when it reaches the largest subnet, its
+   policy declines further refinement, its deadline passes, or the trace
+   is permanently starved.
+
+The result is a :class:`ServingReport` with production-style metrics:
+throughput, latency percentiles (p50/p95/p99), deadline-miss rate,
+queueing delay and MAC/reuse accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..analysis.metrics import deadline_miss_rate as _deadline_miss_rate
+from ..analysis.metrics import percentile
+from ..runtime.platform import ResourceTrace
+from ..runtime.policies import PolicyState, prediction_confidence
+from .backend import ExecutionBackend, ServingJob
+from .request import Request
+from .scheduler import FIFOScheduler, Scheduler, get_scheduler
+
+_TIME_EPS = 1e-12
+
+
+@dataclass
+class ServedStep:
+    """One executed subnet level of one request."""
+
+    subnet: int
+    start_time: float
+    finish_time: float
+    macs_charged: float
+    macs_reused: float
+    confidence: float
+    logits: Optional[np.ndarray] = None
+
+    @property
+    def duration(self) -> float:
+        return self.finish_time - self.start_time
+
+
+@dataclass
+class JobRecord:
+    """Complete serving outcome of one request."""
+
+    request: Request
+    steps: List[ServedStep] = field(default_factory=list)
+    status: str = "completed"  # completed | dropped | starved
+    stop_reason: str = ""
+    final_logits: Optional[np.ndarray] = None
+
+    @property
+    def final_subnet(self) -> int:
+        return self.steps[-1].subnet if self.steps else -1
+
+    @property
+    def completion_time(self) -> float:
+        return self.steps[-1].finish_time if self.steps else float("nan")
+
+    @property
+    def first_result_time(self) -> float:
+        return self.steps[0].finish_time if self.steps else float("nan")
+
+    @property
+    def latency(self) -> float:
+        """Arrival to last refinement (the job's full residence time)."""
+        return self.completion_time - self.request.arrival_time
+
+    @property
+    def first_result_latency(self) -> float:
+        """Arrival to first usable result (what an anytime client waits for)."""
+        return self.first_result_time - self.request.arrival_time
+
+    @property
+    def queueing_delay(self) -> float:
+        """Arrival to first time on the accelerator."""
+        return self.steps[0].start_time - self.request.arrival_time if self.steps else float("nan")
+
+    @property
+    def deadline_met(self) -> bool:
+        """True when a usable result existed at the deadline.
+
+        Matches the tightened :class:`~repro.runtime.executor.ExecutionRecord`
+        semantics: the mandatory first step must have *completed* (finite
+        finish time) at or before the deadline; later optional
+        refinements that overrun do not revoke it.
+        """
+        if not self.steps:
+            return False
+        first = self.steps[0].finish_time
+        if not math.isfinite(first):
+            return False
+        if self.request.deadline is None:
+            return True
+        return first <= self.request.deadline
+
+    @property
+    def subnet_at_deadline(self) -> int:
+        deadline = self.request.deadline
+        completed = -1
+        for step in self.steps:
+            if deadline is None or step.finish_time <= deadline:
+                completed = step.subnet
+        return completed
+
+    def logits_at_deadline(self) -> Optional[np.ndarray]:
+        deadline = self.request.deadline
+        best = None
+        for step in self.steps:
+            if (deadline is None or step.finish_time <= deadline) and step.logits is not None:
+                best = step.logits
+        return best
+
+    @property
+    def total_macs_charged(self) -> float:
+        return sum(step.macs_charged for step in self.steps)
+
+    @property
+    def total_macs_reused(self) -> float:
+        return sum(step.macs_reused for step in self.steps)
+
+
+def _batch_accuracy(logits: Optional[np.ndarray], labels) -> Optional[float]:
+    if logits is None or labels is None:
+        return None
+    predictions = np.asarray(logits).argmax(axis=-1)
+    return float((predictions == np.asarray(labels)).mean())
+
+
+@dataclass
+class ServingReport:
+    """Aggregate serving metrics over one request stream."""
+
+    jobs: List[JobRecord] = field(default_factory=list)
+    backend_name: str = ""
+    scheduler_name: str = ""
+    trace_name: str = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def completed_jobs(self) -> List[JobRecord]:
+        return [job for job in self.jobs if job.steps and math.isfinite(job.completion_time)]
+
+    @property
+    def dropped_jobs(self) -> List[JobRecord]:
+        return [job for job in self.jobs if job.status == "dropped"]
+
+    @property
+    def makespan(self) -> float:
+        """First arrival to last finite completion."""
+        completed = self.completed_jobs
+        if not completed:
+            return 0.0
+        start = min(job.request.arrival_time for job in self.jobs)
+        end = max(job.completion_time for job in completed)
+        return max(end - start, 0.0)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of makespan."""
+        span = self.makespan
+        return len(self.completed_jobs) / span if span > 0 else 0.0
+
+    def latencies(self, first_result: bool = False) -> np.ndarray:
+        values = [
+            job.first_result_latency if first_result else job.latency
+            for job in self.completed_jobs
+        ]
+        return np.asarray([v for v in values if math.isfinite(v)], dtype=float)
+
+    def latency_percentile(self, q: float, first_result: bool = False) -> float:
+        return percentile(self.latencies(first_result=first_result), q)
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_latency(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(99.0)
+
+    @property
+    def mean_latency(self) -> float:
+        values = self.latencies()
+        return float(values.mean()) if values.size else float("nan")
+
+    @property
+    def mean_queueing_delay(self) -> float:
+        values = [
+            job.queueing_delay for job in self.completed_jobs if math.isfinite(job.queueing_delay)
+        ]
+        return float(np.mean(values)) if values else float("nan")
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of deadline-carrying requests without a result in time."""
+        return _deadline_miss_rate(
+            job.deadline_met for job in self.jobs if job.request.deadline is not None
+        )
+
+    @property
+    def mean_subnet_at_deadline(self) -> float:
+        if not self.jobs:
+            return float("nan")
+        return float(np.mean([job.subnet_at_deadline for job in self.jobs]))
+
+    @property
+    def mean_accuracy_at_deadline(self) -> float:
+        values = [
+            _batch_accuracy(job.logits_at_deadline(), job.request.labels) for job in self.jobs
+        ]
+        values = [v for v in values if v is not None]
+        return float(np.mean(values)) if values else float("nan")
+
+    @property
+    def total_macs(self) -> float:
+        return float(sum(job.total_macs_charged for job in self.jobs))
+
+    @property
+    def total_macs_reused(self) -> float:
+        return float(sum(job.total_macs_reused for job in self.jobs))
+
+    @property
+    def reuse_fraction(self) -> float:
+        total = self.total_macs + self.total_macs_reused
+        return self.total_macs_reused / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "backend": self.backend_name,
+            "scheduler": self.scheduler_name,
+            "trace": self.trace_name,
+            "num_jobs": self.num_jobs,
+            "completed": len(self.completed_jobs),
+            "dropped": len(self.dropped_jobs),
+            "makespan": self.makespan,
+            "throughput_rps": self.throughput,
+            "p50_latency": self.p50_latency,
+            "p95_latency": self.p95_latency,
+            "p99_latency": self.p99_latency,
+            "mean_latency": self.mean_latency,
+            "mean_queueing_delay": self.mean_queueing_delay,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "mean_subnet_at_deadline": self.mean_subnet_at_deadline,
+            "mean_accuracy_at_deadline": self.mean_accuracy_at_deadline,
+            "total_macs": self.total_macs,
+            "total_macs_reused": self.total_macs_reused,
+            "reuse_fraction": self.reuse_fraction,
+        }
+
+
+class ServingEngine:
+    """Serve a stream of requests over a shared resource trace.
+
+    Parameters
+    ----------
+    backend:
+        The :class:`~repro.serving.backend.ExecutionBackend` executing
+        each request (SteppingNet or recompute).
+    trace:
+        Shared accelerator throughput over time.
+    scheduler:
+        A :class:`~repro.serving.scheduler.Scheduler` instance or
+        registry name (``"fifo"``, ``"edf"``, ``"priority"``).
+    overhead_per_step:
+        Fixed seconds charged per executed subnet step (kernel launch,
+        context switch).
+    drop_expired:
+        When True, a request whose deadline passes before it ever runs
+        is dropped without consuming accelerator time (admission
+        control); when False the mandatory first level is still executed
+        (every client gets *some* answer, the anytime contract).
+    enforce_deadline:
+        When True a job stops refining once simulated time reaches its
+        deadline even if its policy would continue; turn off to let the
+        policy alone decide (the single-shot executor semantics).
+    store_logits:
+        Keep per-step logits on the records (needed for accuracy-at-
+        deadline accounting; disable to save memory on huge streams).
+    """
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        trace: ResourceTrace,
+        scheduler: Union[Scheduler, str, None] = None,
+        *,
+        overhead_per_step: float = 0.0,
+        drop_expired: bool = False,
+        enforce_deadline: bool = True,
+        store_logits: bool = True,
+    ) -> None:
+        if overhead_per_step < 0:
+            raise ValueError("overhead_per_step must be non-negative")
+        self.backend = backend
+        self.trace = trace
+        if scheduler is None:
+            scheduler = FIFOScheduler()
+        elif isinstance(scheduler, str):
+            scheduler = get_scheduler(scheduler)
+        self.scheduler = scheduler
+        self.overhead_per_step = overhead_per_step
+        self.drop_expired = drop_expired
+        self.enforce_deadline = enforce_deadline
+        self.store_logits = store_logits
+
+    # ------------------------------------------------------------------
+    def serve(self, requests: Sequence[Request]) -> ServingReport:
+        """Run the event loop until every request has been finalised."""
+        report = ServingReport(
+            backend_name=self.backend.name,
+            scheduler_name=self.scheduler.name,
+            trace_name=self.trace.name,
+        )
+        ids = [request.request_id for request in requests]
+        if len(set(ids)) != len(ids):
+            raise ValueError("request_id values must be unique within one serve() call")
+        pending: List[Request] = sorted(
+            requests, key=lambda r: (r.arrival_time, r.request_id), reverse=True
+        )
+        ready: List[ServingJob] = []
+        records: Dict[int, JobRecord] = {}
+        now = 0.0
+
+        def admit(until: float) -> None:
+            while pending and pending[-1].arrival_time <= until + _TIME_EPS:
+                request = pending.pop()
+                job = ServingJob(request=request, session=self.backend.open(request.inputs))
+                records[request.request_id] = JobRecord(request=request)
+                ready.append(job)
+
+        def finalize(job: ServingJob, status: str, reason: str) -> None:
+            record = records[job.request.request_id]
+            record.status = status
+            record.stop_reason = reason
+            record.final_logits = job.session.logits
+            ready.remove(job)
+
+        while pending or ready:
+            admit(now)
+            if not ready:
+                now = max(now, pending[-1].arrival_time)
+                continue
+
+            if self.drop_expired:
+                for job in [j for j in ready if not j.started]:
+                    deadline = job.request.deadline
+                    if deadline is not None and now >= deadline - _TIME_EPS:
+                        finalize(job, "dropped", "deadline passed before first execution")
+                if not ready:
+                    continue
+
+            job = self.scheduler.select(ready, now)
+            if job.started:
+                # A job may have waited, preempted, since its last step;
+                # re-check its deadline and policy against the *current*
+                # time and queue before spending accelerator time on it.
+                stale_reason = self._continuation_stop_reason(job, now, len(ready))
+                if stale_reason is not None:
+                    finalize(job, "completed", stale_reason)
+                    continue
+            if job.first_scheduled_at is None:
+                job.first_scheduled_at = now
+            cost = job.session.next_step_macs()
+            finish = self.trace.time_to_execute(cost, now)
+            if math.isfinite(finish):
+                finish += self.overhead_per_step
+
+            outcome = job.session.advance()
+            job.steps_executed += 1
+            record = records[job.request.request_id]
+            record.steps.append(
+                ServedStep(
+                    subnet=outcome.subnet,
+                    start_time=now,
+                    finish_time=finish,
+                    macs_charged=outcome.macs_charged,
+                    macs_reused=outcome.macs_reused,
+                    confidence=prediction_confidence(outcome.logits),
+                    logits=outcome.logits if self.store_logits else None,
+                )
+            )
+            record.final_logits = outcome.logits
+
+            if not math.isfinite(finish):
+                # The trace never grants enough throughput again; the job
+                # (and eventually all others) can make no further progress.
+                finalize(job, "starved", "trace provides no further throughput")
+                continue
+
+            now = finish
+            admit(now)
+            stop_reason = self._continuation_stop_reason(job, now, len(ready))
+            if stop_reason is not None:
+                finalize(job, "completed", stop_reason)
+
+        report.jobs = [records[request_id] for request_id in sorted(records)]
+        return report
+
+    # ------------------------------------------------------------------
+    def _continuation_stop_reason(
+        self, job: ServingJob, now: float, ready_count: int
+    ) -> Optional[str]:
+        """Why ``job`` should be finalised now, or None to keep refining."""
+        session = job.session
+        deadline = job.request.deadline
+        if session.next_subnet() is None:
+            return "largest subnet reached"
+        if self.enforce_deadline and deadline is not None and now >= deadline - _TIME_EPS:
+            return "deadline reached"
+        next_macs = session.next_step_macs()
+        estimated = self.trace.time_to_execute(next_macs, now)
+        if math.isfinite(estimated):
+            estimated += self.overhead_per_step
+        state = PolicyState(
+            current_subnet=session.current_subnet,
+            num_subnets=self.backend.num_subnets,
+            logits=session.logits,
+            current_time=now,
+            deadline=deadline,
+            next_step_macs=float(next_macs),
+            estimated_finish_time=estimated,
+            queue_depth=max(ready_count - 1, 0),
+        )
+        decision = self.backend.policy.decide(state)
+        return None if decision.step_up else decision.reason

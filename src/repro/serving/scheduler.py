@@ -1,0 +1,113 @@
+"""Pluggable scheduling policies for the serving engine.
+
+The engine is event driven: whenever the accelerator finishes a subnet
+step it asks the scheduler which of the currently ready jobs gets the
+next step.  Because the unit of scheduling is a *subnet step* — not a
+whole request — every policy here is preemptive at subnet granularity: a
+job selected now can be suspended at its next step boundary in favour of
+a later, more urgent arrival, and resumes with its activation cache
+intact (SteppingNet's reuse makes the resume free).
+
+Three classic policies are provided:
+
+* :class:`FIFOScheduler` — earliest arrival first; fair, no starvation,
+  but urgent requests queue behind long-running ones;
+* :class:`EDFScheduler` — earliest deadline first; optimal for meeting
+  deadlines on a single resource when the load is feasible;
+* :class:`PriorityScheduler` — highest priority first (ties broken by
+  deadline, then arrival).
+
+All tie-breaking chains end on the request id, so scheduling is fully
+deterministic for reproducible experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Type
+
+from .backend import ServingJob
+
+
+class Scheduler:
+    """Base class: pick the next job to run from the ready set."""
+
+    name = "scheduler"
+
+    def select(self, jobs: Sequence[ServingJob], now: float) -> ServingJob:
+        """Return the job that gets the accelerator for the next step.
+
+        ``jobs`` is never empty; every job in it has arrived
+        (``arrival_time <= now``) and is not finished.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+def _deadline_key(job: ServingJob) -> float:
+    deadline = job.request.deadline
+    return math.inf if deadline is None else deadline
+
+
+class FIFOScheduler(Scheduler):
+    """First in, first out: earliest arrival wins every step.
+
+    Because a job keeps winning until it is finalised, FIFO is effectively
+    run-to-completion — head-of-line blocking included, which is exactly
+    the single-accelerator baseline the other policies improve on.
+    """
+
+    name = "fifo"
+
+    def select(self, jobs: Sequence[ServingJob], now: float) -> ServingJob:
+        return min(jobs, key=lambda job: (job.request.arrival_time, job.request.request_id))
+
+
+class EDFScheduler(Scheduler):
+    """Earliest deadline first; best-effort jobs run only when nothing is urgent."""
+
+    name = "edf"
+
+    def select(self, jobs: Sequence[ServingJob], now: float) -> ServingJob:
+        return min(
+            jobs,
+            key=lambda job: (
+                _deadline_key(job),
+                job.request.arrival_time,
+                job.request.request_id,
+            ),
+        )
+
+
+class PriorityScheduler(Scheduler):
+    """Strict priority (larger wins); deadline then arrival break ties."""
+
+    name = "priority"
+
+    def select(self, jobs: Sequence[ServingJob], now: float) -> ServingJob:
+        return min(
+            jobs,
+            key=lambda job: (
+                -job.request.priority,
+                _deadline_key(job),
+                job.request.arrival_time,
+                job.request.request_id,
+            ),
+        )
+
+
+SCHEDULERS: Dict[str, Type[Scheduler]] = {
+    FIFOScheduler.name: FIFOScheduler,
+    EDFScheduler.name: EDFScheduler,
+    PriorityScheduler.name: PriorityScheduler,
+}
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by registry name (``fifo``, ``edf``, ``priority``)."""
+    try:
+        return SCHEDULERS[name.lower()]()
+    except KeyError as exc:
+        raise KeyError(f"unknown scheduler '{name}'; available: {sorted(SCHEDULERS)}") from exc

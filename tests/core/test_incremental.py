@@ -172,3 +172,88 @@ class TestMlpNetwork:
         with no_grad():
             direct = network.forward(x, subnet=2).data
         np.testing.assert_allclose(stepped.logits, direct, atol=1e-10)
+
+
+class TestSuspendResume:
+    """export_state / import_state: the serving engine's context switch."""
+
+    def test_export_resets_engine(self, network, inputs):
+        engine = IncrementalInference(network)
+        engine.run(inputs, subnet=0)
+        state = engine.export_state()
+        assert engine.current_subnet == -1
+        assert state.current_subnet == 0
+
+    def test_resume_continues_with_reuse(self, network, inputs):
+        engine = IncrementalInference(network)
+        engine.run(inputs, subnet=0)
+        state = engine.export_state()
+        engine.import_state(state)
+        result = engine.step_to(2)
+        assert result.macs_executed == network.subnet_macs(2) - network.subnet_macs(0)
+        network.eval()
+        with no_grad():
+            direct = network.forward(inputs, subnet=2).data
+        np.testing.assert_allclose(result.logits, direct, atol=1e-10)
+
+    def test_interleaved_contexts_stay_isolated(self, network, inputs):
+        """One engine serves two input batches alternately, like the
+        serving engine multiplexing preempted requests."""
+        batch_a, batch_b = inputs[:2], inputs[2:4]
+        engine = IncrementalInference(network)
+
+        engine.run(batch_a, subnet=0)
+        state_a = engine.export_state()
+        engine.run(batch_b, subnet=0)
+        state_b = engine.export_state()
+
+        engine.import_state(state_a)
+        stepped_a = engine.step_to(2)
+        state_a = engine.export_state()
+        engine.import_state(state_b)
+        stepped_b = engine.step_to(1)
+
+        network.eval()
+        with no_grad():
+            direct_a = network.forward(batch_a, subnet=2).data
+            direct_b = network.forward(batch_b, subnet=1).data
+        np.testing.assert_allclose(stepped_a.logits, direct_a, atol=1e-10)
+        np.testing.assert_allclose(stepped_b.logits, direct_b, atol=1e-10)
+
+    def test_import_none_resets(self, network, inputs):
+        engine = IncrementalInference(network)
+        engine.run(inputs, subnet=0)
+        engine.import_state(None)
+        assert engine.current_subnet == -1
+
+    def test_state_copy_is_isolated(self, network, inputs):
+        engine = IncrementalInference(network)
+        engine.run(inputs, subnet=0)
+        state = engine.export_state()
+        snapshot = state.copy()
+        engine.import_state(state)
+        engine.step_to(2)  # mutates the live state's caches in place
+        assert snapshot.current_subnet == 0
+        for key, value in snapshot.cache.items():
+            assert value.flags.owndata or value.base is not state.cache.get(key)
+
+
+class TestInferenceDtype:
+    def test_default_is_float64(self, network, inputs):
+        engine = IncrementalInference(network)
+        result = engine.run(inputs, subnet=0)
+        assert result.logits.dtype == np.float64
+
+    def test_float32_pipeline(self, network, inputs):
+        engine = IncrementalInference(network, dtype=np.float32)
+        result = engine.run(inputs, subnet=0)
+        assert result.logits.dtype == np.float32
+        stepped = engine.step_to(2)
+        assert stepped.logits.dtype == np.float32
+        for cached in engine._cache.values():
+            assert cached.dtype == np.float32
+
+    def test_float32_close_to_float64(self, network, inputs):
+        exact = IncrementalInference(network).run(inputs, subnet=2)
+        fast = IncrementalInference(network, dtype=np.float32).run(inputs, subnet=2)
+        np.testing.assert_allclose(fast.logits, exact.logits, rtol=1e-4, atol=1e-4)

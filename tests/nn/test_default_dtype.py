@@ -1,0 +1,92 @@
+"""Tests for the configurable default tensor dtype."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import (
+    Tensor,
+    default_dtype,
+    get_default_dtype,
+    set_default_dtype,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_default():
+    previous = get_default_dtype()
+    yield
+    set_default_dtype(previous)
+
+
+class TestDefaultDtype:
+    def test_initial_default_is_float64(self):
+        assert get_default_dtype() == np.dtype(np.float64)
+        assert Tensor([1.0, 2.0]).data.dtype == np.float64
+
+    def test_set_default_dtype(self):
+        previous = set_default_dtype(np.float32)
+        assert previous == np.dtype(np.float64)
+        assert Tensor([1.0, 2.0]).data.dtype == np.float32
+
+    def test_non_float_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)
+
+    def test_context_manager_scopes_and_restores(self):
+        with default_dtype(np.float32):
+            assert Tensor([1.0]).data.dtype == np.float32
+        assert Tensor([1.0]).data.dtype == np.float64
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with default_dtype(np.float32):
+                raise RuntimeError("boom")
+        assert get_default_dtype() == np.dtype(np.float64)
+
+    def test_float32_arrays_preserved_under_float32_default(self):
+        with default_dtype(np.float32):
+            payload = np.ones(4, dtype=np.float32)
+            tensor = Tensor(payload)
+            assert tensor.data.dtype == np.float32
+            # No copy is forced when the dtype already matches.
+            assert tensor.data is payload
+
+    def test_arithmetic_stays_in_float32(self):
+        with default_dtype(np.float32):
+            a = Tensor(np.ones((2, 2), dtype=np.float32))
+            b = Tensor(np.ones((2, 2), dtype=np.float32))
+            assert (a @ b).data.dtype == np.float32
+            assert (a + b).data.dtype == np.float32
+
+    def test_env_var_documented_name(self):
+        """The env-var spelling is part of the public contract."""
+        import repro.nn.tensor as tensor_module
+
+        assert "REPRO_DEFAULT_DTYPE" in open(tensor_module.__file__).read()
+
+    def test_env_var_selects_dtype(self):
+        result = self._import_with_env("float32", "print(repro.nn.tensor.get_default_dtype())")
+        assert result.returncode == 0
+        assert "float32" in result.stdout
+
+    def test_env_var_must_be_floating(self):
+        """REPRO_DEFAULT_DTYPE goes through the same floating-kind
+        validation as set_default_dtype (regression: int32 used to be
+        silently accepted and truncate tensor payloads)."""
+        result = self._import_with_env("int32", "")
+        assert result.returncode != 0
+        assert "floating" in result.stderr
+
+    @staticmethod
+    def _import_with_env(dtype_value, extra):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, REPRO_DEFAULT_DTYPE=dtype_value)
+        return subprocess.run(
+            [sys.executable, "-c", f"import repro.nn.tensor\n{extra}"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )

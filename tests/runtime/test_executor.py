@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.runtime.executor import AnytimeExecutor, RecomputeExecutor
+from repro.runtime.executor import AnytimeExecutor, ExecutionRecord, RecomputeExecutor, StepRecord
 from repro.runtime.platform import ResourceTrace
 from repro.runtime.policies import ConfidencePolicy, FixedSubnetPolicy, GreedyPolicy
 
@@ -143,3 +143,84 @@ class TestRecomputeExecutor:
             inputs, deadline=deadline
         )
         assert reuse.final_subnet >= recompute.final_subnet
+
+
+def _step(finish_time, subnet=0, start_time=0.0):
+    return StepRecord(
+        subnet=subnet,
+        start_time=start_time,
+        finish_time=finish_time,
+        macs_executed=1.0,
+        macs_reused=0.0,
+        confidence=1.0,
+        met_deadline=True,
+    )
+
+
+class TestDeadlineMetSemantics:
+    """Regression tests for the tightened ``ExecutionRecord.deadline_met``.
+
+    The mandatory first step must have *completed* (finite finish time)
+    at or before the deadline; later optional refinements that overrun do
+    not revoke it, and an empty or never-finishing execution never meets
+    a deadline.
+    """
+
+    def test_empty_record_with_deadline(self):
+        assert not ExecutionRecord(deadline=1.0).deadline_met
+
+    def test_empty_record_without_deadline(self):
+        assert not ExecutionRecord().deadline_met
+
+    def test_exact_boundary_counts_as_met(self):
+        record = ExecutionRecord(deadline=1.0, steps=[_step(finish_time=1.0)])
+        assert record.deadline_met
+
+    def test_just_past_boundary_misses(self):
+        record = ExecutionRecord(deadline=1.0, steps=[_step(finish_time=1.0 + 1e-9)])
+        assert not record.deadline_met
+
+    def test_overrunning_refinement_does_not_revoke(self):
+        record = ExecutionRecord(
+            deadline=1.0,
+            steps=[_step(finish_time=0.5), _step(finish_time=2.0, subnet=1, start_time=0.5)],
+        )
+        assert record.deadline_met
+
+    def test_infinite_first_step_never_met_without_deadline(self):
+        record = ExecutionRecord(steps=[_step(finish_time=math.inf)])
+        assert not record.deadline_met
+
+    def test_finite_first_step_met_without_deadline(self):
+        record = ExecutionRecord(steps=[_step(finish_time=3.0)])
+        assert record.deadline_met
+
+    def test_executor_zero_throughput(self, stepping_network, inputs):
+        trace = ResourceTrace.constant(0.0)
+        record = AnytimeExecutor(stepping_network, trace, GreedyPolicy()).execute(
+            inputs, deadline=1.0
+        )
+        assert not record.deadline_met
+
+
+class TestBackendUnification:
+    """The executors are drivers over the serving backends."""
+
+    def test_executor_exposes_backend(self, stepping_network, fast_trace):
+        from repro.serving.backend import RecomputeBackend, SteppingBackend
+
+        assert isinstance(
+            AnytimeExecutor(stepping_network, fast_trace).backend, SteppingBackend
+        )
+        assert isinstance(
+            RecomputeExecutor(stepping_network, fast_trace).backend, RecomputeBackend
+        )
+
+    def test_from_backend_shares_policy_and_network(self, stepping_network, fast_trace):
+        from repro.serving.backend import SteppingBackend
+
+        backend = SteppingBackend(stepping_network, policy=FixedSubnetPolicy(subnet=1))
+        executor = AnytimeExecutor.from_backend(backend, fast_trace)
+        record = executor.execute(np.zeros((2, 3, 12, 12)), deadline=100.0)
+        assert record.final_subnet == 1
+        assert executor.network is stepping_network

@@ -1,0 +1,134 @@
+"""Tests for the execution backends and their preemptible sessions."""
+
+import numpy as np
+import pytest
+
+from repro.serving.backend import (
+    DEFAULT_SERVING_DTYPE,
+    RecomputeBackend,
+    SteppingBackend,
+)
+
+
+@pytest.fixture
+def inputs(image_batch):
+    images, _ = image_batch
+    return images[:4]
+
+
+class TestSteppingBackend:
+    def test_step_costs_are_deltas(self, stepping_network):
+        backend = SteppingBackend(stepping_network)
+        for level in range(1, stepping_network.num_subnets):
+            expected = stepping_network.subnet_macs(level) - stepping_network.subnet_macs(level - 1)
+            assert backend.step_cost(level - 1, level) == pytest.approx(expected)
+
+    def test_first_step_cost_is_full_subnet(self, stepping_network):
+        backend = SteppingBackend(stepping_network)
+        assert backend.step_cost(-1, 0) == pytest.approx(stepping_network.subnet_macs(0))
+
+    def test_session_walks_all_levels(self, stepping_network, inputs):
+        backend = SteppingBackend(stepping_network)
+        session = backend.open(inputs)
+        seen = []
+        while session.next_subnet() is not None:
+            outcome = session.advance()
+            seen.append(outcome.subnet)
+        assert seen == list(range(stepping_network.num_subnets))
+        assert session.next_step_macs() is None
+
+    def test_advance_past_end_raises(self, stepping_network, inputs):
+        backend = SteppingBackend(stepping_network)
+        session = backend.open(inputs)
+        while session.next_subnet() is not None:
+            session.advance()
+        with pytest.raises(RuntimeError):
+            session.advance()
+
+    def test_start_subnet_out_of_range(self, stepping_network, inputs):
+        backend = SteppingBackend(stepping_network)
+        with pytest.raises(IndexError):
+            backend.open(inputs, start_subnet=stepping_network.num_subnets)
+
+    def test_default_dtype_is_float32(self, stepping_network, inputs):
+        backend = SteppingBackend(stepping_network)
+        assert backend.dtype == DEFAULT_SERVING_DTYPE
+        session = backend.open(inputs)
+        outcome = session.advance()
+        assert outcome.logits.dtype == np.float32
+
+    def test_float32_close_to_float64(self, stepping_network, inputs):
+        fast = SteppingBackend(stepping_network, dtype=np.float32)
+        exact = SteppingBackend(stepping_network, dtype=np.float64)
+        fast_session, exact_session = fast.open(inputs), exact.open(inputs)
+        while fast_session.next_subnet() is not None:
+            a = fast_session.advance()
+            b = exact_session.advance()
+            np.testing.assert_allclose(a.logits, b.logits, rtol=1e-4, atol=1e-4)
+
+
+class TestRecomputeBackend:
+    def test_step_costs_are_full_subnets(self, stepping_network):
+        backend = RecomputeBackend(stepping_network)
+        for level in range(stepping_network.num_subnets):
+            assert backend.step_cost(level - 1, level) == pytest.approx(
+                stepping_network.subnet_macs(level)
+            )
+
+    def test_no_reuse_reported(self, stepping_network, inputs):
+        backend = RecomputeBackend(stepping_network)
+        session = backend.open(inputs)
+        while session.next_subnet() is not None:
+            outcome = session.advance()
+            assert outcome.macs_reused == 0.0
+
+    def test_logits_match_stepping_backend(self, stepping_network, inputs):
+        stepping = SteppingBackend(stepping_network).open(inputs)
+        recompute = RecomputeBackend(stepping_network).open(inputs)
+        while stepping.next_subnet() is not None:
+            a = stepping.advance()
+            b = recompute.advance()
+            np.testing.assert_allclose(a.logits, b.logits, rtol=1e-5)
+
+
+class TestSessionPreemption:
+    """Interleaved sessions on one shared engine must not corrupt state."""
+
+    def test_interleaved_sessions_match_solo_sessions(self, stepping_network, image_batch):
+        images, _ = image_batch
+        batch_a, batch_b = images[:3], images[3:6]
+        backend = SteppingBackend(stepping_network, dtype=np.float64)
+
+        # Reference: run each batch alone through a fresh backend.
+        solo = SteppingBackend(stepping_network, dtype=np.float64)
+        ref_a, ref_b = [], []
+        session = solo.open(batch_a)
+        while session.next_subnet() is not None:
+            ref_a.append(session.advance().logits)
+        session = solo.open(batch_b)
+        while session.next_subnet() is not None:
+            ref_b.append(session.advance().logits)
+
+        # Interleave two sessions step by step on one shared engine.
+        session_a, session_b = backend.open(batch_a), backend.open(batch_b)
+        got_a, got_b = [], []
+        while session_a.next_subnet() is not None or session_b.next_subnet() is not None:
+            if session_a.next_subnet() is not None:
+                got_a.append(session_a.advance().logits)
+            if session_b.next_subnet() is not None:
+                got_b.append(session_b.advance().logits)
+
+        for ref, got in zip(ref_a, got_a):
+            np.testing.assert_allclose(ref, got, rtol=1e-10)
+        for ref, got in zip(ref_b, got_b):
+            np.testing.assert_allclose(ref, got, rtol=1e-10)
+
+    def test_suspend_releases_engine(self, stepping_network, inputs):
+        backend = SteppingBackend(stepping_network)
+        session = backend.open(inputs)
+        session.advance()
+        session.suspend()
+        assert backend._active is None
+        # The session resumes transparently on its next advance.
+        outcome = session.advance()
+        assert outcome.subnet == 1

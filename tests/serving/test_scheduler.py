@@ -1,0 +1,173 @@
+"""Tests for the scheduling policies, including the ordering properties
+the serving engine relies on: FIFO preserves arrival order and EDF never
+inverts two deadline-ordered requests on a constant trace."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.platform import ResourceTrace
+from repro.serving import (
+    EDFScheduler,
+    FIFOScheduler,
+    PriorityScheduler,
+    Request,
+    ServingEngine,
+    SteppingBackend,
+    get_scheduler,
+)
+from repro.serving.backend import ServingJob
+
+
+def _job(request_id, arrival, deadline=None, priority=0):
+    request = Request(
+        request_id=request_id,
+        arrival_time=arrival,
+        inputs=np.zeros((1, 3, 12, 12)),
+        deadline=deadline,
+        priority=priority,
+    )
+    return ServingJob(request=request, session=None)
+
+
+class TestSelect:
+    def test_fifo_picks_earliest_arrival(self):
+        jobs = [_job(0, 2.0), _job(1, 0.5), _job(2, 1.0)]
+        assert FIFOScheduler().select(jobs, now=3.0).request.request_id == 1
+
+    def test_fifo_breaks_ties_by_id(self):
+        jobs = [_job(3, 1.0), _job(1, 1.0), _job(2, 1.0)]
+        assert FIFOScheduler().select(jobs, now=3.0).request.request_id == 1
+
+    def test_edf_picks_earliest_deadline(self):
+        jobs = [_job(0, 0.0, deadline=5.0), _job(1, 1.0, deadline=2.0), _job(2, 0.5, deadline=9.0)]
+        assert EDFScheduler().select(jobs, now=1.5).request.request_id == 1
+
+    def test_edf_best_effort_loses_to_any_deadline(self):
+        jobs = [_job(0, 0.0), _job(1, 1.0, deadline=100.0)]
+        assert EDFScheduler().select(jobs, now=1.5).request.request_id == 1
+
+    def test_priority_larger_wins(self):
+        jobs = [_job(0, 0.0, priority=0), _job(1, 1.0, priority=5), _job(2, 0.5, priority=2)]
+        assert PriorityScheduler().select(jobs, now=1.5).request.request_id == 1
+
+    def test_registry(self):
+        assert isinstance(get_scheduler("fifo"), FIFOScheduler)
+        assert isinstance(get_scheduler("edf"), EDFScheduler)
+        assert isinstance(get_scheduler("priority"), PriorityScheduler)
+        with pytest.raises(KeyError):
+            get_scheduler("lottery")
+
+
+def _serve(network, requests, scheduler):
+    largest = float(network.subnet_macs(network.num_subnets - 1))
+    trace = ResourceTrace.constant(largest / 0.4, name="constant")
+    engine = ServingEngine(SteppingBackend(network), trace, scheduler)
+    return engine.serve(requests)
+
+
+def _random_requests(rng, count, simultaneous=False):
+    requests = []
+    arrival = 0.0
+    for index in range(count):
+        if not simultaneous:
+            arrival += float(rng.exponential(0.3))
+        requests.append(
+            Request(
+                request_id=index,
+                arrival_time=arrival,
+                inputs=np.zeros((1, 3, 12, 12)),
+                deadline=arrival + float(rng.uniform(0.5, 5.0)),
+            )
+        )
+    return requests
+
+
+class TestFIFOOrderProperty:
+    """FIFO preserves arrival order: requests finish in arrival order."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_completion_follows_arrival_order(self, stepping_network, seed):
+        rng = np.random.default_rng(seed)
+        requests = _random_requests(rng, 12)
+        report = _serve(stepping_network, requests, "fifo")
+        by_arrival = sorted(report.jobs, key=lambda job: job.request.arrival_time)
+        completions = [job.completion_time for job in by_arrival]
+        assert completions == sorted(completions)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_first_touch_follows_arrival_order(self, stepping_network, seed):
+        rng = np.random.default_rng(seed)
+        requests = _random_requests(rng, 12)
+        report = _serve(stepping_network, requests, "fifo")
+        by_arrival = sorted(report.jobs, key=lambda job: job.request.arrival_time)
+        first_starts = [job.steps[0].start_time for job in by_arrival]
+        assert first_starts == sorted(first_starts)
+
+    def test_fifo_runs_to_completion(self, stepping_network):
+        """No interleaving: a job's steps are contiguous on the accelerator."""
+        rng = np.random.default_rng(3)
+        requests = _random_requests(rng, 8, simultaneous=True)
+        report = _serve(stepping_network, requests, "fifo")
+        spans = sorted(
+            (job.steps[0].start_time, job.completion_time, job.request.request_id)
+            for job in report.jobs
+            if job.steps
+        )
+        for (_, end_a, _), (start_b, _, _) in zip(spans, spans[1:]):
+            assert start_b >= end_a - 1e-9
+
+
+class TestEDFOrderProperty:
+    """EDF never inverts two deadline-ordered requests on a constant trace."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_simultaneous_arrivals_served_in_deadline_order(self, stepping_network, seed):
+        rng = np.random.default_rng(seed)
+        requests = _random_requests(rng, 10, simultaneous=True)
+        report = _serve(stepping_network, requests, "edf")
+        by_deadline = sorted(report.jobs, key=lambda job: job.request.deadline)
+        first_results = [job.first_result_time for job in by_deadline]
+        assert first_results == sorted(first_results)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_no_deadline_inversion_among_ready_jobs(self, stepping_network, seed):
+        """Whenever a step starts, no *waiting* request has a strictly
+        earlier deadline than the request being served."""
+        rng = np.random.default_rng(seed)
+        requests = _random_requests(rng, 10)
+        report = _serve(stepping_network, requests, "edf")
+
+        schedule = []  # (start_time, request_id)
+        for job in report.jobs:
+            for step in job.steps:
+                schedule.append((step.start_time, step.finish_time, job.request.request_id))
+        schedule.sort()
+        info = {job.request.request_id: job for job in report.jobs}
+
+        for start, _, running_id in schedule:
+            running_deadline = info[running_id].request.deadline
+            for other in report.jobs:
+                if other.request.request_id == running_id:
+                    continue
+                # "Ready": arrived, not yet finished at this instant.
+                if other.request.arrival_time > start + 1e-9:
+                    continue
+                if other.completion_time <= start + 1e-9:
+                    continue
+                assert other.request.deadline >= running_deadline - 1e-9
+
+
+class TestPrioritySchedulingEndToEnd:
+    def test_high_priority_burst_served_first(self, stepping_network):
+        inputs = np.zeros((1, 3, 12, 12))
+        low = [
+            Request(request_id=i, arrival_time=0.0, inputs=inputs, priority=0) for i in range(3)
+        ]
+        high = [
+            Request(request_id=10 + i, arrival_time=0.0, inputs=inputs, priority=9)
+            for i in range(3)
+        ]
+        report = _serve(stepping_network, low + high, "priority")
+        high_done = max(job.completion_time for job in report.jobs if job.request.priority == 9)
+        low_first = min(job.first_result_time for job in report.jobs if job.request.priority == 0)
+        assert high_done <= low_first + 1e-9
