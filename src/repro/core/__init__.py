@@ -17,6 +17,7 @@ from .layers import (
 )
 from .mac import MacReport, dense_macs, mac_report
 from .network import Block, SteppingNetwork
+from .plan import NetworkPlan
 from .pruning import (
     PruningReport,
     apply_unstructured_pruning,
@@ -65,6 +66,7 @@ __all__ = [
     "DistillationResult",
     "retrain_with_distillation",
     "IncrementalInference",
+    "NetworkPlan",
     "StepResult",
     "anytime_schedule",
     "MacReport",

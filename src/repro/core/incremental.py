@@ -10,7 +10,11 @@ contributions.  The number of extra MACs is exactly
 
 The engine operates purely on numpy arrays (no autograd graph) and uses
 the batch-norm running statistics, i.e. it models deployment-time
-inference on a resource-varying platform.
+inference on a resource-varying platform.  By default steps execute over
+a compiled :class:`~repro.core.plan.NetworkPlan` — pre-packed per-level
+weight slabs with masks applied and batch norm folded in — so the step
+loop itself is nothing but matmuls; pass ``compiled=False`` for the
+legacy per-step-masking path (the correctness oracle).
 """
 
 from __future__ import annotations
@@ -21,8 +25,10 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..nn import functional as F
+from ..nn.functional import activation_infer
 from ..nn.tensor import Tensor, default_dtype, no_grad
 from .network import Block, SteppingNetwork
+from .plan import NetworkPlan
 
 
 @dataclass
@@ -44,6 +50,10 @@ class InferenceState:
     logits: Optional[np.ndarray]
     current_subnet: int
     steps: List["StepResult"]
+    #: Private incremental buffers of the compiled plan (column buffers,
+    #: pooled maps).  Pure caches: an empty dict is always valid and is
+    #: rebuilt transparently on the next compiled step.
+    aux: Dict = field(default_factory=dict)
 
     def copy(self) -> "InferenceState":
         """Deep copy of the cached activations (for isolated snapshots)."""
@@ -53,6 +63,10 @@ class InferenceState:
             logits=None if self.logits is None else self.logits.copy(),
             current_subnet=self.current_subnet,
             steps=list(self.steps),
+            aux={
+                key: value.copy() if isinstance(value, np.ndarray) else value
+                for key, value in self.aux.items()
+            },
         )
 
 
@@ -74,19 +88,6 @@ class StepResult:
     def reuse_fraction(self) -> float:
         total = self.macs_executed + self.macs_reused
         return self.macs_reused / total if total else 0.0
-
-
-def _activation_np(x: np.ndarray, name: str) -> np.ndarray:
-    name = (name or "none").lower()
-    if name == "relu":
-        return np.maximum(x, 0.0)
-    if name == "tanh":
-        return np.tanh(x)
-    if name == "sigmoid":
-        return 1.0 / (1.0 + np.exp(-x))
-    if name in ("none", "linear", "identity"):
-        return x
-    raise ValueError(f"unknown activation '{name}'")
 
 
 def _batch_norm_eval(z: np.ndarray, norm, channels: np.ndarray) -> np.ndarray:
@@ -124,19 +125,55 @@ class IncrementalInference:
     """
 
     def __init__(
-        self, network: SteppingNetwork, apply_prune: bool = True, dtype=None
+        self,
+        network: SteppingNetwork,
+        apply_prune: bool = True,
+        dtype=None,
+        compiled: bool = True,
+        plan: Optional[NetworkPlan] = None,
     ) -> None:
         self.network = network
         self.apply_prune = apply_prune
         # float64 reproduces the training-time forward pass bit-for-bit;
         # float32 halves the memory traffic of deployment-style serving.
         self.dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+        # ``compiled`` routes every step through a pre-packed
+        # :class:`NetworkPlan` (no per-step masking/casting/BN
+        # arithmetic); the uncompiled path is kept as the numerics
+        # oracle, for networks mutated between steps, and as the
+        # automatic fallback for networks a plan cannot represent
+        # (e.g. enforce_incremental=False baselines).
+        self.compiled = (compiled and NetworkPlan.supports(network)) or plan is not None
+        if plan is not None:
+            if plan.network_ref() is not network:
+                raise ValueError("plan was compiled for a different network")
+            if plan.dtype != self.dtype or plan.apply_prune != bool(apply_prune):
+                raise ValueError(
+                    "plan was compiled for "
+                    f"(dtype={plan.dtype}, apply_prune={plan.apply_prune}), engine wants "
+                    f"(dtype={self.dtype}, apply_prune={bool(apply_prune)})"
+                )
+        self._plan = plan
         self.reset()
+
+    @property
+    def plan(self) -> NetworkPlan:
+        """The compiled plan (built lazily so it snapshots current weights)."""
+        if self._plan is None:
+            self._plan = NetworkPlan(
+                self.network, apply_prune=self.apply_prune, dtype=self.dtype
+            )
+        return self._plan
+
+    def refresh_plan(self) -> None:
+        """Drop the compiled plan (call after mutating the network)."""
+        self._plan = None
 
     def reset(self) -> None:
         """Forget all cached activations (start a new input batch)."""
         self._input: Optional[np.ndarray] = None
         self._cache: Dict[int, np.ndarray] = {}
+        self._aux: Dict = {}
         self._logits: Optional[np.ndarray] = None
         self._current_subnet: int = -1
         self.steps: List[StepResult] = []
@@ -160,6 +197,7 @@ class IncrementalInference:
             logits=self._logits,
             current_subnet=self._current_subnet,
             steps=self.steps,
+            aux=self._aux,
         )
         self.reset()
         return state
@@ -171,6 +209,7 @@ class IncrementalInference:
             return
         self._input = state.input
         self._cache = state.cache
+        self._aux = state.aux
         self._logits = state.logits
         self._current_subnet = state.current_subnet
         self.steps = state.steps
@@ -204,17 +243,30 @@ class IncrementalInference:
         network = self.network
         if not 0 <= to_subnet < network.num_subnets:
             raise IndexError(f"subnet index {to_subnet} out of range")
-        was_training = network.training
-        network.eval()
-        try:
-            with no_grad(), default_dtype(self.dtype):
-                logits = self._walk(from_subnet, to_subnet)
-        finally:
-            network.train(was_training)
-        macs_to = network.subnet_macs(to_subnet, apply_prune=self.apply_prune)
-        macs_from = (
-            network.subnet_macs(from_subnet, apply_prune=self.apply_prune) if from_subnet >= 0 else 0
-        )
+        if self.compiled:
+            # Fast path: pure numpy over the pre-packed plan.  Weights,
+            # masks, folded batch norm and MAC counts were all prepared
+            # once at compile time; the step only does matmuls.
+            plan = self.plan
+            logits = plan.execute(
+                self._input, self._cache, self._aux, self._logits, from_subnet, to_subnet
+            )
+            macs_to = plan.subnet_macs[to_subnet]
+            macs_from = plan.subnet_macs[from_subnet] if from_subnet >= 0 else 0
+        else:
+            was_training = network.training
+            network.eval()
+            try:
+                with no_grad(), default_dtype(self.dtype):
+                    logits = self._walk(from_subnet, to_subnet)
+            finally:
+                network.train(was_training)
+            macs_to = network.subnet_macs(to_subnet, apply_prune=self.apply_prune)
+            macs_from = (
+                network.subnet_macs(from_subnet, apply_prune=self.apply_prune)
+                if from_subnet >= 0
+                else 0
+            )
         result = StepResult(
             subnet=to_subnet,
             logits=logits,
@@ -228,7 +280,12 @@ class IncrementalInference:
         return result
 
     def _walk(self, from_subnet: int, to_subnet: int) -> np.ndarray:
-        """Propagate through the block list computing only new units."""
+        """Legacy step path: per-step masking over the block list.
+
+        Kept as the numerics oracle for the compiled plan (see
+        :mod:`repro.core.plan`); produces the same cache layout, so the
+        two paths are interchangeable mid-flight.
+        """
         network = self.network
         current = self._input
         if current.ndim == 4 and not network.spec._has_conv():
@@ -284,7 +341,7 @@ class IncrementalInference:
                 z = current @ weight.T + bias.reshape(1, -1)
             if block.norm is not None:
                 z = _batch_norm_eval(z, block.norm, new_units)
-            z = _activation_np(z, block.activation)
+            z = activation_infer(z, block.activation)
             cached[:, new_units] = z
 
         # The combined map exposes exactly the units of ``to_subnet``.
@@ -298,15 +355,21 @@ class IncrementalInference:
         network = self.network
         layer = block.layer
         in_subnet = network.input_unit_subnet(block.param_index)
-        mask = layer.weight_mask(to_subnet, in_subnet, self.apply_prune)
-        weight = (layer.weight.data * mask).astype(self.dtype, copy=False)
         if from_subnet < 0 or self._logits is None:
+            mask = layer.weight_mask(to_subnet, in_subnet, self.apply_prune)
+            weight = (layer.weight.data * mask).astype(self.dtype, copy=False)
             bias = layer.bias.data.astype(self.dtype, copy=False)
             return current @ weight.T + bias.reshape(1, -1)
         new_features = np.where((in_subnet > from_subnet) & (in_subnet <= to_subnet))[0]
         if new_features.size == 0:
             return self._logits.copy()
-        delta = current[:, new_features] @ weight[:, new_features].T
+        # Slice the added feature columns *before* masking/casting — the
+        # full (C, F) masked weight matrix is never materialised for a
+        # delta update.
+        weight = layer.weight_columns(
+            new_features, to_subnet, in_subnet, self.apply_prune
+        ).astype(self.dtype, copy=False)
+        delta = current[:, new_features] @ weight.T
         return self._logits + delta
 
 
@@ -315,6 +378,7 @@ def anytime_schedule(
     inputs: np.ndarray,
     subnets: Optional[List[int]] = None,
     apply_prune: bool = True,
+    compiled: bool = True,
 ) -> List[StepResult]:
     """Convenience helper: run subnet 0 then step through ``subnets`` in order.
 
@@ -326,7 +390,7 @@ def anytime_schedule(
         subnets = list(range(network.num_subnets))
     if not subnets:
         raise ValueError("subnets must contain at least one level")
-    engine = IncrementalInference(network, apply_prune=apply_prune)
+    engine = IncrementalInference(network, apply_prune=apply_prune, compiled=compiled)
     results = [engine.run(inputs, subnet=subnets[0])]
     for level in subnets[1:]:
         results.append(engine.step_to(level))

@@ -94,6 +94,51 @@ class SteppingLinear(Module):
             prune_mask=self.prune_mask if apply_prune else None,
         )
 
+    def weight_rows(
+        self,
+        units: np.ndarray,
+        subnet: int,
+        in_unit_subnet: np.ndarray,
+        apply_prune: bool = True,
+    ) -> np.ndarray:
+        """Masked weight slab ``(len(units), in)`` for the given output units.
+
+        Builds the mask only for the requested rows instead of
+        materialising the full ``(out, in)`` mask and slicing it — the
+        packing primitive of the compiled inference plans.
+        """
+        units = np.asarray(units, dtype=np.int64)
+        mask = build_weight_mask(
+            self.assignment.unit_subnet[units],
+            in_unit_subnet,
+            subnet,
+            enforce_incremental=self.enforce_incremental,
+            prune_mask=self.prune_mask[units] if apply_prune else None,
+        )
+        return self.weight.data[units] * mask
+
+    def weight_columns(
+        self,
+        columns: np.ndarray,
+        subnet: int,
+        in_unit_subnet: np.ndarray,
+        apply_prune: bool = True,
+    ) -> np.ndarray:
+        """Masked weight slab ``(out, len(columns))`` for the given input columns.
+
+        Used by the incremental output-head update, which only needs the
+        columns of the features added by a step — never the full matrix.
+        """
+        columns = np.asarray(columns, dtype=np.int64)
+        mask = build_weight_mask(
+            self.assignment.unit_subnet,
+            np.asarray(in_unit_subnet)[columns],
+            subnet,
+            enforce_incremental=self.enforce_incremental,
+            prune_mask=self.prune_mask[:, columns] if apply_prune else None,
+        )
+        return self.weight.data[:, columns] * mask
+
     def active_macs(self, subnet: int, in_unit_subnet: np.ndarray, apply_prune: bool = True) -> int:
         """MAC count of this layer when executing ``subnet``."""
         return int(self.weight_mask(subnet, in_unit_subnet, apply_prune).sum())
@@ -183,6 +228,32 @@ class SteppingConv2d(Module):
         if apply_prune:
             mask *= self.prune_mask
         return mask
+
+    def weight_rows(
+        self,
+        units: np.ndarray,
+        subnet: int,
+        in_unit_subnet: np.ndarray,
+        apply_prune: bool = True,
+    ) -> np.ndarray:
+        """Masked filter slab ``(len(units), in, kh, kw)`` for the given filters.
+
+        Row-sliced counterpart of :meth:`channel_mask` that never builds
+        the full broadcast mask — the packing primitive of the compiled
+        inference plans.
+        """
+        units = np.asarray(units, dtype=np.int64)
+        base = build_weight_mask(
+            self.assignment.unit_subnet[units],
+            in_unit_subnet,
+            subnet,
+            enforce_incremental=self.enforce_incremental,
+            prune_mask=None,
+        )
+        slab = self.weight.data[units] * base[:, :, None, None]
+        if apply_prune:
+            slab = slab * self.prune_mask[units]
+        return slab
 
     def output_spatial_size(self, height: int, width: int) -> Tuple[int, int]:
         out_h = (height + 2 * self.padding - self.kernel_size) // self.stride + 1

@@ -1,0 +1,559 @@
+"""Compiled inference plans: ahead-of-time preparation of stepping inference.
+
+Every piece of work the incremental engine used to redo on *every*
+``step_to`` — deriving weight masks, casting dense weights to the
+inference dtype, applying eval-mode batch norm channel by channel,
+re-deriving per-subnet MAC counts — is invariant across steps for a
+fixed ``(network, dtype, apply_prune)``.  A :class:`NetworkPlan` hoists
+all of it out of the step loop, the way slimmable-network deployments
+pre-slice per-width weights and NN-serving systems compile a model into
+an execution plan before taking traffic:
+
+* per hidden layer and per subnet level, the **packed new-unit weight
+  slab** — the rows of the units that first appear at that level, with
+  the membership/incremental/pruning mask already applied, batch norm
+  folded into the weights and bias (exact at eval time) and the result
+  cast to the inference dtype (conv slabs are pre-flattened to the
+  ``(new_units, C*kh*kw)`` GEMM layout);
+* the **new-unit index arrays** used to scatter freshly computed
+  activations into the full-width layer cache;
+* per output-head level, the **delta column slices** (packed masked
+  columns of the classifier for the features added at that level);
+* the per-level **subnet MAC counts** used for step accounting.
+
+Execution over the plan (:meth:`NetworkPlan.execute`) is pure numpy: no
+autograd ``Tensor`` wrapping, no per-step masking or casting, and no
+full-width ``cached * active`` copies — new units are written into the
+cache in place, and the cache itself (zeros at not-yet-computed units)
+*is* the combined activation map of the current subnet.
+
+The step loop also exploits the structural invariant that a computed
+activation never changes: per conv layer a persistent **column buffer**
+holds the im2col patches of its input in channel-major layout, and per
+pooling stage a persistent **pooled map** holds the downsampled cache —
+both updated only at the channels a step activates, so over a full walk
+every input channel is packed and pooled exactly once instead of once
+per step.  These buffers live in the engine's auxiliary state and move
+with suspend/resume; they are pure caches, rebuilt transparently when
+absent.
+
+Plans assume eval-mode semantics (batch-norm running statistics) and the
+structural no-new-to-old-synapse rule that makes stepping inference
+sound in the first place; they are snapshots — mutate the network's
+weights, masks or assignments and a new plan must be built (see
+:meth:`NetworkPlan.for_network` and its ``refresh`` flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+from weakref import WeakKeyDictionary, ref
+
+import numpy as np
+
+from ..nn.functional import (
+    activation_infer,
+    avg_pool2d_infer,
+    im2col_channel_major,
+    max_pool2d_infer,
+)
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _bn_fold(norm, units: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-unit ``(scale, shift)`` so that ``BN(z) == scale * z + shift``.
+
+    Eval-mode batch norm is affine in its input:
+    ``gamma * (z - mean) / sqrt(var + eps) + beta``; folding it into the
+    preceding layer's weights and bias is exact up to float associativity.
+    """
+    scale = norm.gamma.data[units] / np.sqrt(norm.running_var[units] + norm.eps)
+    shift = norm.beta.data[units] - norm.running_mean[units] * scale
+    return scale, shift
+
+
+@dataclass
+class _Slab:
+    """Packed ready-to-execute weights for a contiguous range of levels."""
+
+    units: np.ndarray  # output-unit (or input-feature) indices
+    weight: np.ndarray  # masked, folded, cast — rows (hidden) or columns (output)
+    bias: Optional[np.ndarray] = None
+
+
+class _RangeCache:
+    """Lazily memoised concatenation of per-level slabs over ``(from, to]``.
+
+    Stepping patterns are arbitrary ``i -> j`` jumps, but the set of
+    distinct ranges is at most ``O(num_subnets^2)`` and in serving
+    practice dominated by ``i -> i+1``; concatenations are built once on
+    first use and reused for the lifetime of the plan.
+    """
+
+    def __init__(self, levels: List[_Slab]) -> None:
+        self.levels = levels
+        self._ranges: Dict[Tuple[int, int], _Slab] = {}
+
+    def pack(self, from_subnet: int, to_subnet: int) -> _Slab:
+        key = (from_subnet, to_subnet)
+        hit = self._ranges.get(key)
+        if hit is not None:
+            return hit
+        slabs = [s for s in self.levels[from_subnet + 1 : to_subnet + 1] if s.units.size]
+        if len(slabs) == 1:
+            hit = slabs[0]
+        elif slabs:
+            hit = _Slab(
+                units=np.concatenate([s.units for s in slabs]),
+                weight=np.concatenate([s.weight for s in slabs], axis=0),
+                bias=(
+                    np.concatenate([s.bias for s in slabs])
+                    if slabs[0].bias is not None
+                    else None
+                ),
+            )
+        else:
+            empty = self.levels[0]
+            hit = _Slab(
+                units=_EMPTY,
+                weight=np.empty((0,) + empty.weight.shape[1:], dtype=empty.weight.dtype),
+                bias=(
+                    np.empty(0, dtype=empty.weight.dtype)
+                    if empty.bias is not None
+                    else None
+                ),
+            )
+        self._ranges[key] = hit
+        return hit
+
+
+@dataclass
+class _HiddenStep:
+    """A parametric hidden block compiled to per-level packed slabs."""
+
+    kind: str  # "conv" | "linear"
+    param_index: int
+    activation: str
+    num_units: int
+    slabs: _RangeCache
+    # conv only
+    in_channels: int = 0
+    in_levels: np.ndarray = field(default_factory=lambda: _EMPTY)
+    kernel: Tuple[int, int] = (1, 1)
+    stride: int = 1
+    padding: int = 1
+    out_spatial: Tuple[int, int] = (1, 1)
+
+
+@dataclass
+class _OutputStep:
+    """The classifier head compiled to per-level packed column slices."""
+
+    param_index: int
+    bias: np.ndarray
+    slabs: _RangeCache
+
+
+@dataclass
+class _PoolStep:
+    kind: str
+    size: int
+    stride: int
+    index: int  # aux-state key (position in the plan)
+    num_channels: int  # width of the incoming full-width map
+    in_levels: np.ndarray  # subnet level of each incoming channel
+
+
+@dataclass
+class _FlattenStep:
+    pass
+
+
+class NetworkPlan:
+    """Ahead-of-time compiled stepping-inference plan for one network.
+
+    Build once per ``(network, dtype, apply_prune)`` and execute many
+    times; the plan is read-only at serving time, so any number of
+    engines, sessions and backends on one platform can share it.
+    """
+
+    _shared: "WeakKeyDictionary" = WeakKeyDictionary()
+
+    def __init__(self, network, apply_prune: bool = True, dtype=np.float64) -> None:
+        # Deliberately no strong reference to ``network`` is kept: the
+        # plan is a self-contained snapshot, and keeping the network
+        # alive would defeat the weak-keyed ``for_network`` cache.  The
+        # weak ref lets engines verify a supplied plan matches their
+        # network.
+        self.network_ref = ref(network)
+        self.apply_prune = bool(apply_prune)
+        self.dtype = np.dtype(dtype)
+        self.num_subnets = network.num_subnets
+        self.flatten_input = not network.spec._has_conv()
+        self.steps: List[object] = []
+        #: Exact per-level MAC counts (what a step from ``i`` to ``j`` charges).
+        self.subnet_macs: Tuple[int, ...] = tuple(
+            network.subnet_macs(level, apply_prune=self.apply_prune)
+            for level in range(self.num_subnets)
+        )
+        self._compile(network)
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _compile(self, network) -> None:
+        prev_layer = None
+        for block in network.blocks:
+            if block.kind in ("conv", "linear") and not block.is_output:
+                self.steps.append(self._compile_hidden(network, block))
+                prev_layer = block.layer
+            elif block.kind == "linear" and block.is_output:
+                self.steps.append(self._compile_output(network, block))
+            elif block.kind == "pool":
+                if prev_layer is None:
+                    raise ValueError("compiled plans require a parametric layer before pooling")
+                self.steps.append(
+                    _PoolStep(
+                        kind=block.pool_kind,
+                        size=block.pool_size,
+                        stride=block.pool_stride,
+                        index=len(self.steps),
+                        num_channels=prev_layer.assignment.num_units,
+                        in_levels=prev_layer.assignment.unit_subnet.copy(),
+                    )
+                )
+            elif block.kind == "flatten":
+                self.steps.append(_FlattenStep())
+            # dropout is identity at inference time: compiled away entirely
+
+    def _compile_hidden(self, network, block) -> _HiddenStep:
+        layer = block.layer
+        if not layer.enforce_incremental:
+            # Without the no-new-to-old-synapse rule a unit's inputs grow
+            # with the executing subnet, so per-level slabs (masked at the
+            # unit's own level) would silently drop weights.
+            raise ValueError(
+                "compiled plans require the incremental no-new-to-old-synapse "
+                f"rule; hidden layer '{layer.layer_name}' was built with "
+                "enforce_incremental=False"
+            )
+        in_subnet = network.input_unit_subnet(block.param_index)
+        conv = block.kind == "conv"
+        step_in_width = (
+            layer.in_channels * layer.kernel_size * layer.kernel_size if conv else 0
+        )
+        levels: List[_Slab] = []
+        for level in range(self.num_subnets):
+            units = layer.assignment.units_in_exactly(level)
+            weight = layer.weight_rows(units, level, in_subnet, self.apply_prune)
+            if conv:
+                # GEMM layout (units, C*kh*kw)
+                weight = weight.reshape(units.size, step_in_width)
+            bias = layer.bias.data[units]
+            if block.norm is not None:
+                scale, shift = _bn_fold(block.norm, units)
+                weight = weight * scale[:, None]
+                bias = bias * scale + shift
+            levels.append(
+                _Slab(
+                    units=units,
+                    weight=np.ascontiguousarray(weight, dtype=self.dtype),
+                    bias=np.ascontiguousarray(bias, dtype=self.dtype),
+                )
+            )
+        step = _HiddenStep(
+            kind=block.kind,
+            param_index=block.param_index,
+            activation=block.activation,
+            num_units=layer.assignment.num_units,
+            slabs=_RangeCache(levels),
+        )
+        if conv:
+            step.in_channels = layer.in_channels
+            step.in_levels = np.asarray(in_subnet)
+            step.kernel = (layer.kernel_size, layer.kernel_size)
+            step.stride = layer.stride
+            step.padding = layer.padding
+            step.out_spatial = layer.output_spatial_size(*block.in_spatial)
+        return step
+
+    def _compile_output(self, network, block) -> _OutputStep:
+        layer = block.layer
+        if not np.all(layer.assignment.unit_subnet == 0):
+            raise ValueError(
+                "compiled plans require the output layer in every subnet "
+                "(frozen assignment at level 0)"
+            )
+        in_subnet = np.asarray(network.input_unit_subnet(block.param_index))
+        levels: List[_Slab] = []
+        for level in range(self.num_subnets):
+            features = np.where(in_subnet == level)[0]
+            columns = layer.weight_columns(
+                features, self.num_subnets - 1, in_subnet, self.apply_prune
+            )
+            # Stored transposed — (features, classes) — so level slabs
+            # concatenate along axis 0 like the hidden row slabs.
+            levels.append(
+                _Slab(
+                    units=features,
+                    weight=np.ascontiguousarray(columns.T, dtype=self.dtype),
+                )
+            )
+        return _OutputStep(
+            param_index=block.param_index,
+            bias=layer.bias.data.astype(self.dtype),
+            slabs=_RangeCache(levels),
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        inputs: np.ndarray,
+        cache: Dict[int, np.ndarray],
+        aux: Dict,
+        logits: Optional[np.ndarray],
+        from_subnet: int,
+        to_subnet: int,
+    ) -> np.ndarray:
+        """Advance one in-flight inference from ``from_subnet`` to ``to_subnet``.
+
+        ``cache`` maps ``param_index`` to the full-width activation map of
+        each hidden layer (zeros at not-yet-computed units) and is
+        updated in place; it is the same layout the legacy path produces,
+        so suspended state moves freely between compiled and uncompiled
+        engines.  ``aux`` holds the plan's private incremental buffers
+        (column buffers, pooled maps); missing entries are rebuilt from
+        the cache, so an empty dict — e.g. state produced by the legacy
+        path — is always valid.  Returns the logits of ``to_subnet``.
+        """
+        current = inputs
+        if self.flatten_input and current.ndim == 4:
+            current = current.reshape(current.shape[0], -1)
+        # The incremental buffers are valid only for the subnet level they
+        # were last advanced to.  If this state progressed through another
+        # path in between (e.g. legacy steps on an imported state), the
+        # buffers lag the cache: drop them and repack from the cache.
+        if aux.pop("level", None) != from_subnet:
+            aux.clear()
+        # Indices of the current map's channels written by *this* step;
+        # the network input itself never changes within a run.
+        changed = _EMPTY
+        out: Optional[np.ndarray] = None
+        for step in self.steps:
+            if isinstance(step, _HiddenStep):
+                if step.kind == "conv":
+                    current, changed = self._run_conv(
+                        step, current, changed, cache, aux, from_subnet, to_subnet
+                    )
+                else:
+                    current, changed = self._run_linear(
+                        step, current, cache, from_subnet, to_subnet
+                    )
+            elif isinstance(step, _OutputStep):
+                out = self._run_output(step, current, logits, from_subnet, to_subnet)
+            elif isinstance(step, _PoolStep):
+                current, changed = self._run_pool(
+                    step, current, changed, aux, to_subnet
+                )
+            else:  # flatten
+                current = current.reshape(current.shape[0], -1)
+        if out is None:
+            raise RuntimeError("network has no output layer")
+        aux["level"] = to_subnet
+        return out
+
+    def _run_conv(
+        self,
+        step: _HiddenStep,
+        current: np.ndarray,
+        changed: np.ndarray,
+        cache: Dict[int, np.ndarray],
+        aux: Dict,
+        from_subnet: int,
+        to_subnet: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        batch = current.shape[0]
+        out_h, out_w = step.out_spatial
+        cached = cache.get(step.param_index)
+        if cached is None:
+            cached = np.zeros((batch, step.num_units, out_h, out_w), dtype=self.dtype)
+            cache[step.param_index] = cached
+
+        # Persistent channel-major column buffer: (C, kh, kw, N, oh, ow).
+        # Only the channels activated by this step are re-packed; a fresh
+        # buffer (new run, or state produced by the legacy path) packs
+        # every channel active at ``to_subnet`` once.
+        key = ("cols", step.param_index)
+        cols = aux.get(key)
+        if cols is None:
+            cols = np.zeros(
+                (step.in_channels,) + step.kernel + (batch, out_h, out_w),
+                dtype=self.dtype,
+            )
+            aux[key] = cols
+            update = np.where(step.in_levels <= to_subnet)[0]
+        else:
+            update = changed
+        if update.size:
+            cols[update] = im2col_channel_major(
+                current[:, update],
+                step.kernel,
+                (step.stride, step.stride),
+                (step.padding, step.padding),
+            )
+
+        slab = step.slabs.pack(from_subnet, to_subnet)
+        if slab.units.size:
+            # (new_units, C*kh*kw) @ (C*kh*kw, N*oh*ow): weights on the
+            # left keeps the activation, bias add and scatter contiguous.
+            z = slab.weight @ cols.reshape(-1, batch * out_h * out_w)
+            z += slab.bias[:, None]
+            z = activation_infer(z, step.activation)
+            cached[:, slab.units] = z.reshape(-1, batch, out_h, out_w).transpose(1, 0, 2, 3)
+        return cached, slab.units
+
+    def _run_linear(
+        self,
+        step: _HiddenStep,
+        current: np.ndarray,
+        cache: Dict[int, np.ndarray],
+        from_subnet: int,
+        to_subnet: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        cached = cache.get(step.param_index)
+        if cached is None:
+            cached = np.zeros((current.shape[0], step.num_units), dtype=self.dtype)
+            cache[step.param_index] = cached
+        slab = step.slabs.pack(from_subnet, to_subnet)
+        if slab.units.size:
+            z = current @ slab.weight.T + slab.bias
+            cached[:, slab.units] = activation_infer(z, step.activation)
+        # Unwritten units are exactly the ones outside ``to_subnet`` and
+        # they are zero, so the cache *is* the combined activation map —
+        # no masked full-width copy needed.
+        return cached, slab.units
+
+    def _run_pool(
+        self,
+        step: _PoolStep,
+        current: np.ndarray,
+        changed: np.ndarray,
+        aux: Dict,
+        to_subnet: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        batch, _, height, width = current.shape
+        size, stride = step.size, step.stride
+        out_h = (height - size) // stride + 1
+        out_w = (width - size) // stride + 1
+        key = ("pool", step.index)
+        pooled = aux.get(key)
+        if pooled is None:
+            pooled = np.zeros((batch, step.num_channels, out_h, out_w), dtype=self.dtype)
+            aux[key] = pooled
+            update = np.where(step.in_levels <= to_subnet)[0]
+        else:
+            update = changed
+        if update.size:
+            pooled[:, update] = self._pool_channels(current[:, update], step.kind, size, stride)
+        return pooled, changed
+
+    @staticmethod
+    def _pool_channels(x: np.ndarray, kind: str, size: int, stride: int) -> np.ndarray:
+        if size == stride:
+            # Non-overlapping windows: fold the window elements with
+            # pairwise strided ufunc calls — an order of magnitude faster
+            # than a multi-axis reduce, and no im2col materialisation.
+            _, _, h, w = x.shape
+            out_h, out_w = h // size, w // size
+            x = x[:, :, : out_h * size, : out_w * size]
+            op = np.maximum if kind == "max" else np.add
+
+            def fold(a: np.ndarray, axis: int) -> np.ndarray:
+                lead = (slice(None),) * axis
+                out = a[lead + (slice(0, None, size),)]
+                for offset in range(1, size):
+                    out = op(out, a[lead + (slice(offset, None, size),)])
+                return out
+
+            out = fold(fold(x, 2), 3)
+            return out if kind == "max" else out / (size * size)
+        pool = max_pool2d_infer if kind == "max" else avg_pool2d_infer
+        return pool(x, size, stride)
+
+    def _run_output(
+        self,
+        step: _OutputStep,
+        current: np.ndarray,
+        logits: Optional[np.ndarray],
+        from_subnet: int,
+        to_subnet: int,
+    ) -> np.ndarray:
+        if from_subnet < 0 or logits is None:
+            slab = step.slabs.pack(-1, to_subnet)
+            return current[:, slab.units] @ slab.weight + step.bias
+        slab = step.slabs.pack(from_subnet, to_subnet)
+        if slab.units.size == 0:
+            return logits.copy()
+        return logits + current[:, slab.units] @ slab.weight
+
+    # ------------------------------------------------------------------
+    # Sharing
+    # ------------------------------------------------------------------
+    @classmethod
+    def supports(cls, network) -> bool:
+        """Whether ``network`` satisfies the structural assumptions of a plan.
+
+        Compiled plans require the incremental no-new-to-old-synapse rule
+        on every hidden layer and an output layer present in every subnet;
+        engines fall back to the legacy path otherwise.
+        """
+        seen_param = False
+        for block in network.blocks:
+            if block.kind == "pool":
+                if not seen_param:
+                    # The incremental pooled-map buffer needs the channel
+                    # assignment of a preceding parametric layer.
+                    return False
+                continue
+            if block.kind not in ("conv", "linear"):
+                continue
+            seen_param = True
+            if block.is_output:
+                if not np.all(block.layer.assignment.unit_subnet == 0):
+                    return False
+            elif not block.layer.enforce_incremental:
+                return False
+        return True
+
+    @classmethod
+    def for_network(
+        cls, network, apply_prune: bool = True, dtype=np.float64, refresh: bool = False
+    ) -> "NetworkPlan":
+        """Shared read-only plan for ``network`` (build once, serve many).
+
+        Plans are cached per ``(network, dtype, apply_prune)`` so every
+        backend and engine serving the same network on one platform
+        reuses one set of packed weights.  The cache snapshots the
+        network at build time: after mutating weights, pruning masks or
+        assignments, pass ``refresh=True`` (or call :meth:`invalidate`)
+        to recompile.
+        """
+        per_network = cls._shared.get(network)
+        if per_network is None:
+            per_network = {}
+            cls._shared[network] = per_network
+        key = (np.dtype(dtype).str, bool(apply_prune))
+        plan = per_network.get(key)
+        if plan is None or refresh:
+            plan = cls(network, apply_prune=apply_prune, dtype=dtype)
+            per_network[key] = plan
+        return plan
+
+    @classmethod
+    def invalidate(cls, network) -> None:
+        """Drop all cached plans of ``network`` (call after mutating it)."""
+        cls._shared.pop(network, None)

@@ -156,6 +156,102 @@ def conv2d(
     return Tensor._make(out, parents, backward)
 
 
+def activation_infer(x: np.ndarray, name: str) -> np.ndarray:
+    """Grad-free activation dispatch shared by the inference fast paths."""
+    name = (name or "none").lower()
+    if name == "relu":
+        return np.maximum(x, 0.0)
+    if name == "tanh":
+        return np.tanh(x)
+    if name == "sigmoid":
+        return 1.0 / (1.0 + np.exp(-x))
+    if name in ("none", "linear", "identity"):
+        return x
+    raise ValueError(f"unknown activation '{name}'")
+
+
+def im2col_channel_major(
+    images: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Patch view of ``images`` laid out channel-major: ``(C, kh, kw, N, out_h, out_w)``.
+
+    Returned as a read-only stride view (plus a pad copy when padding is
+    non-zero): with channels on the leading axis, the compiled inference
+    plan can scatter newly activated channels into a persistent
+    column buffer as contiguous row blocks and feed the buffer to BLAS
+    as ``(C*kh*kw, N*out_h*out_w)`` without any per-step transposition.
+    """
+    n, c, h, w = images.shape
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    if ph or pw:
+        images = np.pad(images, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+    s0, s1, s2, s3 = images.strides
+    return np.lib.stride_tricks.as_strided(
+        images,
+        shape=(c, kh, kw, n, out_h, out_w),
+        strides=(s1, s2, s3, s0, s2 * sh, s3 * sw),
+        writeable=False,
+    )
+
+
+def conv2d_infer(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: IntOrPair = 1,
+    padding: IntOrPair = 0,
+) -> np.ndarray:
+    """Grad-free 2-D convolution on raw numpy arrays.
+
+    Same im2col formulation as :func:`conv2d` but without the autograd
+    ``Tensor`` wrapping and backward closure — this is the hot entry
+    point of the compiled inference plans (:mod:`repro.core.plan`),
+    where every saved allocation counts.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n = x.shape[0]
+    c_out, _, kh, kw = weight.shape
+    cols, (out_h, out_w) = im2col(x, (kh, kw), stride, padding)
+    out = cols.reshape(-1, cols.shape[-1]) @ weight.reshape(c_out, -1).T
+    if bias is not None:
+        out += bias
+    return out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+
+
+def max_pool2d_infer(
+    x: np.ndarray, kernel_size: IntOrPair, stride: Optional[IntOrPair] = None
+) -> np.ndarray:
+    """Grad-free max pooling on raw numpy arrays (inference fast path)."""
+    kernel_size = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else kernel_size
+    n, c, _, _ = x.shape
+    kh, kw = kernel_size
+    cols, (out_h, out_w) = im2col(x, kernel_size, stride, (0, 0))
+    cols = cols.reshape(n, out_h, out_w, c, kh * kw)
+    return cols.max(axis=-1).transpose(0, 3, 1, 2)
+
+
+def avg_pool2d_infer(
+    x: np.ndarray, kernel_size: IntOrPair, stride: Optional[IntOrPair] = None
+) -> np.ndarray:
+    """Grad-free average pooling on raw numpy arrays (inference fast path)."""
+    kernel_size = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else kernel_size
+    n, c, _, _ = x.shape
+    kh, kw = kernel_size
+    cols, (out_h, out_w) = im2col(x, kernel_size, stride, (0, 0))
+    cols = cols.reshape(n, out_h, out_w, c, kh * kw)
+    return cols.mean(axis=-1).transpose(0, 3, 1, 2)
+
+
 def max_pool2d(x: Tensor, kernel_size: IntOrPair, stride: Optional[IntOrPair] = None) -> Tensor:
     """Max pooling over spatial windows."""
     kernel_size = _pair(kernel_size)

@@ -17,7 +17,10 @@ Two concrete backends reproduce the paper's deployment comparison:
 
 Both produce identical logits per level (the same subnet is evaluated);
 only the charged cost differs, so serving the same request stream
-through both isolates the value of reuse under load.  The single-request
+through both isolates the value of reuse under load.  Backends execute
+over a compiled :class:`~repro.core.plan.NetworkPlan` shared per
+``(network, dtype, apply_prune)`` platform — the packed weights are
+built once and every session on the platform serves from them.  The single-request
 executors in :mod:`repro.runtime.executor` are thin drivers over these
 same sessions, so "one batch on an idle device" and "hundreds of
 requests under contention" exercise one code path.
@@ -31,6 +34,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.incremental import IncrementalInference, InferenceState
+from ..core.plan import NetworkPlan
 from ..runtime.policies import GreedyPolicy, SteppingPolicy
 from .request import Request
 
@@ -148,12 +152,28 @@ class ExecutionBackend:
         policy: Optional[SteppingPolicy] = None,
         apply_prune: bool = True,
         dtype=DEFAULT_SERVING_DTYPE,
+        compiled: bool = True,
+        plan: Optional[NetworkPlan] = None,
     ) -> None:
         self.network = network
         self.policy = policy or GreedyPolicy()
         self.apply_prune = apply_prune
         self.dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
-        self._engine = IncrementalInference(network, apply_prune=apply_prune, dtype=self.dtype)
+        # One compiled plan per (network, dtype, prune) platform: every
+        # backend, engine and session serving this network shares the
+        # same read-only packed weights (build once, serve many).
+        if plan is None and compiled and NetworkPlan.supports(network):
+            plan = NetworkPlan.for_network(
+                network, apply_prune=apply_prune, dtype=self.dtype
+            )
+        self.plan = plan
+        self._engine = IncrementalInference(
+            network,
+            apply_prune=apply_prune,
+            dtype=self.dtype,
+            compiled=compiled,
+            plan=plan,
+        )
         self._active: Optional[ExecutionSession] = None
 
     # ------------------------------------------------------------------
@@ -162,6 +182,8 @@ class ExecutionBackend:
         return self.network.num_subnets
 
     def subnet_macs(self, subnet: int) -> float:
+        if self.plan is not None:
+            return float(self.plan.subnet_macs[subnet])
         return float(self.network.subnet_macs(subnet, apply_prune=self.apply_prune))
 
     def step_cost(self, from_subnet: int, to_subnet: int) -> float:

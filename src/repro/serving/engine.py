@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -149,30 +150,53 @@ def _batch_accuracy(logits: Optional[np.ndarray], labels) -> Optional[float]:
 
 @dataclass
 class ServingReport:
-    """Aggregate serving metrics over one request stream."""
+    """Aggregate serving metrics over one request stream.
+
+    The derived job lists and latency vectors are computed once on first
+    access (``cached_property``), not re-scanned per metric — a report
+    over thousands of jobs is read many times (every percentile, every
+    ``as_dict``) but its ``jobs`` list is written exactly once, by
+    ``serve()``.  If ``jobs`` is mutated afterwards, call
+    :meth:`invalidate_caches`.
+    """
 
     jobs: List[JobRecord] = field(default_factory=list)
     backend_name: str = ""
     scheduler_name: str = ""
     trace_name: str = ""
 
+    def invalidate_caches(self) -> None:
+        """Drop memoised derived lists after mutating ``jobs``."""
+        for name in ("_completed_jobs", "_dropped_jobs", "_latencies", "_first_result_latencies"):
+            self.__dict__.pop(name, None)
+
     # ------------------------------------------------------------------
     @property
     def num_jobs(self) -> int:
         return len(self.jobs)
 
+    @cached_property
+    def _completed_jobs(self) -> List[JobRecord]:
+        return [job for job in self.jobs if job.steps and math.isfinite(job.completion_time)]
+
+    @cached_property
+    def _dropped_jobs(self) -> List[JobRecord]:
+        return [job for job in self.jobs if job.status == "dropped"]
+
     @property
     def completed_jobs(self) -> List[JobRecord]:
-        return [job for job in self.jobs if job.steps and math.isfinite(job.completion_time)]
+        # A fresh list per access: callers may sort/filter it without
+        # corrupting the memoised scan behind the aggregate metrics.
+        return list(self._completed_jobs)
 
     @property
     def dropped_jobs(self) -> List[JobRecord]:
-        return [job for job in self.jobs if job.status == "dropped"]
+        return list(self._dropped_jobs)
 
     @property
     def makespan(self) -> float:
         """First arrival to last finite completion."""
-        completed = self.completed_jobs
+        completed = self._completed_jobs
         if not completed:
             return 0.0
         start = min(job.request.arrival_time for job in self.jobs)
@@ -183,17 +207,27 @@ class ServingReport:
     def throughput(self) -> float:
         """Completed requests per second of makespan."""
         span = self.makespan
-        return len(self.completed_jobs) / span if span > 0 else 0.0
+        return len(self._completed_jobs) / span if span > 0 else 0.0
 
-    def latencies(self, first_result: bool = False) -> np.ndarray:
-        values = [
-            job.first_result_latency if first_result else job.latency
-            for job in self.completed_jobs
-        ]
+    @cached_property
+    def _latencies(self) -> np.ndarray:
+        values = [job.latency for job in self._completed_jobs]
         return np.asarray([v for v in values if math.isfinite(v)], dtype=float)
 
+    @cached_property
+    def _first_result_latencies(self) -> np.ndarray:
+        values = [job.first_result_latency for job in self._completed_jobs]
+        return np.asarray([v for v in values if math.isfinite(v)], dtype=float)
+
+    def latencies(self, first_result: bool = False) -> np.ndarray:
+        # A copy, so callers mutating the result (sort, unit conversion)
+        # cannot corrupt the memoised vector behind the percentiles.
+        values = self._first_result_latencies if first_result else self._latencies
+        return values.copy()
+
     def latency_percentile(self, q: float, first_result: bool = False) -> float:
-        return percentile(self.latencies(first_result=first_result), q)
+        values = self._first_result_latencies if first_result else self._latencies
+        return percentile(values, q)
 
     @property
     def p50_latency(self) -> float:
@@ -209,13 +243,13 @@ class ServingReport:
 
     @property
     def mean_latency(self) -> float:
-        values = self.latencies()
+        values = self._latencies
         return float(values.mean()) if values.size else float("nan")
 
     @property
     def mean_queueing_delay(self) -> float:
         values = [
-            job.queueing_delay for job in self.completed_jobs if math.isfinite(job.queueing_delay)
+            job.queueing_delay for job in self._completed_jobs if math.isfinite(job.queueing_delay)
         ]
         return float(np.mean(values)) if values else float("nan")
 
@@ -259,8 +293,8 @@ class ServingReport:
             "scheduler": self.scheduler_name,
             "trace": self.trace_name,
             "num_jobs": self.num_jobs,
-            "completed": len(self.completed_jobs),
-            "dropped": len(self.dropped_jobs),
+            "completed": len(self._completed_jobs),
+            "dropped": len(self._dropped_jobs),
             "makespan": self.makespan,
             "throughput_rps": self.throughput,
             "p50_latency": self.p50_latency,
@@ -346,44 +380,50 @@ class ServingEngine:
         pending: List[Request] = sorted(
             requests, key=lambda r: (r.arrival_time, r.request_id), reverse=True
         )
-        ready: List[ServingJob] = []
         records: Dict[int, JobRecord] = {}
         now = 0.0
+        # The scheduler *is* the ready set: a heap-backed queue that jobs
+        # enter on admission and leave (lazily) on finalisation, so
+        # picking the next job is O(log n) instead of an O(n) scan.
+        scheduler = self.scheduler
+        scheduler.clear()
 
         def admit(until: float) -> None:
             while pending and pending[-1].arrival_time <= until + _TIME_EPS:
                 request = pending.pop()
                 job = ServingJob(request=request, session=self.backend.open(request.inputs))
                 records[request.request_id] = JobRecord(request=request)
-                ready.append(job)
+                scheduler.add(job)
 
         def finalize(job: ServingJob, status: str, reason: str) -> None:
             record = records[job.request.request_id]
             record.status = status
             record.stop_reason = reason
             record.final_logits = job.session.logits
-            ready.remove(job)
+            scheduler.discard(job)
 
-        while pending or ready:
+        while pending or len(scheduler):
             admit(now)
-            if not ready:
+            if not len(scheduler):
                 now = max(now, pending[-1].arrival_time)
                 continue
 
             if self.drop_expired:
-                for job in [j for j in ready if not j.started]:
+                for job in scheduler.jobs():
                     deadline = job.request.deadline
-                    if deadline is not None and now >= deadline - _TIME_EPS:
+                    if job.started or deadline is None:
+                        continue
+                    if now >= deadline - _TIME_EPS:
                         finalize(job, "dropped", "deadline passed before first execution")
-                if not ready:
+                if not len(scheduler):
                     continue
 
-            job = self.scheduler.select(ready, now)
+            job = scheduler.pick(now)
             if job.started:
                 # A job may have waited, preempted, since its last step;
                 # re-check its deadline and policy against the *current*
                 # time and queue before spending accelerator time on it.
-                stale_reason = self._continuation_stop_reason(job, now, len(ready))
+                stale_reason = self._continuation_stop_reason(job, now, len(scheduler))
                 if stale_reason is not None:
                     finalize(job, "completed", stale_reason)
                     continue
@@ -418,7 +458,7 @@ class ServingEngine:
 
             now = finish
             admit(now)
-            stop_reason = self._continuation_stop_reason(job, now, len(ready))
+            stop_reason = self._continuation_stop_reason(job, now, len(scheduler))
             if stop_reason is not None:
                 finalize(job, "completed", stop_reason)
 

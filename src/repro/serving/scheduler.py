@@ -19,28 +19,103 @@ Three classic policies are provided:
 
 All tie-breaking chains end on the request id, so scheduling is fully
 deterministic for reproducible experiments.
+
+Each scheduler doubles as a *ready queue*: the engine pushes jobs as
+they are admitted (:meth:`Scheduler.add`), discards them as they are
+finalised (:meth:`Scheduler.discard`) and peeks the current winner
+(:meth:`Scheduler.pick`) in ``O(log n)`` via a heap with lazy deletion —
+a job's ordering key is immutable, so entries never need re-heaping.
+The stateless :meth:`Scheduler.select` remains as the ordering oracle:
+for any ready set it returns exactly the job :meth:`pick` would.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Dict, Sequence, Type
+from typing import Dict, List, Sequence, Tuple, Type
 
 from .backend import ServingJob
 
 
 class Scheduler:
-    """Base class: pick the next job to run from the ready set."""
+    """Base class: an ordering key plus a heap-backed ready queue."""
 
     name = "scheduler"
 
-    def select(self, jobs: Sequence[ServingJob], now: float) -> ServingJob:
-        """Return the job that gets the accelerator for the next step.
+    def __init__(self) -> None:
+        self._heap: List[Tuple] = []
+        self._live: Dict[int, ServingJob] = {}
 
-        ``jobs`` is never empty; every job in it has arrived
-        (``arrival_time <= now``) and is not finished.
+    def key(self, job: ServingJob) -> Tuple:
+        """Total ordering of ready jobs; smallest runs next.
+
+        Must be immutable for the lifetime of the job in the queue and
+        end on the request id so scheduling is deterministic.  Subclasses
+        normally override only this (and must call ``super().__init__()``
+        if they define a constructor); a legacy subclass that overrides
+        :meth:`select` instead still works — :meth:`pick` falls back to
+        an O(n) ``select`` scan when no ordering key is provided.
         """
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Ready-queue interface used by the serving engine
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Forget all queued jobs (start of a ``serve()`` run)."""
+        self._heap.clear()
+        self._live.clear()
+
+    def add(self, job: ServingJob) -> None:
+        """Admit ``job`` to the ready queue."""
+        request_id = job.request.request_id
+        self._live[request_id] = job
+        try:
+            entry = (self.key(job), request_id)
+        except NotImplementedError:
+            return  # select()-only subclass: pick() scans instead
+        heapq.heappush(self._heap, entry)
+
+    def discard(self, job: ServingJob) -> None:
+        """Remove a finalised job (lazily: its heap entry expires on pop)."""
+        self._live.pop(job.request.request_id, None)
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def jobs(self) -> List[ServingJob]:
+        """Live queued jobs in admission order (the engine's ready set)."""
+        return list(self._live.values())
+
+    def pick(self, now: float) -> ServingJob:
+        """The ready job that gets the accelerator for the next step.
+
+        The job stays queued (it may win again at the next boundary)
+        until the engine discards it.
+        """
+        heap = self._heap
+        while heap:
+            _, request_id = heap[0]
+            job = self._live.get(request_id)
+            if job is not None:
+                return job
+            heapq.heappop(heap)  # stale entry of a discarded job
+        if self._live:
+            # Legacy subclass providing select() but no key(): fall back
+            # to the stateless scan it was written against.
+            return self.select(self.jobs(), now)
+        raise LookupError("ready queue is empty")
+
+    # ------------------------------------------------------------------
+    def select(self, jobs: Sequence[ServingJob], now: float) -> ServingJob:
+        """Stateless ordering oracle over an arbitrary ready set.
+
+        ``jobs`` is never empty; every job in it has arrived
+        (``arrival_time <= now``) and is not finished.  Equals what
+        :meth:`pick` returns when the queue holds exactly ``jobs``.
+        """
+        return min(jobs, key=self.key)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
@@ -61,8 +136,8 @@ class FIFOScheduler(Scheduler):
 
     name = "fifo"
 
-    def select(self, jobs: Sequence[ServingJob], now: float) -> ServingJob:
-        return min(jobs, key=lambda job: (job.request.arrival_time, job.request.request_id))
+    def key(self, job: ServingJob) -> Tuple:
+        return (job.request.arrival_time, job.request.request_id)
 
 
 class EDFScheduler(Scheduler):
@@ -70,14 +145,11 @@ class EDFScheduler(Scheduler):
 
     name = "edf"
 
-    def select(self, jobs: Sequence[ServingJob], now: float) -> ServingJob:
-        return min(
-            jobs,
-            key=lambda job: (
-                _deadline_key(job),
-                job.request.arrival_time,
-                job.request.request_id,
-            ),
+    def key(self, job: ServingJob) -> Tuple:
+        return (
+            _deadline_key(job),
+            job.request.arrival_time,
+            job.request.request_id,
         )
 
 
@@ -86,15 +158,12 @@ class PriorityScheduler(Scheduler):
 
     name = "priority"
 
-    def select(self, jobs: Sequence[ServingJob], now: float) -> ServingJob:
-        return min(
-            jobs,
-            key=lambda job: (
-                -job.request.priority,
-                _deadline_key(job),
-                job.request.arrival_time,
-                job.request.request_id,
-            ),
+    def key(self, job: ServingJob) -> Tuple:
+        return (
+            -job.request.priority,
+            _deadline_key(job),
+            job.request.arrival_time,
+            job.request.request_id,
         )
 
 

@@ -120,6 +120,40 @@ class TestPooling:
         gradcheck(build, [x], rtol=1e-3, atol=1e-5)
 
 
+class TestInferenceFastPath:
+    """Grad-free numpy entry points must match their autograd twins."""
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_conv2d_infer_matches_conv2d(self, stride, padding):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 8, 8))
+        weight = rng.standard_normal((4, 3, 3, 3))
+        bias = rng.standard_normal(4)
+        got = F.conv2d_infer(x, weight, bias, stride=stride, padding=padding)
+        want = F.conv2d(Tensor(x), Tensor(weight), Tensor(bias), stride=stride, padding=padding)
+        np.testing.assert_allclose(got, want.data, atol=1e-12)
+
+    def test_pool_infer_matches_pool(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((2, 3, 8, 8))
+        np.testing.assert_allclose(
+            F.max_pool2d_infer(x, 2), F.max_pool2d(Tensor(x), 2).data, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            F.avg_pool2d_infer(x, 2), F.avg_pool2d(Tensor(x), 2).data, atol=1e-12
+        )
+
+    def test_im2col_channel_major_is_a_transposed_im2col(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((2, 3, 6, 6))
+        cols, (out_h, out_w) = F.im2col(x, (3, 3), (1, 1), (1, 1))
+        major = F.im2col_channel_major(x, (3, 3), (1, 1), (1, 1))
+        assert major.shape == (3, 3, 3, 2, out_h, out_w)
+        # (N, oh, ow, C*kh*kw) -> (C, kh, kw, N, oh, ow)
+        want = cols.reshape(2, out_h, out_w, 3, 3, 3).transpose(3, 4, 5, 0, 1, 2)
+        np.testing.assert_array_equal(np.asarray(major), want)
+
+
 class TestBatchNorm:
     def test_training_normalises_batch(self):
         rng = np.random.default_rng(0)

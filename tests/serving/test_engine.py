@@ -27,6 +27,19 @@ def _calibrated_trace(network, seconds_for_largest=0.5):
     return ResourceTrace.constant(largest / seconds_for_largest, name="calibrated")
 
 
+def test_latencies_returns_isolated_copy(stepping_network, sample_pool, fast_trace):
+    """Mutating a latencies() result must not corrupt the memoised metrics."""
+    images, _ = sample_pool
+    requests = [
+        Request(request_id=i, arrival_time=float(i), inputs=images[:1]) for i in range(4)
+    ]
+    report = ServingEngine(SteppingBackend(stepping_network), fast_trace).serve(requests)
+    before = report.p95_latency
+    values = report.latencies()
+    values *= 1000.0  # e.g. a caller converting to milliseconds in place
+    assert report.p95_latency == before
+
+
 class TestServeBasics:
     def test_all_requests_finalised(self, stepping_network, sample_pool, fast_trace):
         images, labels = sample_pool

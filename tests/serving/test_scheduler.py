@@ -11,6 +11,7 @@ from repro.serving import (
     FIFOScheduler,
     PriorityScheduler,
     Request,
+    Scheduler,
     ServingEngine,
     SteppingBackend,
     get_scheduler,
@@ -56,6 +57,80 @@ class TestSelect:
         assert isinstance(get_scheduler("priority"), PriorityScheduler)
         with pytest.raises(KeyError):
             get_scheduler("lottery")
+
+
+class TestReadyQueue:
+    """The heap-backed queue must agree with the stateless ordering oracle."""
+
+    @pytest.mark.parametrize("name", ["fifo", "edf", "priority"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_pick_matches_select_under_churn(self, name, seed):
+        rng = np.random.default_rng(seed)
+        scheduler = get_scheduler(name)
+        jobs = []
+        for index in range(25):
+            arrival = round(float(rng.uniform(0.0, 3.0)), 1)
+            deadline = (
+                None
+                if rng.random() < 0.3
+                else arrival + round(float(rng.uniform(1.0, 9.0)), 1)
+            )
+            jobs.append(
+                _job(index, arrival, deadline=deadline, priority=int(rng.integers(0, 3)))
+            )
+        # Admit in arrival order, as the engine does.
+        jobs.sort(key=lambda job: (job.request.arrival_time, job.request.request_id))
+        scheduler.clear()
+        live = []
+        order = []
+        for job in jobs:
+            live.append(job)
+            scheduler.add(job)
+            # Randomly finalise some jobs between admissions (preemption churn).
+            while live and rng.random() < 0.35:
+                picked = scheduler.pick(now=0.0)
+                assert picked is scheduler.select(live, now=0.0)
+                order.append(picked.request.request_id)
+                live.remove(picked)
+                scheduler.discard(picked)
+        while live:
+            picked = scheduler.pick(now=0.0)
+            assert picked is scheduler.select(live, now=0.0)
+            order.append(picked.request.request_id)
+            live.remove(picked)
+            scheduler.discard(picked)
+        assert len(order) == len(jobs)
+
+    def test_pick_is_stable_until_discard(self):
+        scheduler = get_scheduler("edf")
+        scheduler.clear()
+        for job in [_job(0, 0.0, deadline=5.0), _job(1, 0.0, deadline=2.0)]:
+            scheduler.add(job)
+        first = scheduler.pick(now=0.0)
+        assert scheduler.pick(now=1.0) is first  # job stays queued between steps
+        scheduler.discard(first)
+        assert scheduler.pick(now=1.0).request.request_id == 0
+
+    def test_select_only_subclass_still_serves(self, stepping_network):
+        """The pre-heap extension contract (override select() only) keeps working."""
+
+        class LIFOScheduler(Scheduler):
+            name = "lifo"
+
+            def select(self, jobs, now):
+                return max(jobs, key=lambda job: (job.request.arrival_time, job.request.request_id))
+
+        requests = _random_requests(np.random.default_rng(0), 6)
+        report = _serve(stepping_network, requests, LIFOScheduler())
+        assert len(report.completed_jobs) == 6
+
+    def test_clear_resets_between_serves(self):
+        scheduler = get_scheduler("fifo")
+        scheduler.add(_job(0, 0.0))
+        scheduler.clear()
+        assert len(scheduler) == 0
+        with pytest.raises(LookupError):
+            scheduler.pick(now=0.0)
 
 
 def _serve(network, requests, scheduler):
