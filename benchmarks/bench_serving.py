@@ -17,6 +17,14 @@ request stream, in two scenarios:
 Regenerated artefacts: per-scenario serving reports (throughput, p50 /
 p95 / p99 latency, deadline-miss rate, MAC totals), saved to
 ``results/serving_under_load.json``.
+
+The module doubles as the fleet-smoke CLI: run as a script it pushes a
+:class:`~repro.serving.ClusterSpec` JSON (default
+``configs/cluster_smoke.json``, 3 heterogeneous nodes) through
+``repro.serving.serve`` and writes the ``ClusterReport.as_dict()``
+artifact::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --out ClusterReport.json
 """
 
 import pytest
@@ -118,13 +126,11 @@ def test_serving_scheduler_comparison(benchmark, trained_network, save_result):
     """EDF meets more deadlines than FIFO for the same bursty stepping workload."""
     import numpy as np
 
-    from repro.runtime.platform import ResourceTrace
-    from repro.serving import ServingEngine, SteppingBackend, bursty_stream
+    from repro.serving import ServingSpec, bursty_stream
 
     network, images, labels = trained_network
     largest = float(network.subnet_macs(network.num_subnets - 1))
     peak = largest / 0.5  # one full request ~= 0.5 s
-    trace = ResourceTrace.constant(peak, name="steady")
     rng = np.random.default_rng(0)
     requests = bursty_stream(
         images,
@@ -153,10 +159,86 @@ def test_serving_scheduler_comparison(benchmark, trained_network, save_result):
     def _run():
         reports = {}
         for name in ("fifo", "edf"):
-            engine = ServingEngine(SteppingBackend(network), trace, name, drop_expired=True)
-            reports[name] = engine.serve(requests).as_dict()
+            spec = ServingSpec(
+                backend="stepping",
+                scheduler=name,
+                trace="constant",
+                trace_rate=peak,
+                overhead_per_step=0.0,
+                drop_expired=True,
+            )
+            reports[name] = spec.build_engine(network).serve(requests).as_dict()
         save_result("serving_schedulers", reports)
         return reports
 
     reports = benchmark.pedantic(_run, rounds=1, iterations=1)
     assert reports["edf"]["deadline_miss_rate"] <= reports["fifo"]["deadline_miss_rate"] + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Fleet-smoke CLI: a ClusterSpec JSON through the serve() front door
+# ----------------------------------------------------------------------
+DEFAULT_CLUSTER = "configs/cluster_smoke.json"
+
+
+def main() -> None:
+    import argparse
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.serving import ClusterSpec, serve
+
+    parser = argparse.ArgumentParser(
+        description="Run a ClusterSpec JSON through repro.serving.serve "
+        "and write the ClusterReport artifact."
+    )
+    parser.add_argument(
+        "--cluster",
+        type=Path,
+        default=Path(__file__).parent / DEFAULT_CLUSTER,
+        help="ClusterSpec JSON file (default: the checked-in 3-node smoke fleet)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="assert the smoke expectations (CI gate)"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent / "results" / "ClusterReport.json",
+        help="where to write ClusterReport.as_dict()",
+    )
+    args = parser.parse_args()
+
+    spec = ClusterSpec.from_json(args.cluster)
+    start = time.perf_counter()
+    report = serve(None, spec)  # None: instantiate the spec's declarative model
+    wall = time.perf_counter() - start
+    payload = report.as_dict()
+    payload["wall_seconds"] = wall
+
+    print(
+        f"cluster '{payload['cluster']}' ({payload['num_nodes']} nodes, "
+        f"router {payload['router']}): {payload['completed']}/{payload['num_jobs']} "
+        f"completed, {payload['throughput_rps']:.1f} rps, "
+        f"p95 {payload['p95_latency'] * 1e3:.2f} ms, "
+        f"imbalance {payload['load_imbalance']:.2f}, wall {wall:.2f} s"
+    )
+    for node in payload["nodes"]:
+        print(
+            f"  {node['node']:>24s}: {node['assigned']:3d} assigned, "
+            f"utilisation {node['utilisation']:.3f}"
+        )
+
+    if args.smoke:
+        assert payload["num_jobs"] > 0, "smoke fleet served no requests"
+        assert payload["completed"] + payload["dropped"] == payload["num_jobs"]
+        assert payload["num_nodes"] >= 3, "smoke fleet must be heterogeneous (>=3 nodes)"
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

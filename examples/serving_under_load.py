@@ -9,6 +9,10 @@ for one accelerator, scheduled at subnet-step granularity.  It compares
   the recompute (slimmable-style) backend on the same stream, and
 * FIFO against EDF scheduling for a bursty, deadline-diverse stream.
 
+Engines are assembled from declarative :class:`~repro.serving.ServingSpec`
+configs (the documented wiring); see ``examples/fleet_serving.py`` for the
+multi-node cluster version driven entirely by a JSON ClusterSpec.
+
 Run with:  python examples/serving_under_load.py
 """
 
@@ -17,15 +21,7 @@ import numpy as np
 from repro.analysis.experiments import SMOKE, prepare_data, prepare_spec, scaled_config
 from repro.analysis.reporting import format_experiment_header, format_markdown_table
 from repro.core import build_steppingnet
-from repro.runtime import ResourceTrace
-from repro.serving import (
-    Request,
-    RecomputeBackend,
-    ServingEngine,
-    SteppingBackend,
-    bursty_stream,
-    poisson_stream,
-)
+from repro.serving import Request, ServingSpec, bursty_stream, poisson_stream
 
 
 def report_rows(reports):
@@ -57,7 +53,17 @@ def main() -> None:
 
     largest = float(network.subnet_macs(network.num_subnets - 1))
     peak = largest / 0.6  # one full-quality request occupies ~0.6 s at peak
-    trace = ResourceTrace.constant(peak, name="steady")
+
+    def node_spec(backend, scheduler, **knobs):
+        """One declarative ServingSpec per engine: the documented wiring."""
+        return ServingSpec(
+            backend=backend,
+            scheduler=scheduler,
+            trace="constant",
+            trace_rate=peak,
+            overhead_per_step=0.0,
+            **knobs,
+        )
 
     print(format_experiment_header(
         "Serving under load",
@@ -74,9 +80,9 @@ def main() -> None:
         seed=0,
     )
     backend_reports = {}
-    for backend_cls in (SteppingBackend, RecomputeBackend):
-        engine = ServingEngine(backend_cls(network), trace, "edf")
-        backend_reports[backend_cls.name] = engine.serve(requests)
+    for backend in ("stepping", "recompute"):
+        engine = node_spec(backend, "edf").build_engine(network)
+        backend_reports[engine.backend.name] = engine.serve(requests)
     print(format_markdown_table(report_rows(backend_reports)))
     stepping = backend_reports["steppingnet"].as_dict()
     recompute = backend_reports["recompute"].as_dict()
@@ -113,7 +119,7 @@ def main() -> None:
     ]
     scheduler_reports = {}
     for name in ("fifo", "edf"):
-        engine = ServingEngine(SteppingBackend(network), trace, name, drop_expired=True)
+        engine = node_spec("stepping", name, drop_expired=True).build_engine(network)
         scheduler_reports[name] = engine.serve(bursts)
     print(format_markdown_table(report_rows(scheduler_reports)))
 

@@ -30,7 +30,10 @@ Subpackages
 ``repro.serving``
     Event-driven multi-request serving: request streams (Poisson, bursty,
     trace replay), pluggable schedulers (FIFO/EDF/priority), execution
-    backends and the serving engine with load metrics.
+    backends and the serving engine with load metrics — plus the
+    declarative fleet layer (``ServingSpec``/``ClusterSpec`` JSON
+    configs, component registries, request routers and the
+    ``ServingCluster`` facade behind ``serve(...)``).
 """
 
 from . import analysis, baselines, core, data, models, nn, runtime, serving, utils

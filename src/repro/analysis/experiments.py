@@ -340,17 +340,19 @@ def serving_comparison(
     accuracy reached by the deadline.  ``full_quality=True`` requires
     every request to reach the largest subnet regardless of deadline:
     the win shows up as tail latency and deadline-miss rate.
+
+    Each backend run is described by a declarative
+    :class:`~repro.serving.spec.ServingSpec` (also returned under
+    ``"specs"`` for provenance) and assembled through its
+    ``build_engine`` — the same path a JSON config file takes.
     """
-    from ..runtime.platform import ResourceTrace
-    from ..runtime.policies import ConfidencePolicy, GreedyPolicy
-    from ..serving import RecomputeBackend, ServingEngine, SteppingBackend, poisson_stream
+    from ..serving import ServingSpec, get_backend, poisson_stream
 
     if utilization <= 0:
         raise ValueError("utilization must be positive")
     largest = float(network.subnet_macs(network.num_subnets - 1))
     rate = 1.0  # requests/second; only the ratio to capacity matters
     peak = rate * largest / utilization
-    trace = ResourceTrace.constant(peak, name=f"steady-u{utilization:g}")
     service_time = largest / peak
     requests = poisson_stream(
         images,
@@ -362,23 +364,23 @@ def serving_comparison(
         seed=seed,
     )
 
-    def make_policy():
-        if full_quality:
-            # Never confident, never deadline-limited: always step to the top.
-            return ConfidencePolicy(threshold=1.0, respect_deadline=False)
-        return GreedyPolicy()
-
     results: Dict[str, object] = {}
-    for backend_cls in (SteppingBackend, RecomputeBackend):
-        backend = backend_cls(network, policy=make_policy())
-        engine = ServingEngine(
-            backend,
-            trace,
-            scheduler,
+    specs: Dict[str, Dict[str, object]] = {}
+    for backend_kind in ("stepping", "recompute"):
+        spec = ServingSpec(
+            backend=backend_kind,
+            scheduler=scheduler,
+            trace="constant",
+            trace_rate=peak,
             overhead_per_step=overhead_per_step,
+            # Never confident, never deadline-limited: always step to the top.
+            policy="full-quality" if full_quality else "greedy",
             enforce_deadline=not full_quality,
         )
-        results[backend.name] = engine.serve(requests).as_dict()
+        key = get_backend(backend_kind).name
+        specs[key] = spec.to_dict()
+        results[key] = spec.build_engine(network).serve(requests).as_dict()
+    results["specs"] = specs
     results["workload"] = {
         "num_requests": num_requests,
         "batch_size": batch_size,

@@ -53,6 +53,32 @@ class SteppingNetResult:
     def mac_fractions(self) -> List[float]:
         return self.macs.fractions
 
+    # ------------------------------------------------------------------
+    # Serving hand-off
+    # ------------------------------------------------------------------
+    def servable(self) -> SteppingNetwork:
+        """The trained network, ready for serving backends.
+
+        Switches to eval mode (batch-norm running statistics — the
+        semantics compiled plans assume) and returns the network; the
+        serving layer (:func:`repro.serving.serve`,
+        :class:`~repro.serving.cluster.ServingCluster`) calls this when
+        handed a result instead of a bare network.
+        """
+        self.network.eval()
+        return self.network
+
+    def serve(self, cluster_spec, requests=None):
+        """Serve this result on a declaratively specified fleet.
+
+        Convenience for ``repro.serving.serve(self, cluster_spec)`` — the
+        train-then-serve hand-off in one call.  Returns the fleet's
+        :class:`~repro.serving.cluster.ClusterReport`.
+        """
+        from ..serving.cluster import serve as _serve
+
+        return _serve(self, cluster_spec, requests)
+
     def table_row(self) -> Dict[str, float]:
         """One row in the format of the paper's Table I."""
         row: Dict[str, float] = {

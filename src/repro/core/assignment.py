@@ -21,7 +21,7 @@ Invariants maintained here and checked by :meth:`SubnetAssignment.validate`:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -60,6 +60,30 @@ class LayerAssignment:
         self.UNUSED = self.num_subnets
         # Every unit starts in the smallest subnet (construction Fig. 5(a)).
         self.unit_subnet = np.zeros(self.num_units, dtype=np.int64)
+        self._mutation_listeners: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Mutation notification
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[], None]) -> None:
+        """Call ``callback`` after every structural mutation of this layer.
+
+        The owning :class:`~repro.core.network.SteppingNetwork` subscribes
+        its plan invalidation here, so anything derived from the
+        assignment (compiled :class:`~repro.core.plan.NetworkPlan`
+        snapshots in particular) can never be served stale.
+        """
+        self._mutation_listeners.append(callback)
+
+    def notify_mutation(self) -> None:
+        """Notify subscribers that the layer's structure changed.
+
+        Called internally by :meth:`move_units` / :meth:`set_assignment`
+        and externally by mutations the assignment cannot see itself
+        (pruning-mask edits in :mod:`repro.core.pruning`).
+        """
+        for callback in self._mutation_listeners:
+            callback()
 
     # ------------------------------------------------------------------
     # Queries
@@ -110,6 +134,7 @@ class LayerAssignment:
                 f"(from {current.max()} to {to_subnet}); that would break nesting"
             )
         self.unit_subnet[indices] = to_subnet
+        self.notify_mutation()
 
     def set_assignment(self, unit_subnet: Sequence[int]) -> None:
         """Overwrite the full assignment (used by the any-width baseline)."""
@@ -121,6 +146,7 @@ class LayerAssignment:
         if array.min() < 0 or array.max() > self.UNUSED:
             raise ValueError("subnet indices out of range")
         self.unit_subnet = array.copy()
+        self.notify_mutation()
 
     def _check_subnet(self, subnet: int) -> None:
         if not 0 <= subnet < self.num_subnets:

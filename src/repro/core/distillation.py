@@ -88,6 +88,8 @@ def retrain_with_distillation(
                 epoch_losses.append(loss.item())
         mean_loss = float(np.mean(epoch_losses)) if epoch_losses else 0.0
         result.history.log(epoch=epoch, loss=mean_loss)
+    # Weight updates stale any compiled plan built before retraining.
+    network.invalidate_plans()
     if eval_loader is not None:
         result.final_accuracies = evaluate_all_subnets(network, eval_loader)
     return result

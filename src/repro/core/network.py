@@ -205,6 +205,23 @@ class SteppingNetwork(Module):
             [layer.assignment for layer in self._param_layers], min_units=min_units_per_layer
         )
         self._input_channels = spec.input_shape[0]
+        # Compiled NetworkPlans snapshot the assignment and pruning masks;
+        # any structural mutation (construction moves, pruning, revival)
+        # must drop cached plans so a train-then-serve flow can never
+        # execute a stale snapshot.
+        for layer in self._param_layers:
+            layer.assignment.subscribe(self.invalidate_plans)
+
+    def invalidate_plans(self) -> None:
+        """Drop every cached compiled plan of this network.
+
+        Subscribed to all layer assignments, so it fires automatically on
+        construction moves, ``set_assignment`` overwrites and pruning /
+        revival mask edits; safe (and cheap) to call redundantly.
+        """
+        from .plan import NetworkPlan
+
+        NetworkPlan.invalidate(self)
 
     # ------------------------------------------------------------------
     # Assignment plumbing

@@ -57,6 +57,7 @@ def apply_unstructured_pruning(network: SteppingNetwork, threshold: float) -> Pr
     for layer in network.param_layers:
         mask = (np.abs(layer.weight.data) >= threshold).astype(np.float64)
         layer.prune_mask = mask
+        layer.assignment.notify_mutation()  # compiled plans snapshot the mask
         pruned[layer.layer_name] = int(mask.size - mask.sum())
         totals[layer.layer_name] = int(mask.size)
     return PruningReport(threshold=threshold, per_layer_pruned=pruned, per_layer_total=totals)
@@ -77,7 +78,10 @@ def revive_units(layer, unit_indices: Iterable[int]) -> int:
     before = layer.prune_mask[indices].sum()
     layer.prune_mask[indices] = 1.0
     after = layer.prune_mask[indices].sum()
-    return int(after - before)
+    revived = int(after - before)
+    if revived:
+        layer.assignment.notify_mutation()  # compiled plans snapshot the mask
+    return revived
 
 
 def revive_incoming_synapses(network: SteppingNetwork, param_index: int, unit_indices: Iterable[int]) -> int:

@@ -132,6 +132,8 @@ def train_subnets_round(
             batches_done += 1
         if len(loader) == 0:
             raise RuntimeError("empty data loader")
+    # Weight updates stale any compiled plan built before this round.
+    network.invalidate_plans()
     return float(np.mean(losses)) if losses else 0.0
 
 

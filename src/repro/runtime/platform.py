@@ -58,6 +58,33 @@ class PlatformSpec:
         return self.peak_macs_per_second * self.power_modes[mode]
 
 
+#: Name-based registry of platform specs, mirroring ``models.registry``:
+#: declarative serving configs (:class:`~repro.serving.spec.ServingSpec`)
+#: refer to platforms by name and resolve them here.
+PLATFORMS: Dict[str, "PlatformSpec"] = {}
+
+
+def register_platform(spec: "PlatformSpec", overwrite: bool = False) -> None:
+    """Register ``spec`` under its ``name`` (case-insensitive)."""
+    key = spec.name.lower()
+    if key in PLATFORMS and not overwrite:
+        raise ValueError(f"platform '{spec.name}' is already registered")
+    PLATFORMS[key] = spec
+
+
+def get_platform(name: str) -> "PlatformSpec":
+    """Resolve a platform by registry name (``mobile-soc``, ``vehicle-ecu``, ...)."""
+    try:
+        return PLATFORMS[name.lower()]
+    except KeyError as exc:
+        raise KeyError(f"unknown platform '{name}'; available: {sorted(PLATFORMS)}") from exc
+
+
+def available_platforms() -> List[str]:
+    """Names of all registered platforms."""
+    return sorted(PLATFORMS)
+
+
 # Representative platforms for the examples and benchmarks.  Numbers are
 # indicative of the classes of devices the paper's introduction mentions;
 # absolute values only set the time scale of the simulation.
@@ -81,6 +108,10 @@ EMBEDDED_MCU = PlatformSpec(
     invocation_overhead=2.0e-4,
     power_modes={"active": 1.0, "low-power": 0.3},
 )
+
+for _spec in (MOBILE_SOC, VEHICLE_ECU, EMBEDDED_MCU):
+    register_platform(_spec)
+del _spec
 
 
 @dataclass(frozen=True)

@@ -4,20 +4,38 @@ The runtime package simulates *one* anytime inference on a varying
 platform; this package scales that to a production-style serving system:
 many concurrent requests, an arrival process, a pluggable scheduler and
 a shared accelerator, with preemption and resumption of in-flight
-stepping networks at subnet granularity.
+stepping networks at subnet granularity — and, one level up, a fleet of
+heterogeneous nodes behind a request router, all describable as JSON
+configs.
 
-* :mod:`repro.serving.request` — the :class:`Request` abstraction and
-  request-stream generators (Poisson, bursty, periodic, trace replay);
+* :mod:`repro.serving.request` — the :class:`Request` abstraction,
+  request-stream generators (Poisson, bursty, periodic, trace replay)
+  behind the :data:`STREAMS` registry, and :func:`merge_streams` for
+  combining streams with globally unique ids;
 * :mod:`repro.serving.backend` — the :class:`ExecutionBackend` protocol
-  with the SteppingNet (reuse) and recompute (slimmable) backends;
+  with the SteppingNet (reuse) and recompute (slimmable) backends behind
+  the :data:`BACKENDS` registry;
 * :mod:`repro.serving.scheduler` — FIFO / EDF / priority scheduling of
-  subnet steps;
+  subnet steps behind the :data:`SCHEDULERS` registry;
 * :mod:`repro.serving.engine` — the discrete-event
   :class:`ServingEngine` and its :class:`ServingReport` metrics
-  (throughput, p50/p95/p99 latency, deadline-miss rate).
+  (throughput, p50/p95/p99 latency, deadline-miss rate);
+* :mod:`repro.serving.spec` — declarative configs:
+  :class:`ServingSpec` (one node), :class:`ClusterSpec` (a fleet) and
+  :class:`StreamSpec`, each JSON-round-trippable via
+  ``to_dict``/``from_dict``;
+* :mod:`repro.serving.cluster` — the fleet layer: request routers
+  (round-robin, join-shortest-queue, least-loaded) behind the
+  :data:`ROUTERS` registry, the :class:`ServingCluster` facade and its
+  aggregated :class:`ClusterReport`.
+
+The documented front door is :func:`serve`::
+
+    report = serve(result, ClusterSpec.from_json("fleet.json"))
 """
 
 from .backend import (
+    BACKENDS,
     DEFAULT_SERVING_DTYPE,
     ExecutionBackend,
     ExecutionSession,
@@ -25,11 +43,27 @@ from .backend import (
     ServingJob,
     SteppingBackend,
     StepOutcome,
+    get_backend,
+)
+from .cluster import (
+    ROUTERS,
+    ClusterReport,
+    JoinShortestQueueRouter,
+    LeastLoadedRouter,
+    NodeState,
+    RoundRobinRouter,
+    Router,
+    ServingCluster,
+    get_router,
+    serve,
 )
 from .engine import JobRecord, ServedStep, ServingEngine, ServingReport
 from .request import (
+    STREAMS,
     Request,
     bursty_stream,
+    get_stream,
+    merge_streams,
     periodic_stream,
     poisson_stream,
     trace_replay_stream,
@@ -42,6 +76,7 @@ from .scheduler import (
     Scheduler,
     get_scheduler,
 )
+from .spec import POLICIES, ClusterSpec, ServingSpec, StreamSpec, get_policy
 
 __all__ = [
     "DEFAULT_SERVING_DTYPE",
@@ -51,6 +86,8 @@ __all__ = [
     "SteppingBackend",
     "RecomputeBackend",
     "ServingJob",
+    "BACKENDS",
+    "get_backend",
     "ServingEngine",
     "ServingReport",
     "JobRecord",
@@ -60,10 +97,28 @@ __all__ = [
     "bursty_stream",
     "periodic_stream",
     "trace_replay_stream",
+    "STREAMS",
+    "get_stream",
+    "merge_streams",
     "Scheduler",
     "FIFOScheduler",
     "EDFScheduler",
     "PriorityScheduler",
     "SCHEDULERS",
     "get_scheduler",
+    "ServingSpec",
+    "ClusterSpec",
+    "StreamSpec",
+    "POLICIES",
+    "get_policy",
+    "Router",
+    "RoundRobinRouter",
+    "JoinShortestQueueRouter",
+    "LeastLoadedRouter",
+    "ROUTERS",
+    "get_router",
+    "NodeState",
+    "ServingCluster",
+    "ClusterReport",
+    "serve",
 ]

@@ -29,7 +29,7 @@ requests under contention" exercise one code path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Type
 
 import numpy as np
 
@@ -235,6 +235,26 @@ class RecomputeBackend(ExecutionBackend):
 
     def step_cost(self, from_subnet: int, to_subnet: int) -> float:
         return self.subnet_macs(to_subnet)
+
+
+#: Name-based registry of execution backends, mirroring ``SCHEDULERS``:
+#: declarative configs (:class:`~repro.serving.spec.ServingSpec`) refer to
+#: backends by kind.  ``"stepping"`` is the canonical key; the class-level
+#: ``name`` attributes (``"steppingnet"``, ``"recompute"``) are accepted
+#: as aliases so report fields round-trip back into configs.
+BACKENDS: Dict[str, Type[ExecutionBackend]] = {
+    "stepping": SteppingBackend,
+    SteppingBackend.name: SteppingBackend,
+    RecomputeBackend.name: RecomputeBackend,
+}
+
+
+def get_backend(name: str) -> Type[ExecutionBackend]:
+    """Resolve an execution-backend class by registry name."""
+    try:
+        return BACKENDS[name.lower()]
+    except KeyError as exc:
+        raise KeyError(f"unknown backend '{name}'; available: {sorted(BACKENDS)}") from exc
 
 
 @dataclass

@@ -1,0 +1,509 @@
+"""Fleet-level serving: request routers and the :class:`ServingCluster` facade.
+
+One :class:`~repro.serving.engine.ServingEngine` models one accelerator.
+A :class:`ServingCluster` owns several of them — one per node
+:class:`~repro.serving.spec.ServingSpec`, typically over heterogeneous
+platforms (``mobile-soc``, ``vehicle-ecu``, ``embedded-mcu``) — and places
+every arriving request on a node through a pluggable :class:`Router`
+(:data:`ROUTERS`: round-robin, join-shortest-queue, MAC/latency-aware
+least-loaded).
+
+Simulation model
+----------------
+Nodes are independent accelerators: once a request is placed, its
+execution never interacts with other nodes, so the fleet decomposes
+exactly into (1) a routing pass over the merged arrival sequence and
+(2) one per-node event loop over the node's assigned sub-stream, all on
+the same shared simulated clock.  The router makes each placement at the
+request's arrival time using the node's *advertised* load — a
+deterministic fluid model that charges each assigned request its
+largest-subnet service demand against the node's trace (exact for
+run-to-completion FIFO service; an admission-time estimate, as in real
+load balancers, when schedulers preempt or policies stop early).
+
+The per-node results are exact :class:`~repro.serving.engine.ServingReport`
+runs; :class:`ClusterReport` aggregates them into fleet metrics
+(throughput, p50/p95/p99 latency, per-node utilisation, load imbalance).
+A single-node cluster therefore reproduces the single-engine path
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type, Union
+
+import numpy as np
+
+from ..analysis.metrics import deadline_miss_rate as _deadline_miss_rate
+from ..analysis.metrics import percentile
+from .engine import JobRecord, ServingEngine, ServingReport
+from .request import Request
+from .spec import ClusterSpec
+
+
+class NodeState:
+    """Router-visible view of one fleet node.
+
+    Wraps the node's engine together with the fluid-model load signals a
+    placement policy may inspect: predicted jobs in system
+    (:meth:`queue_length`), predicted busy horizon
+    (:meth:`backlog_seconds`) and the MAC/latency-aware completion
+    estimate for a further request (:meth:`predicted_finish`).
+    """
+
+    def __init__(self, index: int, name: str, engine: ServingEngine) -> None:
+        self.index = index
+        self.name = name
+        self.engine = engine
+        num_subnets = engine.backend.num_subnets
+        #: Advertised service demand per request: the full largest-subnet
+        #: cost — what a run-to-completion job costs on this backend.
+        self.expected_macs = float(engine.backend.subnet_macs(num_subnets - 1))
+        self.assigned: List[Request] = []
+        self._completions: List[float] = []  # predicted, non-decreasing
+        self._busy_until = 0.0
+
+    # ------------------------------------------------------------------
+    # Load signals (what a router may inspect)
+    # ------------------------------------------------------------------
+    def queue_length(self, now: float) -> int:
+        """Predicted number of assigned requests still in the system."""
+        return len(self._completions) - bisect_right(self._completions, now)
+
+    def backlog_seconds(self, now: float) -> float:
+        """Predicted time until the node drains its assigned work."""
+        return max(self._busy_until - now, 0.0)
+
+    def predicted_finish(self, macs: float, now: float) -> float:
+        """Completion estimate for ``macs`` of new work placed now.
+
+        Charges the work against the node's trace *after* its current
+        predicted backlog — heterogeneous throughput and queue state both
+        count, which is what makes least-loaded placement latency-aware.
+        """
+        start = max(now, self._busy_until)
+        return self.engine.trace.time_to_execute(macs, start)
+
+    # ------------------------------------------------------------------
+    def assign(self, request: Request) -> None:
+        """Record a placement and roll the fluid load model forward."""
+        self.assigned.append(request)
+        finish = self.predicted_finish(self.expected_macs, request.arrival_time)
+        self._busy_until = finish
+        self._completions.append(finish)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeState({self.name!r}, assigned={len(self.assigned)})"
+
+
+class Router:
+    """Base class for request-placement policies.
+
+    A router sees each request at its arrival time together with every
+    node's advertised load (:class:`NodeState`) and returns the index of
+    the node that takes it.  Tie-breaking must be deterministic (node
+    index) so fleet simulations are exactly reproducible.
+    """
+
+    name = "router"
+
+    def reset(self, nodes: Sequence[NodeState]) -> None:
+        """Forget all routing state (start of a ``serve()`` run)."""
+
+    def route(self, request: Request, nodes: Sequence[NodeState], now: float) -> int:
+        """Index of the node that takes ``request``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class RoundRobinRouter(Router):
+    """Cycle through the nodes regardless of load — the placement baseline."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self, nodes: Sequence[NodeState]) -> None:
+        self._next = 0
+
+    def route(self, request: Request, nodes: Sequence[NodeState], now: float) -> int:
+        index = self._next % len(nodes)
+        self._next += 1
+        return index
+
+
+class JoinShortestQueueRouter(Router):
+    """Place on the node advertising the fewest requests in system.
+
+    The classic supermarket policy: counts jobs, not work, so it is
+    throughput-blind — on heterogeneous fleets a slow node with a short
+    queue still attracts traffic (exactly the failure mode
+    :class:`LeastLoadedRouter` fixes).
+    """
+
+    name = "join-shortest-queue"
+
+    def route(self, request: Request, nodes: Sequence[NodeState], now: float) -> int:
+        return min(nodes, key=lambda node: (node.queue_length(now), node.index)).index
+
+
+class LeastLoadedRouter(Router):
+    """Place where the request is predicted to *finish* first.
+
+    MAC- and latency-aware: the estimate charges the request's full
+    service demand against each node's trace behind its current backlog,
+    so both a node's speed and its queue count — an 8 GMAC/s vehicle ECU
+    with two queued jobs can still beat an idle 50 MMAC/s MCU.
+    """
+
+    name = "least-loaded"
+
+    def route(self, request: Request, nodes: Sequence[NodeState], now: float) -> int:
+        return min(
+            nodes,
+            key=lambda node: (node.predicted_finish(node.expected_macs, now), node.index),
+        ).index
+
+
+#: Name-based registry of router policies, mirroring ``SCHEDULERS``.
+ROUTERS: Dict[str, Type[Router]] = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    JoinShortestQueueRouter.name: JoinShortestQueueRouter,
+    "jsq": JoinShortestQueueRouter,
+    LeastLoadedRouter.name: LeastLoadedRouter,
+}
+
+
+def get_router(name: str) -> Router:
+    """Instantiate a router by registry name."""
+    try:
+        return ROUTERS[name.lower()]()
+    except KeyError as exc:
+        raise KeyError(f"unknown router '{name}'; available: {sorted(ROUTERS)}") from exc
+
+
+# ----------------------------------------------------------------------
+# Fleet report
+# ----------------------------------------------------------------------
+@dataclass
+class ClusterReport:
+    """Aggregate fleet metrics over the per-node serving reports.
+
+    Node reports stay accessible verbatim (``node_reports``) — a
+    single-node cluster's node report is bit-identical to what the bare
+    engine would have produced.  Fleet latency percentiles are computed
+    over the merged completed jobs of all nodes, not averaged per node.
+
+    Like :class:`~repro.serving.engine.ServingReport`, derived scans
+    (job lists, makespan, per-node utilisation) are memoised on first
+    access: the report is written once by ``serve()`` and read many
+    times (every percentile, every ``as_dict``).
+    """
+
+    node_reports: List[ServingReport] = field(default_factory=list)
+    node_names: List[str] = field(default_factory=list)
+    router_name: str = ""
+    cluster_name: str = "cluster"
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_reports)
+
+    @cached_property
+    def _jobs(self) -> List[JobRecord]:
+        return [job for report in self.node_reports for job in report.jobs]
+
+    @cached_property
+    def _completed_jobs(self) -> List[JobRecord]:
+        return [job for report in self.node_reports for job in report.completed_jobs]
+
+    @cached_property
+    def _latencies(self) -> np.ndarray:
+        values = [job.latency for job in self._completed_jobs]
+        return np.asarray([v for v in values if math.isfinite(v)], dtype=float)
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def completed(self) -> int:
+        return len(self._completed_jobs)
+
+    @property
+    def dropped(self) -> int:
+        return sum(len(report.dropped_jobs) for report in self.node_reports)
+
+    @cached_property
+    def makespan(self) -> float:
+        """Fleet horizon: first arrival anywhere to last completion anywhere."""
+        if not self._jobs:
+            return 0.0
+        completed = self._completed_jobs
+        if not completed:
+            return 0.0
+        start = min(job.request.arrival_time for job in self._jobs)
+        end = max(job.completion_time for job in completed)
+        return max(end - start, 0.0)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second across the whole fleet."""
+        span = self.makespan
+        return self.completed / span if span > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        return percentile(self._latencies, q)
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_latency(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(99.0)
+
+    @property
+    def mean_latency(self) -> float:
+        return float(self._latencies.mean()) if self._latencies.size else float("nan")
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        return _deadline_miss_rate(
+            job.deadline_met for job in self._jobs if job.request.deadline is not None
+        )
+
+    @property
+    def total_macs(self) -> float:
+        return float(sum(report.total_macs for report in self.node_reports))
+
+    @cached_property
+    def _node_jobs(self) -> List[int]:
+        return [report.num_jobs for report in self.node_reports]
+
+    @property
+    def node_jobs(self) -> List[int]:
+        """Requests placed per node (the routing decision, directly)."""
+        # A fresh list per access, so callers cannot corrupt the memo.
+        return list(self._node_jobs)
+
+    @cached_property
+    def _node_utilisation(self) -> List[float]:
+        span = self.makespan
+        if span <= 0:
+            return [0.0] * self.num_nodes
+        busy = [
+            sum(
+                step.duration
+                for job in report.jobs
+                for step in job.steps
+                if math.isfinite(step.duration)
+            )
+            for report in self.node_reports
+        ]
+        return [min(b / span, 1.0) for b in busy]
+
+    @property
+    def node_utilisation(self) -> List[float]:
+        """Fraction of the fleet horizon each node spent executing steps."""
+        return list(self._node_utilisation)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Peak-to-mean ratio of per-node placements (1.0 = perfectly even)."""
+        counts = self._node_jobs
+        mean = float(np.mean(counts)) if counts else 0.0
+        return float(max(counts) / mean) if mean > 0 else float("nan")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "cluster": self.cluster_name,
+            "router": self.router_name,
+            "num_nodes": self.num_nodes,
+            "num_jobs": self.num_jobs,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "makespan": self.makespan,
+            "throughput_rps": self.throughput,
+            "p50_latency": self.p50_latency,
+            "p95_latency": self.p95_latency,
+            "p99_latency": self.p99_latency,
+            "mean_latency": self.mean_latency,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "total_macs": self.total_macs,
+            "load_imbalance": self.load_imbalance,
+            "node_jobs": self.node_jobs,
+            "node_utilisation": self.node_utilisation,
+            "nodes": [
+                dict(report.as_dict(), node=name, utilisation=utilisation, assigned=jobs)
+                for name, report, utilisation, jobs in zip(
+                    self.node_names, self.node_reports, self._node_utilisation, self._node_jobs
+                )
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# The cluster facade
+# ----------------------------------------------------------------------
+def _resolve_network(network_or_result):
+    """Accept a SteppingNetwork or anything exposing ``servable()``."""
+    servable = getattr(network_or_result, "servable", None)
+    return servable() if callable(servable) else network_or_result
+
+
+class ServingCluster:
+    """A fleet of serving engines behind one request router.
+
+    Build it from engines directly, or declaratively through
+    :meth:`from_spec` — one engine per node
+    :class:`~repro.serving.spec.ServingSpec` over heterogeneous
+    platforms.  :meth:`serve` routes the merged request stream and runs
+    every node's event loop, returning a :class:`ClusterReport`.
+    """
+
+    def __init__(
+        self,
+        engines: Sequence[ServingEngine],
+        router: Union[Router, str] = "round-robin",
+        names: Optional[Sequence[str]] = None,
+        name: str = "cluster",
+        spec: Optional[ClusterSpec] = None,
+    ) -> None:
+        if not engines:
+            raise ValueError("a ServingCluster needs at least one engine")
+        self.engines = list(engines)
+        self.router = get_router(router) if isinstance(router, str) else router
+        if names is None:
+            names = [f"node{index}" for index in range(len(self.engines))]
+        if len(names) != len(self.engines):
+            raise ValueError("names must match the number of engines")
+        self.node_names = list(names)
+        self.name = name
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(
+        cls,
+        spec: Union[ClusterSpec, Mapping[str, Any]],
+        network_or_result=None,
+    ) -> "ServingCluster":
+        """Build the fleet a :class:`~repro.serving.spec.ClusterSpec` declares.
+
+        Without an explicit network, the spec's declarative ``model`` is
+        instantiated — so a complete fleet simulation can be launched
+        from one JSON file.  All node backends share one compiled plan
+        per ``(dtype, prune)`` via the plan cache; each node gets its own
+        engine, trace and scheduler.
+        """
+        if not isinstance(spec, ClusterSpec):
+            spec = ClusterSpec.from_dict(spec)
+        network = _resolve_network(network_or_result)
+        if network is None:
+            network = spec.build_network()
+        engines = [node.build_engine(network) for node in spec.nodes]
+        return cls(
+            engines,
+            router=spec.router,
+            names=[node.node_name for node in spec.nodes],
+            name=spec.name,
+            spec=spec,
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.engines)
+
+    # ------------------------------------------------------------------
+    def route_requests(self, requests: Sequence[Request]) -> List[List[Request]]:
+        """Place every request on a node; returns the per-node sub-streams.
+
+        Requests are processed in arrival order on the shared clock; each
+        placement sees the load state implied by all earlier placements.
+        Request ids must be unique across the whole fleet workload
+        (:func:`~repro.serving.request.merge_streams` guarantees this for
+        merged streams).
+        """
+        ids = [request.request_id for request in requests]
+        if len(set(ids)) != len(ids):
+            raise ValueError(
+                "request_id values must be unique across the cluster workload; "
+                "merge streams with repro.serving.merge_streams"
+            )
+        nodes = [
+            NodeState(index, name, engine)
+            for index, (name, engine) in enumerate(zip(self.node_names, self.engines))
+        ]
+        self.router.reset(nodes)
+        for request in sorted(requests, key=lambda r: (r.arrival_time, r.request_id)):
+            index = self.router.route(request, nodes, request.arrival_time)
+            if not 0 <= index < len(nodes):
+                raise IndexError(
+                    f"router '{self.router.name}' returned node index {index} "
+                    f"for a {len(nodes)}-node cluster"
+                )
+            nodes[index].assign(request)
+        return [node.assigned for node in nodes]
+
+    def serve(self, requests: Optional[Sequence[Request]] = None) -> ClusterReport:
+        """Route the workload and run every node's event loop.
+
+        With no explicit ``requests`` the spec's declared streams are
+        built and merged (requires :meth:`from_spec` construction).
+        """
+        if requests is None:
+            if self.spec is None:
+                raise ValueError("no requests given and no ClusterSpec to build them from")
+            input_shape = self.engines[0].backend.network.spec.input_shape
+            requests = self.spec.build_requests(input_shape=input_shape)
+        partition = self.route_requests(requests)
+        node_reports = [
+            engine.serve(sub_stream) for engine, sub_stream in zip(self.engines, partition)
+        ]
+        return ClusterReport(
+            node_reports=node_reports,
+            node_names=list(self.node_names),
+            router_name=self.router.name,
+            cluster_name=self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServingCluster({self.name!r}, nodes={self.node_names}, "
+            f"router={self.router.name!r})"
+        )
+
+
+def serve(
+    network_or_result,
+    cluster_spec: Union[ClusterSpec, Mapping[str, Any]],
+    requests: Optional[Sequence[Request]] = None,
+) -> ClusterReport:
+    """Serve a workload on a declaratively specified fleet — the front door.
+
+    ``network_or_result`` is a trained
+    :class:`~repro.core.network.SteppingNetwork` or the
+    :class:`~repro.core.api.SteppingNetResult` of the design flow (or
+    ``None`` to instantiate the spec's declarative model);
+    ``cluster_spec`` a :class:`~repro.serving.spec.ClusterSpec` or its
+    dict form.  When ``requests`` is omitted the spec's streams are
+    built and merged.
+
+    >>> report = serve(result, ClusterSpec.from_json("fleet.json"))
+    >>> report.throughput, report.p95_latency
+    """
+    cluster = ServingCluster.from_spec(cluster_spec, network_or_result)
+    return cluster.serve(requests)

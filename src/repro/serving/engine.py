@@ -25,10 +25,11 @@ queueing delay and MAC/reuse accounting.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
@@ -322,8 +323,14 @@ class ServingEngine:
     trace:
         Shared accelerator throughput over time.
     scheduler:
-        A :class:`~repro.serving.scheduler.Scheduler` instance or
-        registry name (``"fifo"``, ``"edf"``, ``"priority"``).
+        A :class:`~repro.serving.scheduler.Scheduler` registry name
+        (``"fifo"``, ``"edf"``, ``"priority"``), class, or instance.
+        Whatever is given is treated as a *factory*: every ``serve()``
+        call runs against a fresh scheduler (instances are
+        :meth:`~repro.serving.scheduler.Scheduler.clone`\\ d), so one
+        scheduler object can be shared between engines — a cluster's
+        node engines in particular — without their ready queues
+        silently corrupting each other.
     overhead_per_step:
         Fixed seconds charged per executed subnet step (kernel launch,
         context switch).
@@ -345,7 +352,7 @@ class ServingEngine:
         self,
         backend: ExecutionBackend,
         trace: ResourceTrace,
-        scheduler: Union[Scheduler, str, None] = None,
+        scheduler: Union[Scheduler, Type[Scheduler], str, None] = None,
         *,
         overhead_per_step: float = 0.0,
         drop_expired: bool = False,
@@ -356,15 +363,23 @@ class ServingEngine:
             raise ValueError("overhead_per_step must be non-negative")
         self.backend = backend
         self.trace = trace
-        if scheduler is None:
-            scheduler = FIFOScheduler()
-        elif isinstance(scheduler, str):
-            scheduler = get_scheduler(scheduler)
-        self.scheduler = scheduler
+        self._scheduler_spec = scheduler if scheduler is not None else FIFOScheduler
+        #: Prototype instance (name, policy introspection); ``serve()``
+        #: never mutates it — each call runs on a fresh clone.
+        self.scheduler = self._new_scheduler()
         self.overhead_per_step = overhead_per_step
         self.drop_expired = drop_expired
         self.enforce_deadline = enforce_deadline
         self.store_logits = store_logits
+
+    def _new_scheduler(self) -> Scheduler:
+        """Instantiate a fresh ready queue from the configured factory."""
+        spec = self._scheduler_spec
+        if isinstance(spec, str):
+            return get_scheduler(spec)
+        if isinstance(spec, type):
+            return spec()
+        return spec.clone()
 
     # ------------------------------------------------------------------
     def serve(self, requests: Sequence[Request]) -> ServingReport:
@@ -384,9 +399,15 @@ class ServingEngine:
         now = 0.0
         # The scheduler *is* the ready set: a heap-backed queue that jobs
         # enter on admission and leave (lazily) on finalisation, so
-        # picking the next job is O(log n) instead of an O(n) scan.
-        scheduler = self.scheduler
-        scheduler.clear()
+        # picking the next job is O(log n) instead of an O(n) scan.  A
+        # fresh clone per call keeps concurrent/shared engines isolated.
+        scheduler = self._new_scheduler()
+        # Admission control runs off an expiry heap keyed on deadline:
+        # only unstarted deadline-carrying jobs ever enter it, and a job
+        # that started (or finalised) in the meantime is skipped lazily
+        # on pop — dropping expired jobs is O(log n) per event, not an
+        # O(n) ready-set scan.
+        expiry: List[Tuple[float, int]] = []
 
         def admit(until: float) -> None:
             while pending and pending[-1].arrival_time <= until + _TIME_EPS:
@@ -394,6 +415,8 @@ class ServingEngine:
                 job = ServingJob(request=request, session=self.backend.open(request.inputs))
                 records[request.request_id] = JobRecord(request=request)
                 scheduler.add(job)
+                if self.drop_expired and request.deadline is not None:
+                    heapq.heappush(expiry, (request.deadline, request.request_id))
 
         def finalize(job: ServingJob, status: str, reason: str) -> None:
             record = records[job.request.request_id]
@@ -409,12 +432,12 @@ class ServingEngine:
                 continue
 
             if self.drop_expired:
-                for job in scheduler.jobs():
-                    deadline = job.request.deadline
-                    if job.started or deadline is None:
-                        continue
-                    if now >= deadline - _TIME_EPS:
-                        finalize(job, "dropped", "deadline passed before first execution")
+                while expiry and now >= expiry[0][0] - _TIME_EPS:
+                    _, request_id = heapq.heappop(expiry)
+                    job = scheduler.get(request_id)
+                    if job is None or job.started:
+                        continue  # stale entry: finalised or already running
+                    finalize(job, "dropped", "deadline passed before first execution")
                 if not len(scheduler):
                     continue
 

@@ -19,8 +19,8 @@ representative of production traffic:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -219,3 +219,63 @@ def trace_replay_stream(
     if arrivals[0] < 0:
         raise ValueError("arrival times must be non-negative")
     return _build_requests(arrivals, images, labels, relative_deadline, batch_size)
+
+
+def _replay_stream(
+    images: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    *,
+    arrival_times: Sequence[float],
+    relative_deadline: Optional[float] = None,
+    batch_size: int = 1,
+) -> List[Request]:
+    """Registry adapter: :func:`trace_replay_stream` with the uniform
+    ``(images, labels, **params)`` generator signature."""
+    return trace_replay_stream(
+        arrival_times,
+        images,
+        labels,
+        relative_deadline=relative_deadline,
+        batch_size=batch_size,
+    )
+
+
+#: Name-based registry of request-stream generators, mirroring
+#: ``SCHEDULERS``: every entry is a callable ``(images, labels, **params)``
+#: so declarative configs (:class:`~repro.serving.spec.StreamSpec`) can
+#: build any arrival process by name.
+STREAMS: Dict[str, Callable[..., List[Request]]] = {
+    "poisson": poisson_stream,
+    "bursty": bursty_stream,
+    "periodic": periodic_stream,
+    "replay": _replay_stream,
+}
+
+
+def get_stream(name: str) -> Callable[..., List[Request]]:
+    """Resolve a stream generator by registry name."""
+    try:
+        return STREAMS[name.lower()]
+    except KeyError as exc:
+        raise KeyError(f"unknown stream '{name}'; available: {sorted(STREAMS)}") from exc
+
+
+def merge_streams(*streams: Sequence[Request]) -> List[Request]:
+    """Merge several request streams into one arrival-ordered stream.
+
+    Every generator numbers its requests from zero, so merging raw
+    streams would collide on ``request_id`` (the engine's identity key
+    and every scheduler's tie-breaker).  The merged stream is re-numbered
+    0..n-1 in arrival order — ties broken by the order the streams were
+    passed in — guaranteeing globally unique, deterministic ids.
+    """
+    tagged = [
+        (request.arrival_time, stream_index, position, request)
+        for stream_index, stream in enumerate(streams)
+        for position, request in enumerate(stream)
+    ]
+    tagged.sort(key=lambda item: item[:3])
+    return [
+        replace(request, request_id=index)
+        for index, (_, _, _, request) in enumerate(tagged)
+    ]

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, List, Sequence, Tuple, Type
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from .backend import ServingJob
 
@@ -59,6 +59,17 @@ class Scheduler:
         """
         raise NotImplementedError
 
+    def clone(self) -> "Scheduler":
+        """A fresh, empty scheduler implementing the same policy.
+
+        The serving engine clones its scheduler at the start of every
+        ``serve()`` call, so one scheduler instance can be shared between
+        engines (e.g. a cluster's node specs) without their ready queues
+        aliasing each other.  Subclasses whose constructor takes
+        arguments must override this to reproduce them.
+        """
+        return type(self)()
+
     # ------------------------------------------------------------------
     # Ready-queue interface used by the serving engine
     # ------------------------------------------------------------------
@@ -80,6 +91,10 @@ class Scheduler:
     def discard(self, job: ServingJob) -> None:
         """Remove a finalised job (lazily: its heap entry expires on pop)."""
         self._live.pop(job.request.request_id, None)
+
+    def get(self, request_id: int) -> Optional[ServingJob]:
+        """The live queued job with this id, or ``None`` if not queued."""
+        return self._live.get(request_id)
 
     def __len__(self) -> int:
         return len(self._live)

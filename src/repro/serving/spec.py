@@ -1,0 +1,409 @@
+"""Declarative serving configs: :class:`ServingSpec` and :class:`ClusterSpec`.
+
+Before this module, every experiment hand-wired network → trace →
+backend → scheduler → engine in imperative code.  The specs here capture
+that wiring as frozen, JSON-round-trippable values, the way serving
+systems describe deployments in config files rather than builder calls:
+
+* :class:`StreamSpec` — an arrival process by registry name
+  (:data:`~repro.serving.request.STREAMS`) plus its parameters;
+* :class:`ServingSpec` — one serving *node*: execution backend kind
+  (:data:`~repro.serving.backend.BACKENDS`), scheduler name
+  (:data:`~repro.serving.scheduler.SCHEDULERS`), platform and trace
+  names (:data:`~repro.runtime.platform.PLATFORMS` and the platform's
+  trace library), step-up policy, and the engine knobs;
+* :class:`ClusterSpec` — a fleet: N node specs, a router policy name
+  (:data:`~repro.serving.cluster.ROUTERS`), the request streams and
+  optionally a declarative model so a whole simulation can be launched
+  from one JSON file.
+
+Every spec validates its registry names eagerly (a typo fails at config
+load, not mid-simulation) and offers ``to_dict`` / ``from_dict`` whose
+output is plain-JSON serialisable, so benchmarks and CI can check
+cluster definitions into the repository and replay them bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..models.registry import get_model_spec
+from ..runtime.platform import PlatformSpec, ResourceTrace, get_platform
+from ..runtime.policies import (
+    ConfidencePolicy,
+    DeadlineAwarePolicy,
+    FixedSubnetPolicy,
+    GreedyPolicy,
+    LoadAdaptivePolicy,
+    SteppingPolicy,
+)
+from ..runtime.traces import trace_library
+from ..utils.rng import new_generator
+from .backend import ExecutionBackend, get_backend
+from .request import Request, get_stream
+from .scheduler import SCHEDULERS
+
+
+def _full_quality_policy(**params) -> ConfidencePolicy:
+    """Never confident, never deadline-limited: refine to the largest subnet."""
+    params.setdefault("threshold", 1.0)
+    params.setdefault("respect_deadline", False)
+    return ConfidencePolicy(**params)
+
+
+#: Name-based registry of step-up policies used by :class:`ServingSpec`.
+POLICIES: Dict[str, Callable[..., SteppingPolicy]] = {
+    "greedy": GreedyPolicy,
+    "confidence": ConfidencePolicy,
+    "deadline-aware": DeadlineAwarePolicy,
+    "load-adaptive": LoadAdaptivePolicy,
+    "fixed": FixedSubnetPolicy,
+    "full-quality": _full_quality_policy,
+}
+
+
+def get_policy(name: str, **params) -> SteppingPolicy:
+    """Instantiate a step-up policy by registry name."""
+    try:
+        factory = POLICIES[name.lower()]
+    except KeyError as exc:
+        raise KeyError(f"unknown policy '{name}'; available: {sorted(POLICIES)}") from exc
+    return factory(**params)
+
+
+def _check_fields(cls, data: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate config keys against the dataclass fields (typo safety)."""
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise KeyError(
+            f"unknown {cls.__name__} keys {sorted(unknown)}; known: {sorted(known)}"
+        )
+    return dict(data)
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One request stream by generator name plus its parameters.
+
+    ``params`` is passed through to the registered generator (see
+    :data:`~repro.serving.request.STREAMS`); for ``"replay"`` it carries
+    the explicit ``arrival_times``.  When no sample pool is supplied at
+    build time, a deterministic synthetic pool of ``pool_size`` inputs is
+    drawn from ``pool_seed`` — enough to run cost/latency simulations
+    straight from a config file, no dataset required.
+    """
+
+    kind: str = "poisson"
+    params: Mapping[str, Any] = field(default_factory=dict)
+    pool_size: int = 16
+    pool_seed: int = 0
+
+    def __post_init__(self) -> None:
+        get_stream(self.kind)  # fail fast on unknown generator names
+        if self.pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+
+    def build(
+        self,
+        images: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+        input_shape: Optional[Tuple[int, ...]] = None,
+    ) -> List[Request]:
+        """Generate the requests (synthesising an input pool if needed)."""
+        if images is None:
+            if input_shape is None:
+                raise ValueError("either images or input_shape is required")
+            rng = new_generator(self.pool_seed)
+            images = rng.standard_normal((self.pool_size,) + tuple(input_shape))
+        return get_stream(self.kind)(images, labels, **dict(self.params))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "params": dict(self.params),
+            "pool_size": self.pool_size,
+            "pool_seed": self.pool_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StreamSpec":
+        return cls(**_check_fields(cls, data))
+
+
+@dataclass(frozen=True)
+class ServingSpec:
+    """Declarative description of one serving node.
+
+    Everything the hand-wired path assembled imperatively — backend,
+    scheduler, platform, trace, policy, engine knobs — as one frozen
+    value.  ``build_engine(network)`` turns it into a ready
+    :class:`~repro.serving.engine.ServingEngine`.
+
+    Attributes
+    ----------
+    backend / scheduler / platform / policy:
+        Registry names (:data:`~repro.serving.backend.BACKENDS`,
+        :data:`~repro.serving.scheduler.SCHEDULERS`,
+        :data:`~repro.runtime.platform.PLATFORMS`, :data:`POLICIES`).
+    trace:
+        Name in the platform's :func:`~repro.runtime.traces.trace_library`
+        (``steady-high``, ``steady-low``, ``power-switch``, ``duty-cycle``,
+        ``bursty``) or ``"constant"`` with an explicit ``trace_rate``
+        (MAC/s) for calibrated experiments.
+    trace_scale / trace_seed:
+        Uniform rate multiplier (platform shared with co-running tasks)
+        and the seed of stochastic library traces.
+    overhead_per_step:
+        Fixed seconds charged per executed subnet step; ``None`` uses the
+        platform's ``invocation_overhead``.
+    drop_expired / enforce_deadline / store_logits:
+        The :class:`~repro.serving.engine.ServingEngine` knobs, verbatim.
+    dtype / compiled:
+        Inference dtype name and whether the backend executes over a
+        compiled :class:`~repro.core.plan.NetworkPlan`.
+    """
+
+    name: str = ""
+    backend: str = "stepping"
+    scheduler: str = "fifo"
+    platform: str = "mobile-soc"
+    trace: str = "steady-high"
+    trace_rate: Optional[float] = None
+    trace_scale: float = 1.0
+    trace_seed: int = 0
+    policy: str = "greedy"
+    policy_params: Mapping[str, Any] = field(default_factory=dict)
+    overhead_per_step: Optional[float] = None
+    drop_expired: bool = False
+    enforce_deadline: bool = True
+    store_logits: bool = True
+    dtype: str = "float32"
+    compiled: bool = True
+
+    def __post_init__(self) -> None:
+        # Fail at config load, not mid-simulation.
+        get_backend(self.backend)
+        if self.scheduler.lower() not in SCHEDULERS:
+            raise KeyError(
+                f"unknown scheduler '{self.scheduler}'; available: {sorted(SCHEDULERS)}"
+            )
+        get_platform(self.platform)
+        if self.policy.lower() not in POLICIES:
+            raise KeyError(f"unknown policy '{self.policy}'; available: {sorted(POLICIES)}")
+        if self.trace == "constant" and self.trace_rate is None:
+            raise ValueError("trace 'constant' requires an explicit trace_rate (MAC/s)")
+        if self.trace_scale <= 0:
+            raise ValueError("trace_scale must be positive")
+        if self.overhead_per_step is not None and self.overhead_per_step < 0:
+            raise ValueError("overhead_per_step must be non-negative")
+        np.dtype(self.dtype)  # raises on unknown dtype names
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @property
+    def node_name(self) -> str:
+        """Display name of the node (defaults to ``platform/backend``)."""
+        return self.name or f"{self.platform}/{self.backend}"
+
+    def build_platform(self) -> PlatformSpec:
+        return get_platform(self.platform)
+
+    def build_trace(self) -> ResourceTrace:
+        """The node's resource trace, resolved from the platform library."""
+        if self.trace == "constant":
+            trace = ResourceTrace.constant(float(self.trace_rate), name="constant")
+        else:
+            library = trace_library(self.build_platform(), seed=self.trace_seed)
+            try:
+                trace = library[self.trace]
+            except KeyError as exc:
+                raise KeyError(
+                    f"unknown trace '{self.trace}' for platform '{self.platform}'; "
+                    f"available: {sorted(library)} or 'constant'"
+                ) from exc
+        if self.trace_scale != 1.0:
+            trace = trace.scaled(self.trace_scale)
+        return trace
+
+    def build_policy(self) -> SteppingPolicy:
+        return get_policy(self.policy, **dict(self.policy_params))
+
+    def build_backend(self, network) -> ExecutionBackend:
+        return get_backend(self.backend)(
+            network,
+            policy=self.build_policy(),
+            dtype=np.dtype(self.dtype),
+            compiled=self.compiled,
+        )
+
+    def build_engine(self, network) -> "ServingEngine":
+        """Assemble the node's :class:`~repro.serving.engine.ServingEngine`."""
+        from .engine import ServingEngine
+
+        overhead = self.overhead_per_step
+        if overhead is None:
+            overhead = self.build_platform().invocation_overhead
+        return ServingEngine(
+            self.build_backend(network),
+            self.build_trace(),
+            self.scheduler,
+            overhead_per_step=overhead,
+            drop_expired=self.drop_expired,
+            enforce_deadline=self.enforce_deadline,
+            store_logits=self.store_logits,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["policy_params"] = dict(self.policy_params)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServingSpec":
+        return cls(**_check_fields(cls, data))
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Declarative description of a serving fleet.
+
+    ``nodes`` are the per-node :class:`ServingSpec`\\ s (heterogeneous
+    platforms welcome), ``router`` the request-placement policy name in
+    :data:`~repro.serving.cluster.ROUTERS`, ``streams`` the arrival
+    processes merged (with globally unique request ids) into the fleet's
+    workload, and ``model`` an optional declarative network — enough to
+    run an untrained cost/latency simulation straight from JSON:
+
+    ``ServingCluster.from_spec(ClusterSpec.from_dict(json.load(f))).serve()``
+    """
+
+    nodes: Tuple[ServingSpec, ...] = ()
+    router: str = "round-robin"
+    streams: Tuple[StreamSpec, ...] = ()
+    model: Mapping[str, Any] = field(default_factory=dict)
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a ClusterSpec needs at least one node")
+        # Lazy import: cluster.py imports this module at load time.
+        from .cluster import ROUTERS
+
+        if self.router.lower() not in ROUTERS:
+            raise KeyError(f"unknown router '{self.router}'; available: {sorted(ROUTERS)}")
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        object.__setattr__(self, "streams", tuple(self.streams))
+        names = [node.node_name for node in self.nodes]
+        if len(set(names)) != len(names):
+            # Auto-disambiguate repeated platform/backend combinations —
+            # only the colliding default names; explicit and unique names
+            # round-trip untouched.
+            counts = Counter(names)
+            object.__setattr__(
+                self,
+                "nodes",
+                tuple(
+                    node
+                    if node.name or counts[node.node_name] == 1
+                    else replace(node, name=f"{node.node_name}#{index}")
+                    for index, node in enumerate(self.nodes)
+                ),
+            )
+            names = [node.node_name for node in self.nodes]
+            if len(set(names)) != len(names):
+                raise ValueError(f"node names must be unique, got {names}")
+
+    # ------------------------------------------------------------------
+    def build_network(self):
+        """Instantiate the declared model (untrained, serving-calibrated).
+
+        Serving benchmarks measure cost and latency, not accuracy, so the
+        network is assembled directly: the named architecture is width-
+        expanded, given evenly spaced nested prefix assignments (for
+        genuinely distinct per-level deltas) and put in eval mode.
+        ``model`` keys: ``name`` (models registry), ``num_subnets``,
+        ``expansion_ratio``, ``width_fractions``, ``seed`` plus arbitrary
+        ``model_params`` forwarded to the spec factory.
+        """
+        from ..baselines.common import set_prefix_assignments
+        from ..core.network import SteppingNetwork
+
+        config = dict(self.model)
+        model_name = config.pop("name", "tiny-cnn")
+        num_subnets = int(config.pop("num_subnets", 4))
+        expansion = float(config.pop("expansion_ratio", 1.5))
+        seed = int(config.pop("seed", 0))
+        fractions = config.pop(
+            "width_fractions", [(level + 1) / num_subnets for level in range(num_subnets)]
+        )
+        model_params = dict(config.pop("model_params", {}))
+        if config:
+            raise KeyError(f"unknown model keys {sorted(config)}")
+        spec = get_model_spec(model_name, **model_params)
+        network = SteppingNetwork(
+            spec.expand(expansion), num_subnets=num_subnets, rng=new_generator(seed)
+        )
+        set_prefix_assignments(network, list(fractions))
+        network.assignment.validate()
+        network.eval()
+        return network
+
+    def build_requests(
+        self,
+        images: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+        input_shape: Optional[Tuple[int, ...]] = None,
+    ) -> List[Request]:
+        """Build and merge all declared streams (globally unique ids)."""
+        from .request import merge_streams
+
+        if not self.streams:
+            raise ValueError(f"cluster '{self.name}' declares no request streams")
+        built = [
+            stream.build(images, labels, input_shape=input_shape) for stream in self.streams
+        ]
+        return merge_streams(*built)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "nodes": [node.to_dict() for node in self.nodes],
+            "router": self.router,
+            "streams": [stream.to_dict() for stream in self.streams],
+            "model": dict(self.model),
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterSpec":
+        data = _check_fields(cls, data)
+        data["nodes"] = tuple(
+            node if isinstance(node, ServingSpec) else ServingSpec.from_dict(node)
+            for node in data.get("nodes", ())
+        )
+        data["streams"] = tuple(
+            stream if isinstance(stream, StreamSpec) else StreamSpec.from_dict(stream)
+            for stream in data.get("streams", ())
+        )
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]) -> "ClusterSpec":
+        """Load a cluster definition from a JSON string or file path."""
+        text = str(source)
+        if not text.lstrip().startswith("{"):
+            text = Path(source).read_text()
+        return cls.from_dict(json.loads(text))

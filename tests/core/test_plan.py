@@ -325,3 +325,84 @@ class TestCompiledStateInterop:
             direct_b = network.forward(batch_b, subnet=2).data
         np.testing.assert_allclose(stepped_a.logits, direct_a, rtol=1e-9, atol=1e-10)
         np.testing.assert_allclose(stepped_b.logits, direct_b, rtol=1e-9, atol=1e-10)
+
+
+class TestPlanInvalidationHooks:
+    """Structural mutations must drop cached plans (train-then-serve safety).
+
+    The network subscribes ``invalidate_plans`` to every layer assignment,
+    so construction moves, assignment overwrites, pruning and revival all
+    force the next ``for_network`` to recompile instead of serving a
+    stale snapshot.
+    """
+
+    def _cached(self, network):
+        return NetworkPlan.for_network(network, dtype=np.float32)
+
+    def test_move_units_forces_recompile(self):
+        network, _ = _conv_network()
+        stale = self._cached(network)
+        layer = network.param_layers[0]
+        movable = layer.assignment.units_in_exactly(0)
+        layer.assignment.move_units(movable[:1], 1)
+        fresh = self._cached(network)
+        assert fresh is not stale
+        assert fresh.subnet_macs == tuple(
+            network.subnet_macs(level) for level in range(network.num_subnets)
+        )
+
+    def test_set_assignment_forces_recompile(self):
+        network, _ = _mlp_network()
+        stale = self._cached(network)
+        set_prefix_assignments(network, [0.4, 0.6, 0.8, 1.0])
+        assert self._cached(network) is not stale
+
+    def test_pruning_forces_recompile(self):
+        network, _ = _conv_network()
+        stale = self._cached(network)
+        apply_unstructured_pruning(network, 5e-2)
+        assert self._cached(network) is not stale
+
+    def test_revival_forces_recompile(self):
+        from repro.core.pruning import revive_incoming_synapses
+
+        network, _ = _conv_network()
+        apply_unstructured_pruning(network, 5e-2)
+        stale = self._cached(network)
+        revived = revive_incoming_synapses(network, 0, [0, 1])
+        assert revived > 0
+        assert self._cached(network) is not stale
+
+    def test_unchanged_network_keeps_its_plan(self):
+        network, _ = _conv_network()
+        assert self._cached(network) is self._cached(network)
+
+    def test_mutated_plan_serves_correct_logits(self):
+        """End to end: compile, mutate, recompile via the cache, compare
+        against the legacy oracle."""
+        network, inputs = _conv_network()
+        self._cached(network)  # populate the cache pre-mutation
+        layer = network.param_layers[1]
+        movable = layer.assignment.units_in_exactly(0)
+        if movable.size > 1:
+            layer.assignment.move_units(movable[:1], 2)
+        apply_unstructured_pruning(network, 4e-2)
+        compiled = IncrementalInference(network, dtype=np.float64)
+        legacy = IncrementalInference(network, dtype=np.float64, compiled=False)
+        got = compiled.run(inputs, subnet=2).logits
+        want = legacy.run(inputs, subnet=2).logits
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-10)
+
+    def test_retraining_invalidates_plans(self, image_loader):
+        """Weight updates (distillation retraining) also stale the plan."""
+        from repro.core import SteppingConfig, TrainingConfig, retrain_with_distillation
+
+        network, _ = _conv_network()
+        stale = self._cached(network)
+        config = SteppingConfig(
+            retrain_epochs=1,
+            use_distillation=False,
+            training=TrainingConfig(learning_rate=0.01, batch_size=16),
+        )
+        retrain_with_distillation(network, None, image_loader, config)
+        assert self._cached(network) is not stale

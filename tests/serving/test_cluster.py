@@ -1,0 +1,283 @@
+"""Tests for fleet-level serving: routers, ServingCluster and ClusterReport."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.platform import ResourceTrace
+from repro.serving import (
+    ROUTERS,
+    ClusterSpec,
+    JoinShortestQueueRouter,
+    LeastLoadedRouter,
+    Request,
+    RoundRobinRouter,
+    ServingCluster,
+    ServingEngine,
+    ServingSpec,
+    SteppingBackend,
+    StreamSpec,
+    get_router,
+    merge_streams,
+    poisson_stream,
+    serve,
+)
+
+
+def _engine(network, rate, scheduler="fifo", name="trace"):
+    return ServingEngine(
+        SteppingBackend(network), ResourceTrace.constant(rate, name=name), scheduler
+    )
+
+
+def _requests(images, labels, count=12, rate=4.0, deadline=None, seed=0):
+    return poisson_stream(
+        images,
+        labels,
+        rate=rate,
+        num_requests=count,
+        relative_deadline=deadline,
+        batch_size=2,
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def calibrated_rate(stepping_network):
+    largest = float(stepping_network.subnet_macs(stepping_network.num_subnets - 1))
+    return largest / 0.5  # one full-quality request ~= 0.5 s
+
+
+class TestRouterRegistry:
+    def test_at_least_three_policies_registered(self):
+        distinct = {cls for cls in ROUTERS.values()}
+        assert len(distinct) >= 3
+        assert {"round-robin", "join-shortest-queue", "least-loaded"} <= set(ROUTERS)
+
+    def test_get_router_unknown(self):
+        with pytest.raises(KeyError, match="router"):
+            get_router("random-forwarding")
+
+
+class TestRouting:
+    def test_round_robin_cycles(self, stepping_network, sample_pool, calibrated_rate):
+        images, labels = sample_pool
+        cluster = ServingCluster(
+            [_engine(stepping_network, calibrated_rate) for _ in range(3)],
+            router="round-robin",
+        )
+        partition = cluster.route_requests(_requests(images, labels, count=9))
+        assert [len(part) for part in partition] == [3, 3, 3]
+        # Arrival order maps 0->node0, 1->node1, 2->node2, 3->node0, ...
+        assert [r.request_id for r in partition[0]] == [0, 3, 6]
+
+    def test_join_shortest_queue_prefers_idle_node(self, stepping_network, sample_pool,
+                                                   calibrated_rate):
+        images, _ = sample_pool
+        # Two simultaneous arrivals: JSQ must split them, round-robin would too,
+        # but a third immediately after must go to whichever drained first —
+        # with equal nodes it lands on the lowest index with the shortest queue.
+        cluster = ServingCluster(
+            [_engine(stepping_network, calibrated_rate) for _ in range(2)], router="jsq"
+        )
+        burst = [
+            Request(request_id=i, arrival_time=0.0, inputs=images[:2]) for i in range(2)
+        ] + [Request(request_id=2, arrival_time=0.01, inputs=images[:2])]
+        partition = cluster.route_requests(burst)
+        # The two simultaneous arrivals split across nodes; the third sees
+        # equal queues again and ties back to node 0.
+        assert [{r.request_id for r in part} for part in partition] == [{0, 2}, {1}]
+
+    def test_least_loaded_prefers_faster_node(self, stepping_network, sample_pool,
+                                              calibrated_rate):
+        """With one node 10x faster, MAC/latency-aware placement piles on it
+        until its backlog makes the slow node competitive."""
+        images, _ = sample_pool
+        fast = _engine(stepping_network, calibrated_rate * 10.0, name="fast")
+        slow = _engine(stepping_network, calibrated_rate, name="slow")
+        cluster = ServingCluster([slow, fast], router="least-loaded")
+        burst = [
+            Request(request_id=i, arrival_time=0.0, inputs=images[:2]) for i in range(4)
+        ]
+        partition = cluster.route_requests(burst)
+        # The fast node takes most of the burst even though it is node 1.
+        assert len(partition[1]) > len(partition[0])
+
+    def test_least_loaded_beats_jsq_on_heterogeneous_fleet(
+        self, stepping_network, sample_pool, calibrated_rate
+    ):
+        """JSQ is throughput-blind; finishing-time-aware placement must not be
+        slower on a fleet with a 20x throughput spread."""
+        images, labels = sample_pool
+        requests = _requests(images, labels, count=24, rate=8.0)
+
+        def run(router):
+            cluster = ServingCluster(
+                [
+                    _engine(stepping_network, calibrated_rate * 20.0),
+                    _engine(stepping_network, calibrated_rate),
+                ],
+                router=router,
+            )
+            return cluster.serve(requests)
+
+        assert run("least-loaded").p95_latency <= run("jsq").p95_latency + 1e-9
+
+    def test_duplicate_ids_across_workload_rejected(
+        self, stepping_network, sample_pool, calibrated_rate
+    ):
+        images, labels = sample_pool
+        stream_a = _requests(images, labels, count=3)
+        stream_b = _requests(images, labels, count=3, seed=1)  # ids also 0..2
+        cluster = ServingCluster([_engine(stepping_network, calibrated_rate)])
+        with pytest.raises(ValueError, match="merge_streams"):
+            cluster.route_requests(stream_a + stream_b)
+        merged = merge_streams(stream_a, stream_b)
+        assert [len(p) for p in cluster.route_requests(merged)] == [6]
+
+
+class TestServingCluster:
+    def test_single_node_cluster_reproduces_engine_bit_identical(
+        self, stepping_network, sample_pool, calibrated_rate
+    ):
+        """Acceptance criterion: one-node fleet == bare engine, bit for bit."""
+        images, labels = sample_pool
+        requests = _requests(images, labels, count=10, deadline=1.5)
+        spec = ServingSpec(
+            backend="stepping",
+            scheduler="edf",
+            trace="constant",
+            trace_rate=calibrated_rate,
+            overhead_per_step=0.0,
+        )
+        cluster = ServingCluster.from_spec(
+            ClusterSpec(nodes=(spec,)), stepping_network
+        )
+        fleet_report = cluster.serve(requests)
+        solo_report = spec.build_engine(stepping_network).serve(requests)
+        assert fleet_report.node_reports[0].as_dict() == solo_report.as_dict()
+        assert fleet_report.num_jobs == solo_report.num_jobs
+        assert fleet_report.throughput == pytest.approx(solo_report.throughput)
+
+    def test_three_heterogeneous_nodes_from_json(self, stepping_network, sample_pool):
+        """Acceptance criterion: JSON -> ClusterSpec -> ServingCluster -> serve."""
+        images, labels = sample_pool
+        blob = json.dumps(
+            {
+                "name": "edge-fleet",
+                "router": "least-loaded",
+                "nodes": [
+                    {"platform": "mobile-soc", "scheduler": "edf", "trace": "steady-high"},
+                    {"platform": "vehicle-ecu", "scheduler": "edf", "trace": "steady-high"},
+                    {"platform": "embedded-mcu", "scheduler": "fifo", "trace": "steady-high"},
+                ],
+            }
+        )
+        cluster = ServingCluster.from_spec(
+            ClusterSpec.from_dict(json.loads(blob)), stepping_network
+        )
+        assert cluster.num_nodes == 3
+        requests = _requests(images, labels, count=15, rate=50.0, deadline=2.0)
+        report = cluster.serve(requests)
+        assert report.num_jobs == 15
+        assert report.completed == 15
+        served_ids = sorted(
+            job.request.request_id for node in report.node_reports for job in node.jobs
+        )
+        assert served_ids == list(range(15))  # every request served exactly once
+        payload = report.as_dict()
+        assert payload["router"] == "least-loaded"
+        assert len(payload["nodes"]) == 3
+        assert payload["num_jobs"] == 15
+        json.dumps(payload)  # artifact-ready
+
+    def test_serve_builds_workload_from_spec_streams(self):
+        spec = ClusterSpec(
+            nodes=(
+                ServingSpec(platform="mobile-soc"),
+                ServingSpec(platform="vehicle-ecu"),
+            ),
+            router="round-robin",
+            streams=(
+                StreamSpec(kind="poisson", params={"rate": 100.0, "num_requests": 6, "seed": 0}),
+                StreamSpec(kind="periodic", params={"period": 0.01, "num_requests": 4}),
+            ),
+            model={"name": "tiny-cnn", "num_subnets": 3},
+        )
+        report = serve(None, spec)
+        assert report.num_jobs == 10
+        assert sum(len(node.jobs) for node in report.node_reports) == 10
+
+    def test_serve_requires_streams_or_requests(self, stepping_network):
+        spec = ClusterSpec(nodes=(ServingSpec(),))
+        with pytest.raises(ValueError, match="streams"):
+            serve(stepping_network, spec)
+
+    def test_result_handoff_uses_servable(self, stepping_network, sample_pool, calibrated_rate):
+        """Anything exposing ``servable()`` (SteppingNetResult) is accepted."""
+        images, labels = sample_pool
+
+        class FakeResult:
+            def __init__(self, network):
+                self.network = network
+
+            def servable(self):
+                self.network.eval()
+                return self.network
+
+        stepping_network.train()
+        spec = ClusterSpec(
+            nodes=(ServingSpec(trace="constant", trace_rate=calibrated_rate),)
+        )
+        report = serve(FakeResult(stepping_network), spec, _requests(images, labels, count=4))
+        assert report.completed == 4
+        assert not stepping_network.training  # hand-off switched to eval mode
+
+
+class TestClusterReport:
+    def _report(self, stepping_network, sample_pool, calibrated_rate, router="round-robin"):
+        images, labels = sample_pool
+        cluster = ServingCluster(
+            [
+                _engine(stepping_network, calibrated_rate * 4.0),
+                _engine(stepping_network, calibrated_rate),
+            ],
+            router=router,
+            names=["fast", "slow"],
+        )
+        return cluster.serve(_requests(images, labels, count=10, rate=3.0, deadline=2.0))
+
+    def test_fleet_metrics_consistent_with_nodes(
+        self, stepping_network, sample_pool, calibrated_rate
+    ):
+        report = self._report(stepping_network, sample_pool, calibrated_rate)
+        assert report.num_jobs == sum(node.num_jobs for node in report.node_reports)
+        assert report.completed == sum(
+            len(node.completed_jobs) for node in report.node_reports
+        )
+        assert report.total_macs == pytest.approx(
+            sum(node.total_macs for node in report.node_reports)
+        )
+        assert report.throughput == pytest.approx(report.completed / report.makespan)
+        latencies = np.concatenate(
+            [node.latencies() for node in report.node_reports]
+        )
+        assert report.p95_latency == pytest.approx(
+            float(np.percentile(latencies, 95)), rel=1e-6
+        )
+
+    def test_utilisation_and_imbalance(self, stepping_network, sample_pool, calibrated_rate):
+        report = self._report(stepping_network, sample_pool, calibrated_rate)
+        assert len(report.node_utilisation) == 2
+        assert all(0.0 <= u <= 1.0 for u in report.node_utilisation)
+        assert report.load_imbalance == pytest.approx(1.0)  # round-robin on 10 = 5/5
+        # The slow node works the same MACs at a quarter of the rate.
+        assert report.node_utilisation[1] > report.node_utilisation[0]
+
+    def test_empty_fleet_report(self, stepping_network, calibrated_rate):
+        cluster = ServingCluster([_engine(stepping_network, calibrated_rate)])
+        report = cluster.serve([])
+        assert report.num_jobs == 0
+        assert report.throughput == 0.0
+        assert np.isnan(report.load_imbalance)

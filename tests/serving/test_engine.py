@@ -251,6 +251,93 @@ class TestDeadlines:
         assert not job.deadline_met
 
 
+class TestSchedulerIsolation:
+    def test_engines_sharing_a_scheduler_instance_do_not_alias(
+        self, stepping_network, sample_pool, fast_trace
+    ):
+        """Regression: ``serve()`` used to mutate the shared instance in
+        place, so two engines handed one Scheduler corrupted each other's
+        ready queues.  Engines now clone per serve()."""
+        from repro.serving import EDFScheduler
+
+        images, labels = sample_pool
+        shared = EDFScheduler()
+        engine_a = ServingEngine(SteppingBackend(stepping_network), fast_trace, shared)
+        engine_b = ServingEngine(SteppingBackend(stepping_network), fast_trace, shared)
+        requests = poisson_stream(images, labels, rate=5.0, num_requests=6, seed=0)
+        report_a = engine_a.serve(requests)
+        assert len(shared) == 0  # the shared instance was never touched
+        report_b = engine_b.serve(requests)
+        assert report_a.as_dict() == report_b.as_dict()
+        assert report_a.scheduler_name == "edf"
+
+    def test_scheduler_accepts_name_class_and_instance(self, stepping_network, fast_trace):
+        from repro.serving import EDFScheduler
+
+        backend = SteppingBackend(stepping_network)
+        for spec in ("edf", EDFScheduler, EDFScheduler()):
+            engine = ServingEngine(backend, fast_trace, spec)
+            assert engine.scheduler.name == "edf"
+
+    def test_clone_produces_fresh_queue(self, stepping_network):
+        from repro.serving import PriorityScheduler
+
+        original = PriorityScheduler()
+        clone = original.clone()
+        assert type(clone) is PriorityScheduler
+        assert clone is not original
+        assert len(clone) == 0
+
+
+class TestExpiryHeap:
+    def test_many_expiring_jobs_drop_identically(self, stepping_network):
+        """The heap-based admission control must drop exactly the jobs the
+        old O(n) ready-set scan dropped: unstarted, deadline passed."""
+        inputs = np.zeros((2, 3, 12, 12))
+        trace = _calibrated_trace(stepping_network, seconds_for_largest=1.0)
+        # A long head-of-line job, then a spread of queued requests whose
+        # deadlines straddle its completion.
+        requests = [Request(request_id=0, arrival_time=0.0, inputs=inputs, deadline=30.0)]
+        for index in range(1, 9):
+            requests.append(
+                Request(
+                    request_id=index,
+                    arrival_time=0.05 * index,
+                    inputs=inputs,
+                    deadline=0.05 * index + (0.3 if index % 2 else 5.0),
+                )
+            )
+        report = ServingEngine(
+            SteppingBackend(stepping_network), trace, "fifo", drop_expired=True
+        ).serve(requests)
+        by_id = {job.request.request_id for job in report.dropped_jobs}
+        # FIFO keeps the accelerator on job 0 for ~1 s: every tight-deadline
+        # request expired unstarted, every relaxed one eventually ran.
+        assert by_id == {1, 3, 5, 7}
+        for job in report.jobs:
+            if job.status == "dropped":
+                assert job.steps == []
+            else:
+                assert job.steps
+
+    def test_started_jobs_never_dropped_by_expiry(self, stepping_network):
+        """A job that got its mandatory first level before the deadline is
+        not admission-dropped when the deadline later passes."""
+        inputs = np.zeros((2, 3, 12, 12))
+        trace = _calibrated_trace(stepping_network, seconds_for_largest=1.0)
+        victim = Request(request_id=0, arrival_time=0.0, inputs=inputs, deadline=0.9)
+        backlog = [
+            Request(request_id=1 + i, arrival_time=0.05, inputs=inputs, deadline=0.5 + 2.0 * i)
+            for i in range(3)
+        ]
+        report = ServingEngine(
+            SteppingBackend(stepping_network), trace, "edf", drop_expired=True
+        ).serve([victim] + backlog)
+        victim_job = report.jobs[0]
+        assert victim_job.status == "completed"
+        assert victim_job.steps
+
+
 class TestLoadAdaptivePolicy:
     def test_yields_under_load_refines_when_idle(self, stepping_network, sample_pool):
         images, labels = sample_pool

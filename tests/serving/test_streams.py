@@ -1,0 +1,151 @@
+"""Request-stream coverage: determinism, spec round-trips, merged-id uniqueness.
+
+Complements ``test_request.py`` (per-generator behaviour) with the
+properties the declarative fleet layer depends on: a seeded stream is a
+pure function of its config, a replayed trace survives the
+StreamSpec/ClusterSpec JSON round trip, and streams merged into one
+fleet workload never collide on ``request_id``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ClusterSpec,
+    ServingSpec,
+    StreamSpec,
+    bursty_stream,
+    get_stream,
+    merge_streams,
+    periodic_stream,
+    poisson_stream,
+    trace_replay_stream,
+)
+
+
+class TestDeterminism:
+    def test_poisson_fixed_seed_is_reproducible(self, sample_pool):
+        images, labels = sample_pool
+        kwargs = dict(rate=3.0, num_requests=20, relative_deadline=1.0, batch_size=2)
+        first = poisson_stream(images, labels, seed=11, **kwargs)
+        second = poisson_stream(images, labels, seed=11, **kwargs)
+        assert [r.arrival_time for r in first] == [r.arrival_time for r in second]
+        assert [r.deadline for r in first] == [r.deadline for r in second]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_poisson_seed_changes_arrivals(self, sample_pool):
+        images, labels = sample_pool
+        kwargs = dict(rate=3.0, num_requests=20)
+        first = poisson_stream(images, labels, seed=11, **kwargs)
+        other = poisson_stream(images, labels, seed=12, **kwargs)
+        assert [r.arrival_time for r in first] != [r.arrival_time for r in other]
+
+    def test_bursty_fixed_seed_is_reproducible(self, sample_pool):
+        images, labels = sample_pool
+        kwargs = dict(num_bursts=4, burst_size=3, mean_gap=2.0, intra_burst_gap=0.01)
+        first = bursty_stream(images, labels, seed=5, **kwargs)
+        second = bursty_stream(images, labels, seed=5, **kwargs)
+        assert [r.arrival_time for r in first] == [r.arrival_time for r in second]
+
+    def test_priority_draw_is_seeded(self, sample_pool):
+        images, labels = sample_pool
+        kwargs = dict(rate=2.0, num_requests=30, priority_levels=3)
+        first = poisson_stream(images, labels, seed=9, **kwargs)
+        second = poisson_stream(images, labels, seed=9, **kwargs)
+        assert [r.priority for r in first] == [r.priority for r in second]
+        assert len({r.priority for r in first}) > 1
+
+
+class TestReplayRoundTrip:
+    ARRIVALS = [0.05, 0.3, 0.31, 1.2, 2.75]
+
+    def test_replay_through_stream_spec_dict(self, sample_pool):
+        images, labels = sample_pool
+        spec = StreamSpec(
+            kind="replay",
+            params={"arrival_times": self.ARRIVALS, "relative_deadline": 0.5, "batch_size": 2},
+        )
+        recovered = StreamSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert recovered == spec
+        direct = trace_replay_stream(
+            self.ARRIVALS, images, labels, relative_deadline=0.5, batch_size=2
+        )
+        rebuilt = recovered.build(images, labels)
+        assert [r.arrival_time for r in rebuilt] == [r.arrival_time for r in direct]
+        assert [r.deadline for r in rebuilt] == [r.deadline for r in direct]
+        assert [r.request_id for r in rebuilt] == [r.request_id for r in direct]
+        for a, b in zip(rebuilt, direct):
+            np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_replay_through_cluster_spec_json(self, sample_pool):
+        """A recorded trace checked into a ClusterSpec JSON replays verbatim."""
+        images, labels = sample_pool
+        cluster = ClusterSpec(
+            nodes=(ServingSpec(),),
+            streams=(StreamSpec(kind="replay", params={"arrival_times": self.ARRIVALS}),),
+        )
+        recovered = ClusterSpec.from_json(json.dumps(cluster.to_dict()))
+        requests = recovered.build_requests(images, labels)
+        assert [r.arrival_time for r in requests] == sorted(self.ARRIVALS)
+
+    def test_registry_resolves_replay_adapter(self, sample_pool):
+        images, labels = sample_pool
+        generator = get_stream("replay")
+        requests = generator(images, labels, arrival_times=[0.0, 1.0])
+        assert [r.arrival_time for r in requests] == [0.0, 1.0]
+
+
+class TestMergedIdUniqueness:
+    def test_merge_reassigns_globally_unique_ids(self, sample_pool):
+        images, labels = sample_pool
+        streams = [
+            poisson_stream(images, labels, rate=4.0, num_requests=7, seed=0),
+            periodic_stream(images, labels, period=0.2, num_requests=5),
+            trace_replay_stream([0.1, 0.4, 0.9], images, labels),
+        ]
+        # Every generator numbers from zero: raw ids collide across streams.
+        raw_ids = [r.request_id for stream in streams for r in stream]
+        assert len(set(raw_ids)) < len(raw_ids)
+        merged = merge_streams(*streams)
+        ids = [r.request_id for r in merged]
+        assert ids == list(range(len(raw_ids)))  # unique, dense, arrival-ordered
+        arrivals = [r.arrival_time for r in merged]
+        assert arrivals == sorted(arrivals)
+
+    def test_merge_preserves_payload_and_metadata(self, sample_pool):
+        images, labels = sample_pool
+        stream = poisson_stream(
+            images, labels, rate=2.0, num_requests=4, relative_deadline=1.0, seed=2
+        )
+        merged = merge_streams(stream)
+        for original, renumbered in zip(stream, merged):
+            assert renumbered.arrival_time == original.arrival_time
+            assert renumbered.deadline == original.deadline
+            np.testing.assert_array_equal(renumbered.inputs, original.inputs)
+
+    def test_merge_tie_break_is_stream_order(self, sample_pool):
+        images, _ = sample_pool
+        a = periodic_stream(images, period=1.0, num_requests=2)
+        b = periodic_stream(images, period=1.0, num_requests=2)
+        merged = merge_streams(a, b)
+        # Simultaneous arrivals: stream a's request outranks stream b's.
+        assert [r.arrival_time for r in merged] == [0.0, 0.0, 1.0, 1.0]
+        np.testing.assert_array_equal(merged[0].inputs, a[0].inputs)
+        np.testing.assert_array_equal(merged[1].inputs, b[0].inputs)
+
+    def test_cluster_spec_streams_are_merged_uniquely(self, sample_pool):
+        images, labels = sample_pool
+        spec = ClusterSpec(
+            nodes=(ServingSpec(),),
+            streams=(
+                StreamSpec(kind="poisson", params={"rate": 5.0, "num_requests": 6, "seed": 0}),
+                StreamSpec(kind="bursty", params={"num_bursts": 2, "burst_size": 3,
+                                                  "mean_gap": 1.0, "seed": 1}),
+            ),
+        )
+        requests = spec.build_requests(images, labels)
+        ids = [r.request_id for r in requests]
+        assert len(set(ids)) == len(ids) == 12
