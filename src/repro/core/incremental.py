@@ -51,9 +51,26 @@ class InferenceState:
     current_subnet: int
     steps: List["StepResult"]
     #: Private incremental buffers of the compiled plan (column buffers,
-    #: pooled maps).  Pure caches: an empty dict is always valid and is
-    #: rebuilt transparently on the next compiled step.
+    #: pooled maps), shaped to this request's own sample batch.  Pure
+    #: caches: an empty dict is always valid and is rebuilt transparently
+    #: on the next compiled step; a ``"level"`` tag records the subnet
+    #: the buffers were last advanced to, so a state that progressed
+    #: through another path (legacy steps, another engine) self-
+    #: invalidates its stale buffers instead of serving from them.
     aux: Dict = field(default_factory=dict)
+
+    @classmethod
+    def fresh(cls, inputs: np.ndarray) -> "InferenceState":
+        """A not-yet-started state for one input batch.
+
+        This is what backends hand to the shared-plan *batched* step
+        path (:meth:`~repro.core.plan.NetworkPlan.execute_batch`) for
+        requests whose first subnet level executes inside a batch:
+        semantically identical to ``run()`` on a fresh engine, but
+        without binding the shared engine at all.  ``inputs`` must
+        already be cast to the inference dtype.
+        """
+        return cls(input=inputs, cache={}, logits=None, current_subnet=-1, steps=[])
 
     def copy(self) -> "InferenceState":
         """Deep copy of the cached activations (for isolated snapshots)."""
@@ -79,6 +96,24 @@ class StepResult:
     macs_executed: int
     macs_reused: int
     cumulative_macs: int
+
+    @classmethod
+    def from_macs(
+        cls, subnet: int, logits: np.ndarray, macs_to: int, macs_from: int
+    ) -> "StepResult":
+        """The canonical accounting of one ``from -> to`` expansion.
+
+        Single source of truth for the executed/reused/cumulative split,
+        shared by the solo engine step and the batched backend path so
+        their records can never drift apart.
+        """
+        return cls(
+            subnet=subnet,
+            logits=logits,
+            macs_executed=macs_to - macs_from,
+            macs_reused=macs_from,
+            cumulative_macs=macs_to,
+        )
 
     @property
     def predictions(self) -> np.ndarray:
@@ -267,13 +302,7 @@ class IncrementalInference:
                 if from_subnet >= 0
                 else 0
             )
-        result = StepResult(
-            subnet=to_subnet,
-            logits=logits,
-            macs_executed=macs_to - macs_from,
-            macs_reused=macs_from,
-            cumulative_macs=macs_to,
-        )
+        result = StepResult.from_macs(to_subnet, logits, macs_to, macs_from)
         self._logits = logits
         self._current_subnet = to_subnet
         self.steps.append(result)

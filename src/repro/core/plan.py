@@ -37,6 +37,20 @@ per step.  These buffers live in the engine's auxiliary state and move
 with suspend/resume; they are pure caches, rebuilt transparently when
 absent.
 
+Because the packed slabs are read-only and identical for every request
+at the same subnet edge, a plan can also advance *several* in-flight
+inferences in one shared pass (:meth:`NetworkPlan.execute_batch`): the
+per-level slab matmul runs once over the batch members' column buffers
+stacked on a leading axis, pooling and im2col packing are shared via
+sample-axis concatenation, and only the scatter into each member's
+private cache and the output-head delta remain per request.  Members are
+stacked — not column-concatenated — deliberately: a BLAS GEMM is not
+bit-deterministic under column-block slicing, while a stacked 3-D matmul
+dispatches one GEMM per member with exactly the solo shapes, so the
+batched path is bit-equal (same dtype) to :meth:`NetworkPlan.execute`
+per request, which keeps the single-request path usable as the batching
+correctness oracle.
+
 Plans assume eval-mode semantics (batch-norm running statistics) and the
 structural no-new-to-old-synapse rule that makes stepping inference
 sound in the first place; they are snapshots — mutate the network's
@@ -47,7 +61,7 @@ weights, masks or assignments and a new plan must be built (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary, ref
 
 import numpy as np
@@ -169,6 +183,25 @@ class _PoolStep:
 @dataclass
 class _FlattenStep:
     pass
+
+
+@dataclass
+class BatchMember:
+    """One request's execution state inside a shared batched step.
+
+    Holds *references* to the request's live state (the same arrays an
+    :class:`~repro.core.incremental.InferenceState` carries): ``cache``
+    and ``aux`` are updated in place by :meth:`NetworkPlan.execute_batch`
+    exactly as :meth:`NetworkPlan.execute` would, so a member can leave
+    the batch after any step and continue solo (or vice versa) with no
+    state conversion.  ``inputs`` must already be in the plan dtype —
+    the same contract as ``execute``.
+    """
+
+    inputs: np.ndarray
+    cache: Dict[int, np.ndarray]
+    aux: Dict
+    logits: Optional[np.ndarray] = None
 
 
 class NetworkPlan:
@@ -499,6 +532,277 @@ class NetworkPlan:
         if slab.units.size == 0:
             return logits.copy()
         return logits + current[:, slab.units] @ slab.weight
+
+    # ------------------------------------------------------------------
+    # Batched execution (shared pass over several in-flight requests)
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self,
+        members: Sequence[BatchMember],
+        from_subnet: int,
+        to_subnet: int,
+    ) -> List[np.ndarray]:
+        """Advance every member from ``from_subnet`` to ``to_subnet`` in one pass.
+
+        All members must sit at the same subnet edge (the batching policy
+        guarantees this); each member's ``cache``/``aux`` are updated in
+        place with the same layout as :meth:`execute`, and the returned
+        logits are bit-equal (same dtype) to what one :meth:`execute`
+        call per member would produce — the slab matmuls are *stacked*
+        on a leading member axis rather than column-concatenated, so
+        every member runs through a GEMM of exactly the solo shape.
+        Members whose array shapes differ (mixed request batch sizes)
+        transparently fall back to a per-member loop inside the single
+        shared plan walk.
+        """
+        if not members:
+            raise ValueError("execute_batch needs at least one member")
+        if len(members) == 1:
+            member = members[0]
+            return [
+                self.execute(
+                    member.inputs, member.cache, member.aux, member.logits,
+                    from_subnet, to_subnet,
+                )
+            ]
+        currents: List[np.ndarray] = []
+        for member in members:
+            current = member.inputs
+            if self.flatten_input and current.ndim == 4:
+                current = current.reshape(current.shape[0], -1)
+            if member.aux.pop("level", None) != from_subnet:
+                member.aux.clear()
+            currents.append(current)
+        changeds: List[np.ndarray] = [_EMPTY] * len(members)
+        outs: List[Optional[np.ndarray]] = [None] * len(members)
+        for step in self.steps:
+            if isinstance(step, _HiddenStep):
+                if step.kind == "conv":
+                    currents, changeds = self._run_conv_batch(
+                        step, members, currents, changeds, from_subnet, to_subnet
+                    )
+                else:
+                    currents, changeds = self._run_linear_batch(
+                        step, members, currents, from_subnet, to_subnet
+                    )
+            elif isinstance(step, _OutputStep):
+                outs = self._run_output_batch(
+                    step, members, currents, from_subnet, to_subnet
+                )
+            elif isinstance(step, _PoolStep):
+                currents, changeds = self._run_pool_batch(
+                    step, members, currents, changeds, to_subnet
+                )
+            else:  # flatten
+                currents = [c.reshape(c.shape[0], -1) for c in currents]
+        if outs[0] is None:
+            raise RuntimeError("network has no output layer")
+        for member in members:
+            member.aux["level"] = to_subnet
+        return outs  # type: ignore[return-value]
+
+    @staticmethod
+    def _update_groups(
+        currents: Sequence[np.ndarray], updates: Sequence[np.ndarray]
+    ) -> Dict[Tuple[bytes, int], List[int]]:
+        """Members grouped by (update set, sample count) for shared packing.
+
+        Lockstep batches have identical update sets, so this almost
+        always yields one group; a member resuming with a rebuilt buffer
+        simply lands in its own group and packs solo.
+        """
+        groups: Dict[Tuple[bytes, int], List[int]] = {}
+        for index, (current, update) in enumerate(zip(currents, updates)):
+            if update.size:
+                groups.setdefault((update.tobytes(), current.shape[0]), []).append(index)
+        return groups
+
+    @classmethod
+    def _pack_grouped(cls, currents, updates, pack, write) -> None:
+        """One shared packing call per update group, split back per member.
+
+        ``pack`` runs on the sample-axis concatenation of a group's
+        changed channels (pure indexing / per-sample arithmetic, so the
+        per-member slices are bit-exact); ``write(index, update, packed,
+        start, samples)`` scatters member ``index``'s slice into its
+        persistent buffer.  Shared by the conv im2col and pooling steps.
+        """
+        for (_, samples), group in cls._update_groups(currents, updates).items():
+            update = updates[group[0]]
+            if len(group) == 1:
+                packed = pack(currents[group[0]][:, update])
+            else:
+                packed = pack(
+                    np.concatenate([currents[i][:, update] for i in group], axis=0)
+                )
+            for position, index in enumerate(group):
+                write(index, update, packed, position * samples, samples)
+
+    def _run_conv_batch(
+        self,
+        step: _HiddenStep,
+        members: Sequence[BatchMember],
+        currents: List[np.ndarray],
+        changeds: List[np.ndarray],
+        from_subnet: int,
+        to_subnet: int,
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        out_h, out_w = step.out_spatial
+        cacheds: List[np.ndarray] = []
+        colss: List[np.ndarray] = []
+        updates: List[np.ndarray] = []
+        for member, current, changed in zip(members, currents, changeds):
+            batch = current.shape[0]
+            cached = member.cache.get(step.param_index)
+            if cached is None:
+                cached = np.zeros((batch, step.num_units, out_h, out_w), dtype=self.dtype)
+                member.cache[step.param_index] = cached
+            key = ("cols", step.param_index)
+            cols = member.aux.get(key)
+            if cols is None:
+                cols = np.zeros(
+                    (step.in_channels,) + step.kernel + (batch, out_h, out_w),
+                    dtype=self.dtype,
+                )
+                member.aux[key] = cols
+                update = np.where(step.in_levels <= to_subnet)[0]
+            else:
+                update = changed
+            cacheds.append(cached)
+            colss.append(cols)
+            updates.append(update)
+
+        # Shared packing: one pad + im2col call per group of members with
+        # the same update set — pure index movement, so splitting the
+        # concatenated patch view back per member is bit-exact.
+        kernel = step.kernel
+        stride = (step.stride, step.stride)
+        padding = (step.padding, step.padding)
+
+        def pack(images: np.ndarray) -> np.ndarray:
+            return im2col_channel_major(images, kernel, stride, padding)
+
+        def write(index: int, update, packed, start: int, samples: int) -> None:
+            colss[index][update] = packed[:, :, :, start : start + samples]
+
+        self._pack_grouped(currents, updates, pack, write)
+
+        slab = step.slabs.pack(from_subnet, to_subnet)
+        if slab.units.size:
+            flats = [cols.reshape(-1, cols.shape[3] * out_h * out_w) for cols in colss]
+            if len({flat.shape for flat in flats}) == 1:
+                # (units, C*kh*kw) @ (B, C*kh*kw, N*oh*ow): one dispatch,
+                # one solo-shaped GEMM per member under the hood.
+                z = slab.weight @ np.stack(flats)
+                z += slab.bias[:, None]
+                z = activation_infer(z, step.activation)
+                for cached, zb in zip(cacheds, z):
+                    cached[:, slab.units] = zb.reshape(
+                        -1, cached.shape[0], out_h, out_w
+                    ).transpose(1, 0, 2, 3)
+            else:
+                for cached, flat in zip(cacheds, flats):
+                    z = slab.weight @ flat
+                    z += slab.bias[:, None]
+                    z = activation_infer(z, step.activation)
+                    cached[:, slab.units] = z.reshape(
+                        -1, cached.shape[0], out_h, out_w
+                    ).transpose(1, 0, 2, 3)
+        return cacheds, [slab.units] * len(members)
+
+    def _run_linear_batch(
+        self,
+        step: _HiddenStep,
+        members: Sequence[BatchMember],
+        currents: List[np.ndarray],
+        from_subnet: int,
+        to_subnet: int,
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        cacheds: List[np.ndarray] = []
+        for member, current in zip(members, currents):
+            cached = member.cache.get(step.param_index)
+            if cached is None:
+                cached = np.zeros((current.shape[0], step.num_units), dtype=self.dtype)
+                member.cache[step.param_index] = cached
+            cacheds.append(cached)
+        slab = step.slabs.pack(from_subnet, to_subnet)
+        if slab.units.size:
+            if len({current.shape for current in currents}) == 1:
+                z = np.stack(currents) @ slab.weight.T + slab.bias
+                z = activation_infer(z, step.activation)
+                for cached, zb in zip(cacheds, z):
+                    cached[:, slab.units] = zb
+            else:
+                for cached, current in zip(cacheds, currents):
+                    z = current @ slab.weight.T + slab.bias
+                    cached[:, slab.units] = activation_infer(z, step.activation)
+        return cacheds, [slab.units] * len(members)
+
+    def _run_pool_batch(
+        self,
+        step: _PoolStep,
+        members: Sequence[BatchMember],
+        currents: List[np.ndarray],
+        changeds: List[np.ndarray],
+        to_subnet: int,
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        size, stride = step.size, step.stride
+        pooleds: List[np.ndarray] = []
+        updates: List[np.ndarray] = []
+        for member, current, changed in zip(members, currents, changeds):
+            batch, _, height, width = current.shape
+            out_h = (height - size) // stride + 1
+            out_w = (width - size) // stride + 1
+            key = ("pool", step.index)
+            pooled = member.aux.get(key)
+            if pooled is None:
+                pooled = np.zeros((batch, step.num_channels, out_h, out_w), dtype=self.dtype)
+                member.aux[key] = pooled
+                update = np.where(step.in_levels <= to_subnet)[0]
+            else:
+                update = changed
+            pooleds.append(pooled)
+            updates.append(update)
+        # Pooling is element/window-wise per sample: one call over the
+        # sample-axis concatenation, split back per member, is bit-exact.
+        def pack(channels: np.ndarray) -> np.ndarray:
+            return self._pool_channels(channels, step.kind, size, stride)
+
+        def write(index: int, update, packed, start: int, samples: int) -> None:
+            pooleds[index][:, update] = packed[start : start + samples]
+
+        self._pack_grouped(currents, updates, pack, write)
+        return pooleds, changeds
+
+    def _run_output_batch(
+        self,
+        step: _OutputStep,
+        members: Sequence[BatchMember],
+        currents: List[np.ndarray],
+        from_subnet: int,
+        to_subnet: int,
+    ) -> List[np.ndarray]:
+        initial = [from_subnet < 0 or member.logits is None for member in members]
+        if any(initial) and not all(initial):
+            # Heterogeneous batch (should not happen at one edge): solo heads.
+            return [
+                self._run_output(step, current, member.logits, from_subnet, to_subnet)
+                for member, current in zip(members, currents)
+            ]
+        if all(initial):
+            slab = step.slabs.pack(-1, to_subnet)
+            gathered = [current[:, slab.units] for current in currents]
+            if len({g.shape for g in gathered}) == 1:
+                return list(np.stack(gathered) @ slab.weight + step.bias)
+            return [g @ slab.weight + step.bias for g in gathered]
+        slab = step.slabs.pack(from_subnet, to_subnet)
+        if slab.units.size == 0:
+            return [member.logits.copy() for member in members]
+        gathered = [current[:, slab.units] for current in currents]
+        if len({g.shape for g in gathered}) == 1:
+            deltas = np.stack(gathered) @ slab.weight
+            return [member.logits + delta for member, delta in zip(members, deltas)]
+        return [member.logits + g @ slab.weight for member, g in zip(members, gathered)]
 
     # ------------------------------------------------------------------
     # Sharing

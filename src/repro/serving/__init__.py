@@ -13,13 +13,18 @@ configs.
   behind the :data:`STREAMS` registry, and :func:`merge_streams` for
   combining streams with globally unique ids;
 * :mod:`repro.serving.backend` — the :class:`ExecutionBackend` protocol
-  with the SteppingNet (reuse) and recompute (slimmable) backends behind
-  the :data:`BACKENDS` registry;
+  with the SteppingNet (reuse), recompute (slimmable) and batched
+  shared-plan backends behind the :data:`BACKENDS` registry;
 * :mod:`repro.serving.scheduler` — FIFO / EDF / priority scheduling of
   subnet steps behind the :data:`SCHEDULERS` registry;
+* :mod:`repro.serving.batching` — batching policies
+  (:data:`BATCH_POLICIES`: none / same-level / windowed) that coalesce
+  ready requests at one subnet edge into a single shared-plan forward
+  pass, bit-equal per request to unbatched serving;
 * :mod:`repro.serving.engine` — the discrete-event
-  :class:`ServingEngine` and its :class:`ServingReport` metrics
-  (throughput, p50/p95/p99 latency, deadline-miss rate);
+  :class:`ServingEngine`, its resumable :class:`ServingRun` event loop
+  and the :class:`ServingReport` metrics (throughput, p50/p95/p99
+  latency, deadline-miss rate, batch occupancy);
 * :mod:`repro.serving.spec` — declarative configs:
   :class:`ServingSpec` (one node), :class:`ClusterSpec` (a fleet) and
   :class:`StreamSpec`, each JSON-round-trippable via
@@ -37,6 +42,7 @@ The documented front door is :func:`serve`::
 from .backend import (
     BACKENDS,
     DEFAULT_SERVING_DTYPE,
+    BatchedSteppingBackend,
     ExecutionBackend,
     ExecutionSession,
     RecomputeBackend,
@@ -45,19 +51,29 @@ from .backend import (
     StepOutcome,
     get_backend,
 )
+from .batching import (
+    BATCH_POLICIES,
+    BatchDecision,
+    BatchPolicy,
+    NoBatching,
+    SameLevelBatching,
+    WindowedBatching,
+    get_batch_policy,
+)
 from .cluster import (
     ROUTERS,
     ClusterReport,
     JoinShortestQueueRouter,
     LeastLoadedRouter,
     NodeState,
+    QueueDepthLeastLoadedRouter,
     RoundRobinRouter,
     Router,
     ServingCluster,
     get_router,
     serve,
 )
-from .engine import JobRecord, ServedStep, ServingEngine, ServingReport
+from .engine import JobRecord, ServedStep, ServingEngine, ServingReport, ServingRun
 from .request import (
     STREAMS,
     Request,
@@ -85,10 +101,19 @@ __all__ = [
     "StepOutcome",
     "SteppingBackend",
     "RecomputeBackend",
+    "BatchedSteppingBackend",
     "ServingJob",
     "BACKENDS",
     "get_backend",
+    "BatchPolicy",
+    "BatchDecision",
+    "NoBatching",
+    "SameLevelBatching",
+    "WindowedBatching",
+    "BATCH_POLICIES",
+    "get_batch_policy",
     "ServingEngine",
+    "ServingRun",
     "ServingReport",
     "JobRecord",
     "ServedStep",
@@ -115,6 +140,7 @@ __all__ = [
     "RoundRobinRouter",
     "JoinShortestQueueRouter",
     "LeastLoadedRouter",
+    "QueueDepthLeastLoadedRouter",
     "ROUTERS",
     "get_router",
     "NodeState",

@@ -24,17 +24,30 @@ built once and every session on the platform serves from them.  The single-reque
 executors in :mod:`repro.runtime.executor` are thin drivers over these
 same sessions, so "one batch on an idle device" and "hundreds of
 requests under contention" exercise one code path.
+
+A third backend, :class:`BatchedSteppingBackend`, extends the stepping
+cost model with *group* execution: sessions sitting at the same subnet
+edge advance together through one shared-plan pass
+(:meth:`~repro.core.plan.NetworkPlan.execute_batch`), which is what the
+serving engine's batching policies (:mod:`repro.serving.batching`)
+dispatch onto.  Per-request logits are bit-equal to the solo path, so
+``batch_policy="none"`` doubles as the batching correctness oracle.
+
+Backends also accept a ``num_subnets`` cap: a node declaring
+``num_subnets=2`` serves only the two smallest subnet levels —
+heterogeneous fleets use this to describe shallow nodes (an MCU that
+cannot hold the larger subnets) straight from JSON configs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Type
+from typing import Dict, List, Optional, Sequence, Type
 
 import numpy as np
 
-from ..core.incremental import IncrementalInference, InferenceState
-from ..core.plan import NetworkPlan
+from ..core.incremental import IncrementalInference, InferenceState, StepResult
+from ..core.plan import BatchMember, NetworkPlan
 from ..runtime.policies import GreedyPolicy, SteppingPolicy
 from .request import Request
 
@@ -109,11 +122,9 @@ class ExecutionSession:
         engine = self.backend.bind(self)
         if not self._started:
             step = engine.run(self.inputs, subnet=target)
-            self._started = True
         else:
             step = engine.step_to(target)
-        self._current_subnet = step.subnet
-        self._last_logits = step.logits
+        self._note_step(step)
         return StepOutcome(
             subnet=step.subnet,
             logits=step.logits,
@@ -124,6 +135,17 @@ class ExecutionSession:
     def suspend(self) -> None:
         """Explicitly detach this session's state from the shared engine."""
         self.backend.unbind(self)
+
+    def _note_step(self, step: StepResult) -> None:
+        """Session-side bookkeeping of one executed level.
+
+        The single place the session's progress markers are written —
+        the solo :meth:`advance` and the backend's batched group advance
+        both go through it, so they can never drift apart.
+        """
+        self._started = True
+        self._current_subnet = step.subnet
+        self._last_logits = step.logits
 
     # ------------------------------------------------------------------
     # Used by the backend to move state in and out of the shared engine.
@@ -145,6 +167,10 @@ class ExecutionBackend:
 
     name = "backend"
     reuses_activations = True
+    #: Whether :meth:`advance_group` runs a genuinely shared pass; the
+    #: serving engine only forms multi-session batches on backends that
+    #: declare it (the base implementation just loops solo advances).
+    supports_batching = False
 
     def __init__(
         self,
@@ -154,11 +180,18 @@ class ExecutionBackend:
         dtype=DEFAULT_SERVING_DTYPE,
         compiled: bool = True,
         plan: Optional[NetworkPlan] = None,
+        num_subnets: Optional[int] = None,
     ) -> None:
         self.network = network
         self.policy = policy or GreedyPolicy()
         self.apply_prune = apply_prune
         self.dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+        if num_subnets is not None and int(num_subnets) < 1:
+            raise ValueError("num_subnets cap must be at least 1")
+        #: Optional cap on the served subnet levels: a node with a cap of
+        #: ``k`` refines requests no further than subnet ``k - 1``
+        #: (shallow nodes in heterogeneous fleets).
+        self._num_subnets_cap = None if num_subnets is None else int(num_subnets)
         # One compiled plan per (network, dtype, prune) platform: every
         # backend, engine and session serving this network shares the
         # same read-only packed weights (build once, serve many).
@@ -179,7 +212,11 @@ class ExecutionBackend:
     # ------------------------------------------------------------------
     @property
     def num_subnets(self) -> int:
-        return self.network.num_subnets
+        """Served subnet levels (the network's, shrunk by the node cap)."""
+        total = self.network.num_subnets
+        if self._num_subnets_cap is None:
+            return total
+        return min(self._num_subnets_cap, total)
 
     def subnet_macs(self, subnet: int) -> float:
         if self.plan is not None:
@@ -193,6 +230,43 @@ class ExecutionBackend:
     def open(self, inputs: np.ndarray, start_subnet: int = 0) -> ExecutionSession:
         """Start a new session for one request's input batch."""
         return ExecutionSession(self, np.asarray(inputs), start_subnet)
+
+    # ------------------------------------------------------------------
+    def group_edge(self, sessions: Sequence[ExecutionSession]) -> tuple:
+        """The single ``(current, next)`` subnet edge shared by ``sessions``.
+
+        Raises when the group is empty, mixes edges, or contains a
+        finished session — batching policies must only group compatible
+        work, so a violation here is a scheduling bug, not bad input.
+        """
+        if not sessions:
+            raise ValueError("a session group must not be empty")
+        edges = {
+            (
+                session.current_subnet if session._started else -1,
+                session.next_subnet(),
+            )
+            for session in sessions
+        }
+        if len(edges) != 1:
+            raise ValueError(
+                f"sessions in one batch must share a subnet edge, got {sorted(edges)}"
+            )
+        from_subnet, target = edges.pop()
+        if target is None:
+            raise RuntimeError("session already reached the largest subnet")
+        return from_subnet, target
+
+    def advance_group(self, sessions: Sequence[ExecutionSession]) -> List[StepOutcome]:
+        """Advance every session by one level; subclasses may share the pass.
+
+        The base implementation simply loops :meth:`ExecutionSession.advance`
+        (after validating that the group shares one subnet edge), so any
+        backend is *correct* under a batching policy — only backends
+        with :attr:`supports_batching` actually fuse the computation.
+        """
+        self.group_edge(sessions)
+        return [session.advance() for session in sessions]
 
     # ------------------------------------------------------------------
     # Engine context switching (accelerator scratch-memory model).
@@ -222,6 +296,73 @@ class SteppingBackend(ExecutionBackend):
         return self.subnet_macs(to_subnet) - base
 
 
+class BatchedSteppingBackend(SteppingBackend):
+    """SteppingNet serving with shared-plan batched steps.
+
+    Identical cost model and per-request numerics to
+    :class:`SteppingBackend`; what changes is *how* a group of sessions
+    at the same subnet edge advances: one
+    :meth:`~repro.core.plan.NetworkPlan.execute_batch` pass instead of
+    one plan walk per session.  Logits are bit-equal (same dtype) to the
+    solo compiled path per request, so the unbatched backend remains the
+    correctness oracle.  Networks a plan cannot represent fall back to
+    looped solo advances (still correct, no shared pass).
+    """
+
+    name = "batched-stepping"
+    supports_batching = True
+
+    def advance_group(self, sessions: Sequence[ExecutionSession]) -> List[StepOutcome]:
+        if len(sessions) == 1:
+            return [sessions[0].advance()]
+        if self.plan is None:
+            # Legacy (uncompiled) network: correctness over fusion.
+            return super().advance_group(sessions)
+        from_subnet, target = self.group_edge(sessions)
+        cost = self.step_cost(from_subnet, target)
+        states: List[InferenceState] = []
+        for session in sessions:
+            # A group member may be the engine's resident context from an
+            # earlier solo step: detach it first so every member's state
+            # is owned by its session while the shared pass runs.
+            if self._active is session:
+                session._export(self._engine)
+                self._active = None
+            state = session._state
+            if state is None:
+                inputs = np.asarray(session.inputs, dtype=self.dtype)
+                if inputs.ndim == 2 and self.network.spec._has_conv():
+                    raise ValueError("convolutional network expects (N, C, H, W) input")
+                state = InferenceState.fresh(inputs)
+                session._state = state
+            states.append(state)
+        members = [
+            BatchMember(
+                inputs=state.input, cache=state.cache, aux=state.aux, logits=state.logits
+            )
+            for state in states
+        ]
+        batch_logits = self.plan.execute_batch(members, from_subnet, target)
+        macs_to = int(self.plan.subnet_macs[target])
+        macs_from = int(self.plan.subnet_macs[from_subnet]) if from_subnet >= 0 else 0
+        outcomes: List[StepOutcome] = []
+        for session, state, logits in zip(sessions, states, batch_logits):
+            step = StepResult.from_macs(target, logits, macs_to, macs_from)
+            state.logits = logits
+            state.current_subnet = target
+            state.steps.append(step)
+            session._note_step(step)
+            outcomes.append(
+                StepOutcome(
+                    subnet=target,
+                    logits=logits,
+                    macs_charged=float(cost),
+                    macs_reused=float(macs_from) if self.reuses_activations else 0.0,
+                )
+            )
+        return outcomes
+
+
 class RecomputeBackend(ExecutionBackend):
     """Slimmable-style serving: every step re-executes the full subnet.
 
@@ -246,6 +387,8 @@ BACKENDS: Dict[str, Type[ExecutionBackend]] = {
     "stepping": SteppingBackend,
     SteppingBackend.name: SteppingBackend,
     RecomputeBackend.name: RecomputeBackend,
+    "batched": BatchedSteppingBackend,
+    BatchedSteppingBackend.name: BatchedSteppingBackend,
 }
 
 

@@ -1,0 +1,220 @@
+"""Batching policies: which ready jobs share one forward pass.
+
+The serving engine's unit of work is one subnet step, and the compiled
+plan executes the *same* packed slab matmul for every request at the
+same ``(current -> next)`` subnet edge.  A :class:`BatchPolicy` decides,
+at each dispatch boundary, how many of the scheduler's compatible ready
+jobs ride the winner's step as one shared
+:meth:`~repro.core.plan.NetworkPlan.execute_batch` pass:
+
+* :class:`NoBatching` (``"none"``) — one job per step, the pre-batching
+  engine behaviour and the correctness oracle (per-request logits of any
+  batched policy must match it bit-for-bit);
+* :class:`SameLevelBatching` (``"same-level"``) — greedy: take every
+  ready job at the winner's subnet edge, up to ``max_batch_size``, in
+  scheduler preference order.  Under queue build-up this forms lockstep
+  *waves*: a group of requests batch their first level together and then
+  stay edge-compatible for every later step;
+* :class:`WindowedBatching` (``"windowed"``) — greedy, plus a bounded
+  coalescing wait: when the winner has not started yet and the batch is
+  under-full, hold the dispatch for arrivals landing within
+  ``window`` seconds of the winner's arrival (the classic serving-system
+  trade of a little first-token latency for a fuller batch).
+
+The engine hands the policy a pre-validated candidate list (ready jobs
+at the winner's edge that its continuation checks would actually
+advance, winner first, companions in scheduler order); the policy only
+chooses how many to take or how long to wait, so scheduling mechanics
+stay in one place.  Mixed-edge jobs are never offered — a request at
+another level can not join the pass, which is what makes the shared
+matmul sound.
+
+Simulated-time semantics of a batch: the accelerator charges the *sum*
+of the members' step MACs (the work is real) but only one
+``overhead_per_step`` (the kernel launch is shared), and every member
+finishes at the same instant.  Wall-clock-wise the simulation itself
+gets faster because one plan walk replaces ``B`` of them — that is the
+speedup :mod:`benchmarks.bench_batching` measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .backend import ServingJob
+
+
+@dataclass
+class BatchDecision:
+    """What the engine should do with the winner's dispatch slot.
+
+    Exactly one of the two fields is meaningful: a non-empty ``members``
+    list (execute these jobs as one step now) or a ``wait_until`` time
+    (execute nothing; let simulated time advance so more compatible
+    requests can arrive).
+    """
+
+    members: List[ServingJob] = field(default_factory=list)
+    wait_until: Optional[float] = None
+
+
+class BatchPolicy:
+    """Base class: pick the members of one batched dispatch.
+
+    Subclasses override :meth:`form`.  ``candidates`` always holds the
+    scheduler's winner first, followed by the other ready jobs at the
+    same subnet edge in scheduler preference order; returning
+    ``candidates[:1]`` reproduces unbatched serving exactly.
+    """
+
+    name = "batch-policy"
+    #: Whether the policy can ever return more than one member; the
+    #: engine requires a batching-capable backend only when it can.
+    coalesces = True
+
+    def form(
+        self,
+        candidates: Sequence[ServingJob],
+        now: float,
+        next_arrival: Optional[float],
+    ) -> BatchDecision:
+        """Members of this dispatch (or a bounded wait for more arrivals).
+
+        ``next_arrival`` is the arrival time of the earliest not-yet-
+        admitted request (``None`` when the stream is exhausted); it is
+        strictly greater than ``now``, so waiting until it always makes
+        progress.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class NoBatching(BatchPolicy):
+    """One request per step — the pre-batching engine, bit-for-bit."""
+
+    name = "none"
+    coalesces = False
+
+    def form(
+        self,
+        candidates: Sequence[ServingJob],
+        now: float,
+        next_arrival: Optional[float],
+    ) -> BatchDecision:
+        return BatchDecision(members=[candidates[0]])
+
+
+class SameLevelBatching(BatchPolicy):
+    """Greedy same-edge coalescing up to ``max_batch_size``, never waiting."""
+
+    name = "same-level"
+
+    def __init__(self, max_batch_size: int = 8) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        self.max_batch_size = int(max_batch_size)
+
+    def form(
+        self,
+        candidates: Sequence[ServingJob],
+        now: float,
+        next_arrival: Optional[float],
+    ) -> BatchDecision:
+        return BatchDecision(members=list(candidates[: self.max_batch_size]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(max_batch_size={self.max_batch_size})"
+
+
+class WindowedBatching(SameLevelBatching):
+    """Greedy coalescing plus a bounded wait for imminent arrivals.
+
+    When the winner's first step would dispatch under-full, the policy
+    holds the accelerator for arrivals landing within ``window`` seconds
+    of the winner's *arrival* — so a request is delayed at most
+    ``window`` beyond its arrival before its mandatory first level runs,
+    a client-facing latency bound rather than an open-ended idle wait.
+    The wait never crosses a waiting member's deadline (a feasible
+    request must not expire because the batcher idled past it), and
+    started winners never wait: only new arrivals (at the initial edge)
+    could fill the batch, and they can not join a mid-flight edge.
+    """
+
+    name = "windowed"
+
+    def __init__(self, max_batch_size: int = 8, window: float = 0.0) -> None:
+        super().__init__(max_batch_size)
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        self.window = float(window)
+
+    def form(
+        self,
+        candidates: Sequence[ServingJob],
+        now: float,
+        next_arrival: Optional[float],
+    ) -> BatchDecision:
+        winner = candidates[0]
+        deadlines = [
+            job.request.deadline
+            for job in candidates
+            if job.request.deadline is not None
+        ]
+        if (
+            self.window > 0.0
+            and not winner.started
+            and len(candidates) < self.max_batch_size
+            and next_arrival is not None
+            and next_arrival <= winner.request.arrival_time + self.window
+            # Never idle to (or past) a waiting member's deadline: a
+            # feasible request must not expire under the batcher's wait.
+            and (not deadlines or next_arrival < min(deadlines))
+        ):
+            return BatchDecision(wait_until=next_arrival)
+        return BatchDecision(members=list(candidates[: self.max_batch_size]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(max_batch_size={self.max_batch_size}, "
+            f"window={self.window})"
+        )
+
+
+#: Name-based registry of batching policies, mirroring ``SCHEDULERS``:
+#: declarative configs (:class:`~repro.serving.spec.ServingSpec`) refer
+#: to policies by name plus the ``max_batch_size`` / ``batch_window``
+#: knobs.
+BATCH_POLICIES: Dict[str, Callable[..., BatchPolicy]] = {
+    NoBatching.name: NoBatching,
+    SameLevelBatching.name: SameLevelBatching,
+    WindowedBatching.name: WindowedBatching,
+}
+
+
+def get_batch_policy(
+    name: str,
+    max_batch_size: Optional[int] = None,
+    window: Optional[float] = None,
+) -> BatchPolicy:
+    """Instantiate a batching policy by registry name.
+
+    ``max_batch_size`` and ``window`` are forwarded to the policies that
+    take them; passing them with ``"none"`` is accepted (and ignored) so
+    one config schema covers every policy.
+    """
+    try:
+        factory = BATCH_POLICIES[name.lower()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown batch policy '{name}'; available: {sorted(BATCH_POLICIES)}"
+        ) from exc
+    kwargs = {}
+    if factory is not NoBatching:
+        if max_batch_size is not None:
+            kwargs["max_batch_size"] = int(max_batch_size)
+        if factory is WindowedBatching and window is not None:
+            kwargs["window"] = float(window)
+    return factory(**kwargs)

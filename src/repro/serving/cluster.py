@@ -21,6 +21,19 @@ largest-subnet service demand against the node's trace (exact for
 run-to-completion FIFO service; an admission-time estimate, as in real
 load balancers, when schedulers preempt or policies stop early).
 
+Routers that declare ``uses_queue_depth`` (``"least-loaded-depth"``)
+instead read each node's *actual* scheduler depth: the cluster then
+drives one resumable :class:`~repro.serving.engine.ServingRun` per node
+on the shared clock, advancing every node to each arrival before
+routing it, so the signal is the node's real ready-queue length as of
+its last step boundary — stale by at most one in-flight step, exactly
+like the published queue lengths real load balancers act on.  Nodes
+still interact only through placement, and for queue-blind step-up
+policies each node's report equals a closed-loop ``serve()`` over the
+same sub-stream; queue-reading policies (load-adaptive, windowed
+batching's arrival horizon) see arrivals only once routed, inheriting
+the same one-event staleness as the routing signal.
+
 The per-node results are exact :class:`~repro.serving.engine.ServingReport`
 runs; :class:`ClusterReport` aggregates them into fleet metrics
 (throughput, p50/p95/p99 latency, per-node utilisation, load imbalance).
@@ -40,7 +53,7 @@ import numpy as np
 
 from ..analysis.metrics import deadline_miss_rate as _deadline_miss_rate
 from ..analysis.metrics import percentile
-from .engine import JobRecord, ServingEngine, ServingReport
+from .engine import JobRecord, ServingEngine, ServingReport, ServingRun
 from .request import Request
 from .spec import ClusterSpec
 
@@ -52,7 +65,11 @@ class NodeState:
     placement policy may inspect: predicted jobs in system
     (:meth:`queue_length`), predicted busy horizon
     (:meth:`backlog_seconds`) and the MAC/latency-aware completion
-    estimate for a further request (:meth:`predicted_finish`).
+    estimate for a further request (:meth:`predicted_finish`).  When the
+    cluster serves interleaved (depth-aware routers) a live
+    :class:`~repro.serving.engine.ServingRun` is attached and
+    :meth:`published_depth` reports the node's *actual* scheduler depth
+    at its last step boundary instead of the analytic estimate.
     """
 
     def __init__(self, index: int, name: str, engine: ServingEngine) -> None:
@@ -66,6 +83,8 @@ class NodeState:
         self.assigned: List[Request] = []
         self._completions: List[float] = []  # predicted, non-decreasing
         self._busy_until = 0.0
+        #: Live event loop, attached only by interleaved cluster serving.
+        self.run: Optional[ServingRun] = None
 
     # ------------------------------------------------------------------
     # Load signals (what a router may inspect)
@@ -88,13 +107,32 @@ class NodeState:
         start = max(now, self._busy_until)
         return self.engine.trace.time_to_execute(macs, start)
 
+    def published_depth(self, now: float) -> int:
+        """The node's published ready-queue length.
+
+        With a live run attached this is the *actual* scheduler depth as
+        of the node's last step boundary — stale by at most the one step
+        currently in flight, like a real load balancer's published queue
+        length.  Without one (analytic two-phase serving) it falls back
+        to the fluid-model jobs-in-system estimate.
+        """
+        if self.run is not None:
+            return self.run.queue_depth
+        return self.queue_length(now)
+
     # ------------------------------------------------------------------
+    def attach_run(self, run: ServingRun) -> None:
+        """Bind the node's live event loop (interleaved serving)."""
+        self.run = run
+
     def assign(self, request: Request) -> None:
         """Record a placement and roll the fluid load model forward."""
         self.assigned.append(request)
         finish = self.predicted_finish(self.expected_macs, request.arrival_time)
         self._busy_until = finish
         self._completions.append(finish)
+        if self.run is not None:
+            self.run.push(request)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NodeState({self.name!r}, assigned={len(self.assigned)})"
@@ -110,6 +148,10 @@ class Router:
     """
 
     name = "router"
+    #: Routers that read :meth:`NodeState.published_depth` declare this;
+    #: the cluster then serves interleaved so the signal reflects each
+    #: node's real queue state instead of the fluid model.
+    uses_queue_depth = False
 
     def reset(self, nodes: Sequence[NodeState]) -> None:
         """Forget all routing state (start of a ``serve()`` run)."""
@@ -161,15 +203,52 @@ class LeastLoadedRouter(Router):
     service demand against each node's trace behind its current backlog,
     so both a node's speed and its queue count — an 8 GMAC/s vehicle ECU
     with two queued jobs can still beat an idle 50 MMAC/s MCU.
+
+    ``signal`` selects the load signal: ``"predicted-finish"`` (default)
+    keys on the analytic fluid-model completion estimate;
+    ``"queue-depth"`` keys on the node's *published* scheduler depth
+    (real queue state at step boundaries, stale by one in-flight event)
+    with the analytic estimate demoted to a tie-break — the registered
+    ``"least-loaded-depth"`` router is exactly this configuration.
     """
 
     name = "least-loaded"
+    SIGNALS = ("predicted-finish", "queue-depth")
+
+    def __init__(self, signal: str = "predicted-finish") -> None:
+        if signal not in self.SIGNALS:
+            raise ValueError(
+                f"unknown load signal '{signal}'; available: {list(self.SIGNALS)}"
+            )
+        self.signal = signal
+
+    @property
+    def uses_queue_depth(self) -> bool:  # type: ignore[override]
+        return self.signal == "queue-depth"
 
     def route(self, request: Request, nodes: Sequence[NodeState], now: float) -> int:
+        if self.signal == "queue-depth":
+            return min(
+                nodes,
+                key=lambda node: (
+                    node.published_depth(now),
+                    node.predicted_finish(node.expected_macs, now),
+                    node.index,
+                ),
+            ).index
         return min(
             nodes,
             key=lambda node: (node.predicted_finish(node.expected_macs, now), node.index),
         ).index
+
+
+class QueueDepthLeastLoadedRouter(LeastLoadedRouter):
+    """Least-loaded placement from published scheduler depths."""
+
+    name = "least-loaded-depth"
+
+    def __init__(self) -> None:
+        super().__init__(signal="queue-depth")
 
 
 #: Name-based registry of router policies, mirroring ``SCHEDULERS``.
@@ -178,6 +257,7 @@ ROUTERS: Dict[str, Type[Router]] = {
     JoinShortestQueueRouter.name: JoinShortestQueueRouter,
     "jsq": JoinShortestQueueRouter,
     LeastLoadedRouter.name: LeastLoadedRouter,
+    QueueDepthLeastLoadedRouter.name: QueueDepthLeastLoadedRouter,
 }
 
 
@@ -289,6 +369,23 @@ class ClusterReport:
     def total_macs(self) -> float:
         return float(sum(report.total_macs for report in self.node_reports))
 
+    # ------------------------------------------------------------------
+    # Fleet batch-occupancy accounting
+    # ------------------------------------------------------------------
+    @property
+    def solo_steps(self) -> int:
+        return sum(report.solo_steps for report in self.node_reports)
+
+    @property
+    def batched_steps(self) -> int:
+        return sum(report.batched_steps for report in self.node_reports)
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Members per dispatch across every node's accelerator."""
+        sizes = [size for report in self.node_reports for size in report.batch_sizes]
+        return float(np.mean(sizes)) if sizes else float("nan")
+
     @cached_property
     def _node_jobs(self) -> List[int]:
         return [report.num_jobs for report in self.node_reports]
@@ -343,6 +440,9 @@ class ClusterReport:
             "mean_latency": self.mean_latency,
             "deadline_miss_rate": self.deadline_miss_rate,
             "total_macs": self.total_macs,
+            "solo_steps": self.solo_steps,
+            "batched_steps": self.batched_steps,
+            "mean_batch_occupancy": self.mean_batch_occupancy,
             "load_imbalance": self.load_imbalance,
             "node_jobs": self.node_jobs,
             "node_utilisation": self.node_utilisation,
@@ -428,51 +528,101 @@ class ServingCluster:
         return len(self.engines)
 
     # ------------------------------------------------------------------
-    def route_requests(self, requests: Sequence[Request]) -> List[List[Request]]:
-        """Place every request on a node; returns the per-node sub-streams.
+    def _route(
+        self,
+        requests: Sequence[Request],
+        runs: Optional[List[ServingRun]] = None,
+    ) -> List[NodeState]:
+        """The shared routing loop behind both serving modes.
 
         Requests are processed in arrival order on the shared clock; each
         placement sees the load state implied by all earlier placements.
+        With ``runs`` attached (interleaved mode) every node's event loop
+        is additionally advanced to each arrival before the router places
+        it, and each placement is pushed into the node's live run.
+        """
+        self._check_unique_ids(requests)
+        nodes = [
+            NodeState(index, name, engine)
+            for index, (name, engine) in enumerate(zip(self.node_names, self.engines))
+        ]
+        if runs is not None:
+            for node, run in zip(nodes, runs):
+                node.attach_run(run)
+        self.router.reset(nodes)
+        for request in sorted(requests, key=lambda r: (r.arrival_time, r.request_id)):
+            now = request.arrival_time
+            if runs is not None:
+                for run in runs:
+                    run.run_until(now)
+            index = self.router.route(request, nodes, now)
+            if not 0 <= index < len(nodes):
+                raise IndexError(
+                    f"router '{self.router.name}' returned node index {index} "
+                    f"for a {len(nodes)}-node cluster"
+                )
+            nodes[index].assign(request)  # fluid model (+ live-run push)
+        return nodes
+
+    def route_requests(self, requests: Sequence[Request]) -> List[List[Request]]:
+        """Place every request on a node; returns the per-node sub-streams.
+
         Request ids must be unique across the whole fleet workload
         (:func:`~repro.serving.request.merge_streams` guarantees this for
         merged streams).
         """
+        return [node.assigned for node in self._route(requests)]
+
+    def _check_unique_ids(self, requests: Sequence[Request]) -> None:
         ids = [request.request_id for request in requests]
         if len(set(ids)) != len(ids):
             raise ValueError(
                 "request_id values must be unique across the cluster workload; "
                 "merge streams with repro.serving.merge_streams"
             )
-        nodes = [
-            NodeState(index, name, engine)
-            for index, (name, engine) in enumerate(zip(self.node_names, self.engines))
-        ]
-        self.router.reset(nodes)
-        for request in sorted(requests, key=lambda r: (r.arrival_time, r.request_id)):
-            index = self.router.route(request, nodes, request.arrival_time)
-            if not 0 <= index < len(nodes):
-                raise IndexError(
-                    f"router '{self.router.name}' returned node index {index} "
-                    f"for a {len(nodes)}-node cluster"
-                )
-            nodes[index].assign(request)
-        return [node.assigned for node in nodes]
+
+    def _serve_interleaved(
+        self, requests: Sequence[Request]
+    ) -> Tuple[List[List[Request]], List[ServingReport]]:
+        """Route from live queue state: one resumable run per node.
+
+        Every node's event loop is advanced to each arrival before the
+        router places it, so :meth:`NodeState.published_depth` reports
+        genuine scheduler depths (stale by at most the step in flight).
+        For queue-*blind* step-up policies (greedy, confidence,
+        deadline-aware) each node's report is exactly what a closed-loop
+        ``serve()`` over its sub-stream would produce; policies that read
+        the queue (load-adaptive) or windowed batching's ``next_arrival``
+        see arrivals only once they are routed, so their decisions carry
+        the same one-event staleness as the routing signal itself.
+        """
+        runs = [engine.open_run() for engine in self.engines]
+        nodes = self._route(requests, runs=runs)
+        reports = [run.finish() for run in runs]
+        return [node.assigned for node in nodes], reports
 
     def serve(self, requests: Optional[Sequence[Request]] = None) -> ClusterReport:
         """Route the workload and run every node's event loop.
 
         With no explicit ``requests`` the spec's declared streams are
         built and merged (requires :meth:`from_spec` construction).
+        Depth-aware routers (``uses_queue_depth``) serve interleaved —
+        placements read real per-node queue state; every other router
+        uses the exact two-phase decomposition.
         """
         if requests is None:
             if self.spec is None:
                 raise ValueError("no requests given and no ClusterSpec to build them from")
             input_shape = self.engines[0].backend.network.spec.input_shape
             requests = self.spec.build_requests(input_shape=input_shape)
-        partition = self.route_requests(requests)
-        node_reports = [
-            engine.serve(sub_stream) for engine, sub_stream in zip(self.engines, partition)
-        ]
+        if getattr(self.router, "uses_queue_depth", False):
+            _, node_reports = self._serve_interleaved(requests)
+        else:
+            partition = self.route_requests(requests)
+            node_reports = [
+                engine.serve(sub_stream)
+                for engine, sub_stream in zip(self.engines, partition)
+            ]
         return ClusterReport(
             node_reports=node_reports,
             node_names=list(self.node_names),

@@ -11,16 +11,26 @@ a discrete-event simulator whose unit of work is one *subnet step*:
    runs next — so any job can be preempted between subnet levels and
    resumed later, its activation cache surviving via the incremental
    engine's suspend/resume state;
-3. the selected job executes exactly one subnet level, charged at the
-   backend's cost model (delta MACs for SteppingNet, full-subnet MACs
-   for the recompute baseline) against the shared trace;
+3. the selected job executes exactly one subnet level — or, under a
+   batching policy (:mod:`repro.serving.batching`), one *shared* subnet
+   level together with every compatible ready job at the same subnet
+   edge — charged at the backend's cost model (delta MACs for
+   SteppingNet, full-subnet MACs for the recompute baseline) against
+   the shared trace; a batch charges the sum of its members' MACs but
+   a single per-step overhead (the kernel launch is shared);
 4. a job leaves the system when it reaches the largest subnet, its
    policy declines further refinement, its deadline passes, or the trace
    is permanently starved.
 
+The event loop itself lives in :class:`ServingRun`, a *resumable*
+stepper (``push`` / ``run_until`` / ``finish``): ``serve()`` simply
+pushes every request and runs to completion, while the fleet layer can
+interleave several runs on one clock and read each node's actual
+scheduler depth between events (real-queue-state routing).
+
 The result is a :class:`ServingReport` with production-style metrics:
 throughput, latency percentiles (p50/p95/p99), deadline-miss rate,
-queueing delay and MAC/reuse accounting.
+queueing delay, MAC/reuse accounting and batch-occupancy counters.
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ from ..analysis.metrics import percentile
 from ..runtime.platform import ResourceTrace
 from ..runtime.policies import PolicyState, prediction_confidence
 from .backend import ExecutionBackend, ServingJob
+from .batching import BatchPolicy, NoBatching, get_batch_policy
 from .request import Request
 from .scheduler import FIFOScheduler, Scheduler, get_scheduler
 
@@ -165,6 +176,11 @@ class ServingReport:
     backend_name: str = ""
     scheduler_name: str = ""
     trace_name: str = ""
+    batch_policy_name: str = "none"
+    #: Member count of every dispatch, in execution order: ``[1, 1, ...]``
+    #: for unbatched serving, larger entries where ready jobs shared a
+    #: forward pass.
+    batch_sizes: List[int] = field(default_factory=list)
 
     def invalidate_caches(self) -> None:
         """Drop memoised derived lists after mutating ``jobs``."""
@@ -288,11 +304,41 @@ class ServingReport:
         total = self.total_macs + self.total_macs_reused
         return self.total_macs_reused / total if total else 0.0
 
+    # ------------------------------------------------------------------
+    # Batch-occupancy accounting
+    # ------------------------------------------------------------------
+    @property
+    def num_dispatches(self) -> int:
+        """Accelerator dispatches (a batch of any size counts once)."""
+        return len(self.batch_sizes)
+
+    @property
+    def solo_steps(self) -> int:
+        """Subnet steps executed alone (dispatches of size one)."""
+        return sum(1 for size in self.batch_sizes if size == 1)
+
+    @property
+    def batched_steps(self) -> int:
+        """Subnet steps executed inside a shared pass (size > 1)."""
+        return sum(size for size in self.batch_sizes if size > 1)
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Mean members per dispatch (1.0 means batching never engaged)."""
+        if not self.batch_sizes:
+            return float("nan")
+        return float(np.mean(self.batch_sizes))
+
+    @property
+    def max_batch_occupancy(self) -> int:
+        return max(self.batch_sizes) if self.batch_sizes else 0
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "backend": self.backend_name,
             "scheduler": self.scheduler_name,
             "trace": self.trace_name,
+            "batch_policy": self.batch_policy_name,
             "num_jobs": self.num_jobs,
             "completed": len(self._completed_jobs),
             "dropped": len(self._dropped_jobs),
@@ -309,6 +355,11 @@ class ServingReport:
             "total_macs": self.total_macs,
             "total_macs_reused": self.total_macs_reused,
             "reuse_fraction": self.reuse_fraction,
+            "dispatches": self.num_dispatches,
+            "solo_steps": self.solo_steps,
+            "batched_steps": self.batched_steps,
+            "mean_batch_occupancy": self.mean_batch_occupancy,
+            "max_batch_occupancy": self.max_batch_occupancy,
         }
 
 
@@ -331,9 +382,18 @@ class ServingEngine:
         scheduler object can be shared between engines — a cluster's
         node engines in particular — without their ready queues
         silently corrupting each other.
+    batch_policy:
+        A :class:`~repro.serving.batching.BatchPolicy` registry name
+        (``"none"``, ``"same-level"``, ``"windowed"``) or instance.
+        Anything but ``"none"`` coalesces compatible ready jobs at the
+        scheduler winner's subnet edge into one shared forward pass and
+        requires a batching-capable backend
+        (:class:`~repro.serving.backend.BatchedSteppingBackend`).
     overhead_per_step:
         Fixed seconds charged per executed subnet step (kernel launch,
-        context switch).
+        context switch).  A batched dispatch charges it once for the
+        whole batch — amortising this overhead is the simulated-time
+        benefit of batching.
     drop_expired:
         When True, a request whose deadline passes before it ever runs
         is dropped without consuming accelerator time (admission
@@ -354,6 +414,7 @@ class ServingEngine:
         trace: ResourceTrace,
         scheduler: Union[Scheduler, Type[Scheduler], str, None] = None,
         *,
+        batch_policy: Union[BatchPolicy, str, None] = None,
         overhead_per_step: float = 0.0,
         drop_expired: bool = False,
         enforce_deadline: bool = True,
@@ -367,6 +428,17 @@ class ServingEngine:
         #: Prototype instance (name, policy introspection); ``serve()``
         #: never mutates it — each call runs on a fresh clone.
         self.scheduler = self._new_scheduler()
+        if batch_policy is None:
+            batch_policy = NoBatching()
+        elif isinstance(batch_policy, str):
+            batch_policy = get_batch_policy(batch_policy)
+        if batch_policy.coalesces and not getattr(backend, "supports_batching", False):
+            raise ValueError(
+                f"batch policy '{batch_policy.name}' needs a batching-capable "
+                f"backend (e.g. 'batched'); backend '{backend.name}' executes "
+                "one session per step"
+            )
+        self.batch_policy = batch_policy
         self.overhead_per_step = overhead_per_step
         self.drop_expired = drop_expired
         self.enforce_deadline = enforce_deadline
@@ -382,111 +454,25 @@ class ServingEngine:
         return spec.clone()
 
     # ------------------------------------------------------------------
+    def open_run(self) -> "ServingRun":
+        """Start a resumable event loop (push / run_until / finish).
+
+        ``serve()`` is the closed-loop convenience over this; the fleet
+        layer drives several open runs on one shared clock so routers
+        can read each node's *actual* scheduler depth between events.
+        """
+        return ServingRun(self)
+
     def serve(self, requests: Sequence[Request]) -> ServingReport:
-        """Run the event loop until every request has been finalised."""
-        report = ServingReport(
-            backend_name=self.backend.name,
-            scheduler_name=self.scheduler.name,
-            trace_name=self.trace.name,
-        )
-        ids = [request.request_id for request in requests]
-        if len(set(ids)) != len(ids):
-            raise ValueError("request_id values must be unique within one serve() call")
-        pending: List[Request] = sorted(
-            requests, key=lambda r: (r.arrival_time, r.request_id), reverse=True
-        )
-        records: Dict[int, JobRecord] = {}
-        now = 0.0
-        # The scheduler *is* the ready set: a heap-backed queue that jobs
-        # enter on admission and leave (lazily) on finalisation, so
-        # picking the next job is O(log n) instead of an O(n) scan.  A
-        # fresh clone per call keeps concurrent/shared engines isolated.
-        scheduler = self._new_scheduler()
-        # Admission control runs off an expiry heap keyed on deadline:
-        # only unstarted deadline-carrying jobs ever enter it, and a job
-        # that started (or finalised) in the meantime is skipped lazily
-        # on pop — dropping expired jobs is O(log n) per event, not an
-        # O(n) ready-set scan.
-        expiry: List[Tuple[float, int]] = []
+        """Run the event loop until every request has been finalised.
 
-        def admit(until: float) -> None:
-            while pending and pending[-1].arrival_time <= until + _TIME_EPS:
-                request = pending.pop()
-                job = ServingJob(request=request, session=self.backend.open(request.inputs))
-                records[request.request_id] = JobRecord(request=request)
-                scheduler.add(job)
-                if self.drop_expired and request.deadline is not None:
-                    heapq.heappush(expiry, (request.deadline, request.request_id))
-
-        def finalize(job: ServingJob, status: str, reason: str) -> None:
-            record = records[job.request.request_id]
-            record.status = status
-            record.stop_reason = reason
-            record.final_logits = job.session.logits
-            scheduler.discard(job)
-
-        while pending or len(scheduler):
-            admit(now)
-            if not len(scheduler):
-                now = max(now, pending[-1].arrival_time)
-                continue
-
-            if self.drop_expired:
-                while expiry and now >= expiry[0][0] - _TIME_EPS:
-                    _, request_id = heapq.heappop(expiry)
-                    job = scheduler.get(request_id)
-                    if job is None or job.started:
-                        continue  # stale entry: finalised or already running
-                    finalize(job, "dropped", "deadline passed before first execution")
-                if not len(scheduler):
-                    continue
-
-            job = scheduler.pick(now)
-            if job.started:
-                # A job may have waited, preempted, since its last step;
-                # re-check its deadline and policy against the *current*
-                # time and queue before spending accelerator time on it.
-                stale_reason = self._continuation_stop_reason(job, now, len(scheduler))
-                if stale_reason is not None:
-                    finalize(job, "completed", stale_reason)
-                    continue
-            if job.first_scheduled_at is None:
-                job.first_scheduled_at = now
-            cost = job.session.next_step_macs()
-            finish = self.trace.time_to_execute(cost, now)
-            if math.isfinite(finish):
-                finish += self.overhead_per_step
-
-            outcome = job.session.advance()
-            job.steps_executed += 1
-            record = records[job.request.request_id]
-            record.steps.append(
-                ServedStep(
-                    subnet=outcome.subnet,
-                    start_time=now,
-                    finish_time=finish,
-                    macs_charged=outcome.macs_charged,
-                    macs_reused=outcome.macs_reused,
-                    confidence=prediction_confidence(outcome.logits),
-                    logits=outcome.logits if self.store_logits else None,
-                )
-            )
-            record.final_logits = outcome.logits
-
-            if not math.isfinite(finish):
-                # The trace never grants enough throughput again; the job
-                # (and eventually all others) can make no further progress.
-                finalize(job, "starved", "trace provides no further throughput")
-                continue
-
-            now = finish
-            admit(now)
-            stop_reason = self._continuation_stop_reason(job, now, len(scheduler))
-            if stop_reason is not None:
-                finalize(job, "completed", stop_reason)
-
-        report.jobs = [records[request_id] for request_id in sorted(records)]
-        return report
+        Request ids must be unique within one call (``push`` raises on a
+        duplicate before any serving work happens).
+        """
+        run = self.open_run()
+        for request in requests:
+            run.push(request)
+        return run.finish()
 
     # ------------------------------------------------------------------
     def _continuation_stop_reason(
@@ -515,3 +501,268 @@ class ServingEngine:
         )
         decision = self.backend.policy.decide(state)
         return None if decision.step_up else decision.reason
+
+
+class ServingRun:
+    """One resumable pass of an engine's event loop.
+
+    ``serve()`` == push every request, then :meth:`finish`.  The fleet
+    layer instead pushes requests *as it routes them* and calls
+    :meth:`run_until` to advance the node's clock only up to each
+    routing decision — between events it can read :attr:`queue_depth`,
+    the node's actual scheduler depth as of the last step boundary (a
+    stale-by-one-event signal, like a real load balancer sees).
+
+    Event structure (one :meth:`_advance_once` call each):
+
+    * *idle fast-forward* — nothing ready: jump to the next arrival;
+    * *coalescing wait* — the batch policy holds an under-full first
+      step for an imminent arrival (bounded by its window);
+    * *dispatch* — the scheduler's winner (plus, under a batching
+      policy, every compatible ready job at its subnet edge) executes
+      exactly one subnet level; the batch charges the sum of member
+      MACs and a single per-step overhead, and every member finishes at
+      the same instant.
+
+    The scheduler is a fresh clone per run, so any number of concurrent
+    runs (one per cluster node) stay isolated.
+    """
+
+    def __init__(self, engine: ServingEngine) -> None:
+        self.engine = engine
+        self.now = 0.0
+        # The scheduler *is* the ready set: a heap-backed queue that jobs
+        # enter on admission and leave (lazily) on finalisation, so
+        # picking the next job is O(log n) instead of an O(n) scan.
+        self.scheduler = engine._new_scheduler()
+        #: Not-yet-admitted requests as a heap keyed (arrival, id).
+        self._pending: List[Tuple[float, int, Request]] = []
+        self._records: Dict[int, JobRecord] = {}
+        self._ids: set = set()
+        # Admission control runs off an expiry heap keyed on deadline:
+        # only unstarted deadline-carrying jobs ever enter it, and a job
+        # that started (or finalised) in the meantime is skipped lazily
+        # on pop — dropping expired jobs is O(log n) per event, not an
+        # O(n) ready-set scan.
+        self._expiry: List[Tuple[float, int]] = []
+        self._batch_sizes: List[int] = []
+        self._report: Optional[ServingReport] = None
+
+    # ------------------------------------------------------------------
+    # Feeding and observing the run
+    # ------------------------------------------------------------------
+    def push(self, request: Request) -> None:
+        """Queue a request for admission at its arrival time."""
+        if self._report is not None:
+            raise RuntimeError("run already finished; open a new one")
+        if request.request_id in self._ids:
+            raise ValueError(
+                f"request_id {request.request_id} already pushed into this run"
+            )
+        self._ids.add(request.request_id)
+        heapq.heappush(
+            self._pending, (request.arrival_time, request.request_id, request)
+        )
+
+    @property
+    def queue_depth(self) -> int:
+        """Live scheduler depth as of the last processed event.
+
+        Requests pushed but not yet admitted (their arrival lies beyond
+        the run's clock, or the node is mid-step) are *not* counted —
+        exactly the staleness a real load balancer's published queue
+        length exhibits.
+        """
+        return len(self.scheduler)
+
+    def next_event_time(self) -> Optional[float]:
+        """When the next event would run (None when the run is drained)."""
+        if len(self.scheduler):
+            return self.now
+        if self._pending:
+            return max(self.now, self._pending[0][0])
+        return None
+
+    # ------------------------------------------------------------------
+    # Driving the run
+    # ------------------------------------------------------------------
+    def run_until(self, until: float) -> None:
+        """Process every event that starts at or before ``until``.
+
+        The clock may end beyond ``until``: a step that *starts* in time
+        is executed to completion (steps are non-preemptible), exactly as
+        in the closed-loop serve.
+        """
+        while True:
+            when = self.next_event_time()
+            if when is None or when > until:
+                return
+            self._advance_once()
+
+    def finish(self) -> ServingReport:
+        """Drain the run and build its :class:`ServingReport` (idempotent)."""
+        if self._report is not None:
+            return self._report
+        self.run_until(math.inf)
+        report = ServingReport(
+            backend_name=self.engine.backend.name,
+            scheduler_name=self.scheduler.name,
+            trace_name=self.engine.trace.name,
+            batch_policy_name=self.engine.batch_policy.name,
+        )
+        report.jobs = [self._records[request_id] for request_id in sorted(self._records)]
+        report.batch_sizes = list(self._batch_sizes)
+        self._report = report
+        return report
+
+    # ------------------------------------------------------------------
+    # Event-loop internals
+    # ------------------------------------------------------------------
+    def _admit(self, until: float) -> None:
+        engine = self.engine
+        while self._pending and self._pending[0][0] <= until + _TIME_EPS:
+            _, _, request = heapq.heappop(self._pending)
+            job = ServingJob(request=request, session=engine.backend.open(request.inputs))
+            self._records[request.request_id] = JobRecord(request=request)
+            self.scheduler.add(job)
+            if engine.drop_expired and request.deadline is not None:
+                heapq.heappush(self._expiry, (request.deadline, request.request_id))
+
+    def _finalize(self, job: ServingJob, status: str, reason: str) -> None:
+        record = self._records[job.request.request_id]
+        record.status = status
+        record.stop_reason = reason
+        record.final_logits = job.session.logits
+        self.scheduler.discard(job)
+
+    def _batch_candidates(self, winner: ServingJob) -> List[ServingJob]:
+        """Ready jobs that could share the winner's step, winner first.
+
+        Only jobs at the winner's exact ``(current -> next)`` subnet edge
+        qualify — mixed start levels never reach the batch policy — and
+        started companions whose continuation checks say "stop" are left
+        for their own pick instead of being advanced past their policy.
+        Companions are offered in scheduler preference order.
+        """
+        engine = self.engine
+        edge = (
+            winner.session.current_subnet if winner.started else -1,
+            winner.session.next_subnet(),
+        )
+        companions: List[ServingJob] = []
+        for job in self.scheduler.jobs():
+            if job is winner:
+                continue
+            current = job.session.current_subnet if job.started else -1
+            if (current, job.session.next_subnet()) == edge:
+                companions.append(job)
+        try:
+            companions.sort(key=self.scheduler.key)
+        except NotImplementedError:
+            pass  # select()-only scheduler: admission order
+        # Stop-reason checks (policy.decide + a trace query) are the
+        # expensive part: run them lazily, in preference order, only
+        # until the policy's batch is full.
+        limit = getattr(engine.batch_policy, "max_batch_size", None)
+        ready = len(self.scheduler)
+        members = [winner]
+        for job in companions:
+            if limit is not None and len(members) >= limit:
+                break
+            if (
+                job.started
+                and engine._continuation_stop_reason(job, self.now, ready) is not None
+            ):
+                continue
+            members.append(job)
+        return members
+
+    def _advance_once(self) -> None:
+        """Process exactly one event (idle jump, coalescing wait or dispatch)."""
+        engine = self.engine
+        scheduler = self.scheduler
+        self._admit(self.now)
+        if not len(scheduler):
+            if self._pending:
+                self.now = max(self.now, self._pending[0][0])
+            return
+
+        if engine.drop_expired:
+            while self._expiry and self.now >= self._expiry[0][0] - _TIME_EPS:
+                _, request_id = heapq.heappop(self._expiry)
+                job = scheduler.get(request_id)
+                if job is None or job.started:
+                    continue  # stale entry: finalised or already running
+                self._finalize(job, "dropped", "deadline passed before first execution")
+            if not len(scheduler):
+                return
+
+        job = scheduler.pick(self.now)
+        if job.started:
+            # A job may have waited, preempted, since its last step;
+            # re-check its deadline and policy against the *current*
+            # time and queue before spending accelerator time on it.
+            stale_reason = engine._continuation_stop_reason(job, self.now, len(scheduler))
+            if stale_reason is not None:
+                self._finalize(job, "completed", stale_reason)
+                return
+
+        members = [job]
+        if engine.batch_policy.coalesces:
+            next_arrival = self._pending[0][0] if self._pending else None
+            decision = engine.batch_policy.form(
+                self._batch_candidates(job), self.now, next_arrival
+            )
+            if decision.wait_until is not None:
+                # Bounded coalescing wait: let the next arrival land and
+                # re-enter the dispatch with a fuller candidate set.  The
+                # arrival is strictly in the future, so time always moves.
+                self.now = max(self.now, decision.wait_until)
+                return
+            members = list(decision.members) or [job]
+
+        for member in members:
+            if member.first_scheduled_at is None:
+                member.first_scheduled_at = self.now
+        total_macs = sum(member.session.next_step_macs() for member in members)
+        finish = engine.trace.time_to_execute(total_macs, self.now)
+        if math.isfinite(finish):
+            # One launch overhead for the whole batch: amortising it is
+            # the simulated-time benefit of coalescing.
+            finish += engine.overhead_per_step
+
+        if len(members) == 1:
+            outcomes = [members[0].session.advance()]
+        else:
+            outcomes = engine.backend.advance_group([member.session for member in members])
+        self._batch_sizes.append(len(members))
+
+        for member, outcome in zip(members, outcomes):
+            member.steps_executed += 1
+            record = self._records[member.request.request_id]
+            record.steps.append(
+                ServedStep(
+                    subnet=outcome.subnet,
+                    start_time=self.now,
+                    finish_time=finish,
+                    macs_charged=outcome.macs_charged,
+                    macs_reused=outcome.macs_reused,
+                    confidence=prediction_confidence(outcome.logits),
+                    logits=outcome.logits if engine.store_logits else None,
+                )
+            )
+            record.final_logits = outcome.logits
+
+        if not math.isfinite(finish):
+            # The trace never grants enough throughput again; the jobs
+            # (and eventually all others) can make no further progress.
+            for member in members:
+                self._finalize(member, "starved", "trace provides no further throughput")
+            return
+
+        self.now = finish
+        self._admit(self.now)
+        for member in members:
+            stop_reason = engine._continuation_stop_reason(member, self.now, len(scheduler))
+            if stop_reason is not None:
+                self._finalize(member, "completed", stop_reason)

@@ -46,6 +46,7 @@ from ..runtime.policies import (
 from ..runtime.traces import trace_library
 from ..utils.rng import new_generator
 from .backend import ExecutionBackend, get_backend
+from .batching import BATCH_POLICIES, get_batch_policy
 from .request import Request, get_stream
 from .scheduler import SCHEDULERS
 
@@ -168,6 +169,16 @@ class ServingSpec:
     dtype / compiled:
         Inference dtype name and whether the backend executes over a
         compiled :class:`~repro.core.plan.NetworkPlan`.
+    batch_policy / max_batch_size / batch_window:
+        Request coalescing (:data:`~repro.serving.batching.BATCH_POLICIES`):
+        ``"none"`` (default), ``"same-level"`` greedy, or ``"windowed"``
+        with a ``batch_window``-second max wait; ``max_batch_size`` caps
+        members per shared pass.  Policies other than ``"none"`` need a
+        batching-capable backend (``"batched"``).
+    num_subnets:
+        Optional cap on the subnet levels this node serves (shallow
+        nodes in heterogeneous fleets); ``None`` serves every level of
+        the model.
     """
 
     name: str = ""
@@ -186,10 +197,14 @@ class ServingSpec:
     store_logits: bool = True
     dtype: str = "float32"
     compiled: bool = True
+    batch_policy: str = "none"
+    max_batch_size: int = 8
+    batch_window: float = 0.0
+    num_subnets: Optional[int] = None
 
     def __post_init__(self) -> None:
         # Fail at config load, not mid-simulation.
-        get_backend(self.backend)
+        backend_cls = get_backend(self.backend)
         if self.scheduler.lower() not in SCHEDULERS:
             raise KeyError(
                 f"unknown scheduler '{self.scheduler}'; available: {sorted(SCHEDULERS)}"
@@ -204,6 +219,22 @@ class ServingSpec:
         if self.overhead_per_step is not None and self.overhead_per_step < 0:
             raise ValueError("overhead_per_step must be non-negative")
         np.dtype(self.dtype)  # raises on unknown dtype names
+        if self.batch_policy.lower() not in BATCH_POLICIES:
+            raise KeyError(
+                f"unknown batch policy '{self.batch_policy}'; "
+                f"available: {sorted(BATCH_POLICIES)}"
+            )
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        if self.batch_policy.lower() != "none" and not backend_cls.supports_batching:
+            raise ValueError(
+                f"batch policy '{self.batch_policy}' needs a batching-capable "
+                f"backend (e.g. 'batched'), got '{self.backend}'"
+            )
+        if self.num_subnets is not None and self.num_subnets < 1:
+            raise ValueError("num_subnets cap must be at least 1")
 
     # ------------------------------------------------------------------
     # Builders
@@ -242,6 +273,13 @@ class ServingSpec:
             policy=self.build_policy(),
             dtype=np.dtype(self.dtype),
             compiled=self.compiled,
+            num_subnets=self.num_subnets,
+        )
+
+    def build_batch_policy(self):
+        """The node's request-coalescing policy instance."""
+        return get_batch_policy(
+            self.batch_policy, max_batch_size=self.max_batch_size, window=self.batch_window
         )
 
     def build_engine(self, network) -> "ServingEngine":
@@ -255,6 +293,7 @@ class ServingSpec:
             self.build_backend(network),
             self.build_trace(),
             self.scheduler,
+            batch_policy=self.build_batch_policy(),
             overhead_per_step=overhead,
             drop_expired=self.drop_expired,
             enforce_deadline=self.enforce_deadline,

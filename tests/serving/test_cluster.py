@@ -281,3 +281,113 @@ class TestClusterReport:
         assert report.num_jobs == 0
         assert report.throughput == 0.0
         assert np.isnan(report.load_imbalance)
+
+
+class TestQueueDepthRouting:
+    """The real-queue-state router: published depth instead of the fluid model."""
+
+    def test_registered_and_flagged(self):
+        from repro.serving import QueueDepthLeastLoadedRouter
+
+        assert "least-loaded-depth" in ROUTERS
+        router = get_router("least-loaded-depth")
+        assert isinstance(router, QueueDepthLeastLoadedRouter)
+        assert router.uses_queue_depth
+        assert not get_router("least-loaded").uses_queue_depth
+
+    def test_least_loaded_configurable_signal(self):
+        assert LeastLoadedRouter(signal="queue-depth").uses_queue_depth
+        with pytest.raises(ValueError, match="signal"):
+            LeastLoadedRouter(signal="tea-leaves")
+
+    def test_interleaved_node_reports_match_closed_loop(
+        self, stepping_network, sample_pool, calibrated_rate
+    ):
+        """Exactness: depth-routed nodes == serve() over the same partition."""
+        images, labels = sample_pool
+        requests = _requests(images, labels, count=14, rate=6.0, deadline=2.0)
+        cluster = ServingCluster(
+            [
+                _engine(stepping_network, calibrated_rate * 2.0),
+                _engine(stepping_network, calibrated_rate),
+            ],
+            router="least-loaded-depth",
+            names=["fast", "slow"],
+        )
+        partition, node_reports = cluster._serve_interleaved(requests)
+        for engine_rate, sub_stream, report in zip(
+            [calibrated_rate * 2.0, calibrated_rate], partition, node_reports
+        ):
+            replay = _engine(stepping_network, engine_rate).serve(sub_stream)
+            assert replay.as_dict() == report.as_dict()
+            for a, b in zip(replay.jobs, report.jobs):
+                assert np.array_equal(a.final_logits, b.final_logits)
+
+    def test_depth_signal_spreads_a_burst(self, stepping_network, sample_pool, calibrated_rate):
+        """Simultaneous arrivals pile depth on a node and push traffic away."""
+        images, _ = sample_pool
+        burst = [
+            Request(request_id=i, arrival_time=0.001 * i, inputs=images[i % len(images)][None])
+            for i in range(8)
+        ]
+        cluster = ServingCluster(
+            [
+                _engine(stepping_network, calibrated_rate),
+                _engine(stepping_network, calibrated_rate),
+            ],
+            router="least-loaded-depth",
+            names=["a", "b"],
+        )
+        report = cluster.serve(burst)
+        assert report.num_jobs == 8
+        assert all(count > 0 for count in report.node_jobs)
+
+    def test_fleet_report_batching_aggregates(self, stepping_network, sample_pool):
+        from repro.serving import BatchedSteppingBackend, SameLevelBatching
+        from repro.runtime.platform import ResourceTrace
+
+        images, _ = sample_pool
+        largest = float(stepping_network.subnet_macs(stepping_network.num_subnets - 1))
+        requests = [
+            Request(request_id=i, arrival_time=0.0, inputs=images[i][None]) for i in range(8)
+        ]
+        engine = ServingEngine(
+            BatchedSteppingBackend(stepping_network),
+            ResourceTrace.constant(largest / 0.05, name="t"),
+            batch_policy=SameLevelBatching(8),
+        )
+        report = ServingCluster([engine], names=["n0"]).serve(requests)
+        payload = report.as_dict()
+        assert payload["batched_steps"] == report.node_reports[0].batched_steps > 0
+        assert payload["solo_steps"] == report.node_reports[0].solo_steps
+        assert payload["mean_batch_occupancy"] == pytest.approx(
+            report.node_reports[0].mean_batch_occupancy
+        )
+
+
+class TestBatchedFleetFromJson:
+    def test_checked_in_batched_cluster_config_serves(self):
+        """Acceptance criterion: batching-enabled fleet runs from checked-in JSON."""
+        from pathlib import Path
+
+        config = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "configs"
+            / "cluster_batched.json"
+        )
+        spec = ClusterSpec.from_json(config)
+        assert spec.router == "least-loaded-depth"
+        assert any(node.batch_policy != "none" for node in spec.nodes)
+        assert any(node.num_subnets is not None for node in spec.nodes)
+        report = serve(None, spec)
+        payload = report.as_dict()
+        assert payload["num_jobs"] > 0
+        assert payload["completed"] + payload["dropped"] == payload["num_jobs"]
+        assert payload["batched_steps"] > 0  # coalescing actually engaged
+        json.dumps(payload)  # artifact-ready
+        # The shallow node never refines past its declared cap.
+        for node_spec, node_report in zip(spec.nodes, report.node_reports):
+            if node_spec.num_subnets is not None:
+                for job in node_report.jobs:
+                    assert job.final_subnet < node_spec.num_subnets

@@ -232,3 +232,82 @@ class TestPolicyRegistry:
     def test_unknown_policy(self):
         with pytest.raises(KeyError, match="policy"):
             get_policy("oracle")
+
+
+class TestBatchingAndCapKnobs:
+    def test_batching_fields_round_trip(self):
+        spec = ServingSpec(
+            backend="batched",
+            batch_policy="windowed",
+            max_batch_size=4,
+            batch_window=0.01,
+            num_subnets=2,
+        )
+        blob = json.dumps(spec.to_dict())
+        assert ServingSpec.from_dict(json.loads(blob)) == spec
+
+    def test_unknown_batch_policy_fails_at_config_load(self):
+        with pytest.raises(KeyError, match="batch policy"):
+            ServingSpec(backend="batched", batch_policy="adaptive")
+
+    def test_coalescing_policy_requires_batched_backend(self):
+        with pytest.raises(ValueError, match="batching-capable"):
+            ServingSpec(backend="stepping", batch_policy="same-level")
+        # The non-coalescing default stays legal on every backend.
+        ServingSpec(backend="stepping", batch_policy="none")
+
+    def test_invalid_batch_knobs_rejected(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            ServingSpec(backend="batched", batch_policy="same-level", max_batch_size=0)
+        with pytest.raises(ValueError, match="batch_window"):
+            ServingSpec(backend="batched", batch_policy="windowed", batch_window=-1.0)
+        with pytest.raises(ValueError, match="num_subnets"):
+            ServingSpec(num_subnets=0)
+
+    def test_build_engine_wires_batch_policy(self, stepping_network):
+        spec = ServingSpec(
+            backend="batched",
+            batch_policy="windowed",
+            max_batch_size=4,
+            batch_window=0.02,
+            trace="constant",
+            trace_rate=1e9,
+        )
+        engine = spec.build_engine(stepping_network)
+        assert engine.batch_policy.name == "windowed"
+        assert engine.batch_policy.max_batch_size == 4
+        assert engine.batch_policy.window == pytest.approx(0.02)
+        assert engine.backend.supports_batching
+
+    def test_num_subnets_cap_limits_served_levels(self, stepping_network, sample_pool):
+        """A shallow node stops refining at its declared cap."""
+        images, labels = sample_pool
+        spec = ServingSpec(
+            trace="constant",
+            trace_rate=1e12,
+            overhead_per_step=0.0,
+            num_subnets=2,
+        )
+        engine = spec.build_engine(stepping_network)
+        assert engine.backend.num_subnets == 2
+        requests = poisson_stream(images, labels, rate=50.0, num_requests=6, seed=0)
+        report = engine.serve(requests)
+        assert report.completed_jobs
+        assert all(job.final_subnet == 1 for job in report.jobs)
+        assert all(job.stop_reason == "largest subnet reached" for job in report.jobs)
+
+    def test_num_subnets_cap_shrinks_advertised_demand(self, stepping_network):
+        """Routers see the capped node's smaller service demand."""
+        full = ServingSpec(trace="constant", trace_rate=1e9)
+        shallow = ServingSpec(trace="constant", trace_rate=1e9, num_subnets=2)
+        full_backend = full.build_backend(stepping_network)
+        shallow_backend = shallow.build_backend(stepping_network)
+        assert shallow_backend.num_subnets == 2
+        assert shallow_backend.subnet_macs(
+            shallow_backend.num_subnets - 1
+        ) < full_backend.subnet_macs(full_backend.num_subnets - 1)
+
+    def test_cap_larger_than_model_is_harmless(self, stepping_network):
+        spec = ServingSpec(trace="constant", trace_rate=1e9, num_subnets=99)
+        backend = spec.build_backend(stepping_network)
+        assert backend.num_subnets == stepping_network.num_subnets
