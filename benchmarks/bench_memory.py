@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Benchmark: the memory-vs-reuse trade-off of bounded resident contexts.
+
+The production question behind `repro.serving.memory`: SteppingNet's
+free resumes come from keeping every suspended request's activation
+caches resident, but the target platforms (mobile SoCs, embedded MCUs)
+cannot pin dozens of contexts.  What does bounding resident-context
+memory cost?  The *same* preemption-heavy request stream (EDF over
+random deadlines, 2x oversubscribed, full-quality refinement) is served
+unbounded — establishing the peak residency — and then under budgets
+swept from 100% down to 25% of that peak, measuring at each point
+
+* peak resident bytes (never exceeds the budget: the enforcement
+  invariant), eviction counts per tier;
+* recompute-MAC overhead — evicted contexts replay their executed
+  levels on resume, charged honestly, so the overhead is exactly
+  ``total_macs - unbounded_total_macs``;
+* simulated p95 latency / makespan (the recompute work runs on the
+  same trace, so latency is what memory savings are paid with);
+* a per-request bit-equality check against the unbounded oracle —
+  eviction must never change an answer.
+
+The three eviction policies (lru / largest-first / lowest-progress) are
+compared at the tightest budget.  Like ``bench_plan.py`` this is a plain
+script so CI can run it as a smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_memory.py --smoke
+
+Results are written as machine-readable JSON (default
+``benchmarks/results/BENCH_memory.json``) so per-PR regressions are
+visible as artefact diffs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.common import set_prefix_assignments
+from repro.core import SteppingNetwork
+from repro.core.incremental import IncrementalInference
+from repro.core.pruning import apply_unstructured_pruning
+from repro.models import tiny_cnn
+from repro.runtime.platform import ResourceTrace
+from repro.runtime.policies import ConfidencePolicy
+from repro.serving import Request, ServingEngine, SteppingBackend
+
+DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_memory.json"
+DTYPE = np.float32  # the serving default
+NUM_SUBNETS = 4
+SECONDS_FOR_LARGEST = 0.04  # simulated full-quality service time per request
+UTILIZATION = 3.0  # sustained oversubscription: queues build, contexts pile up
+BUDGET_FRACTIONS = (1.0, 0.75, 0.5, 0.25)
+POLICIES = ("lru", "largest-first", "lowest-progress")
+
+
+def build_network(width_scale: float):
+    """A tiny-CNN stepping network with nested subnets and live pruning."""
+    spec = tiny_cnn(num_classes=10, input_shape=(3, 12, 12), width_scale=width_scale)
+    network = SteppingNetwork(
+        spec.expand(1.5), num_subnets=NUM_SUBNETS, rng=np.random.default_rng(0)
+    )
+    fractions = [(level + 1) / NUM_SUBNETS for level in range(NUM_SUBNETS)]
+    set_prefix_assignments(network, fractions)
+    network.assignment.validate()
+    apply_unstructured_pruning(network, 3e-2)
+    network.eval()
+    return network
+
+
+def build_workload(network, num_requests: int):
+    """EDF-preemptible traffic: random deadlines interleave many contexts."""
+    largest = float(network.subnet_macs(network.num_subnets - 1))
+    trace = ResourceTrace.constant(largest / SECONDS_FOR_LARGEST, name="steady")
+    rng = np.random.default_rng(42)
+    images = rng.standard_normal((64, 3, 12, 12))
+    mean_gap = SECONDS_FOR_LARGEST / UTILIZATION
+    requests = []
+    arrival = 0.0
+    for index in range(num_requests):
+        arrival += float(rng.exponential(mean_gap))
+        requests.append(
+            Request(
+                request_id=index,
+                arrival_time=arrival,
+                inputs=images[index % len(images)][None],
+                # Random deadlines drive EDF preemption (suspended
+                # contexts); refinement itself is time-blind.
+                deadline=arrival + float(rng.uniform(0.5, 60.0)) * SECONDS_FOR_LARGEST,
+            )
+        )
+    return trace, requests
+
+
+def serve_once(network, trace, requests, budget, policy: str, repeats: int):
+    """Full ServingEngine runs at one memory setting; best-of wall clock."""
+    engine = ServingEngine(
+        SteppingBackend(
+            network,
+            # Full-quality refinement: the step sequence must not depend
+            # on the clock, so eviction can only move time and MACs.
+            policy=ConfidencePolicy(threshold=1.0, respect_deadline=False),
+            dtype=DTYPE,
+        ),
+        trace,
+        "edf",
+        memory_budget_bytes=budget,
+        eviction_policy=policy,
+        overhead_per_step=5e-4,
+        enforce_deadline=False,
+    )
+    walls = []
+    report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report = engine.serve(requests)
+        walls.append(time.perf_counter() - start)
+    return min(walls), report
+
+
+def row_from_report(report, wall: float, budget, oracle=None) -> dict:
+    row = {
+        "memory_budget_bytes": budget,
+        "eviction_policy": report.eviction_policy_name,
+        "peak_resident_bytes": report.peak_resident_bytes,
+        "aux_evictions": report.aux_evictions,
+        "cache_evictions": report.cache_evictions,
+        "bytes_evicted": report.bytes_evicted,
+        "total_macs": report.total_macs,
+        "recompute_macs": report.total_macs_recomputed,
+        "recompute_overhead": report.recompute_overhead,
+        "reuse_fraction": report.reuse_fraction,
+        "simulated_p95_latency": report.p95_latency,
+        "simulated_makespan": report.makespan,
+        "completed": len(report.completed_jobs),
+        "wall_seconds": wall,
+    }
+    if oracle is not None:
+        # Eviction must never change an answer: per-request step-count
+        # and final-logits bit-equality against the unbounded oracle.
+        row["bit_equal_to_unbounded"] = all(
+            len(a.steps) == len(b.steps)
+            and np.array_equal(a.final_logits, b.final_logits)
+            for a, b in zip(oracle.jobs, report.jobs)
+        )
+        row["extra_macs_vs_unbounded"] = report.total_macs - oracle.total_macs
+    return row
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny configuration for CI smoke runs"
+    )
+    parser.add_argument("--repeats", type=int, default=None, help="timing repetitions")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="JSON output path")
+    args = parser.parse_args()
+
+    if args.smoke:
+        width_scale, num_requests, repeats = 0.5, 48, 2
+    else:
+        width_scale, num_requests, repeats = 1.0, 240, 3
+    if args.repeats is not None:
+        repeats = args.repeats
+
+    network = build_network(width_scale)
+    trace, requests = build_workload(network, num_requests)
+    context_bytes = IncrementalInference(network, dtype=DTYPE).plan.state_nbytes(1)
+
+    wall, oracle = serve_once(network, trace, requests, None, "lru", repeats)
+    peak = oracle.peak_resident_bytes
+    results = {
+        "config": {
+            "model": "tiny-cnn",
+            "width_scale": width_scale,
+            "num_subnets": NUM_SUBNETS,
+            "request_batch_size": 1,
+            "dtype": np.dtype(DTYPE).name,
+            "num_requests": num_requests,
+            "utilization": UTILIZATION,
+            "seconds_for_largest": SECONDS_FOR_LARGEST,
+            "scheduler": "edf",
+            "overhead_per_step": 5e-4,
+            "repeats": repeats,
+            "smoke": bool(args.smoke),
+            "context_bytes": context_bytes,
+        },
+        "unbounded": row_from_report(oracle, wall, None),
+        "sweep": {},
+        "policies_at_tightest": {},
+    }
+    print(
+        f"unbounded: peak {peak} B ({peak / context_bytes:.1f} contexts), "
+        f"p95 {oracle.p95_latency * 1e3:.2f} ms, wall {wall:.3f} s"
+    )
+
+    for fraction in BUDGET_FRACTIONS:
+        # Floor at one running context: the regime where the bit-equality
+        # invariant is guaranteed (and the only budget that makes sense).
+        budget = max(int(peak * fraction), context_bytes)
+        wall, report = serve_once(network, trace, requests, budget, "lru", repeats)
+        row = row_from_report(report, wall, budget, oracle)
+        results["sweep"][f"{fraction:.2f}"] = row
+        print(
+            f"budget {fraction:5.0%} ({budget:>9d} B): "
+            f"peak {row['peak_resident_bytes']:>9d} B, "
+            f"evictions aux {row['aux_evictions']:>3d} / cache {row['cache_evictions']:>3d}, "
+            f"recompute {row['recompute_overhead']:6.2%} of MACs, "
+            f"p95 {row['simulated_p95_latency'] * 1e3:7.2f} ms "
+            f"({'bit-equal' if row['bit_equal_to_unbounded'] else 'MISMATCH'})"
+        )
+
+    tightest = max(int(peak * BUDGET_FRACTIONS[-1]), context_bytes)
+    for policy in POLICIES:
+        wall, report = serve_once(network, trace, requests, tightest, policy, repeats)
+        row = row_from_report(report, wall, tightest, oracle)
+        results["policies_at_tightest"][policy] = row
+        print(
+            f"policy {policy:>15s} @ {tightest} B: "
+            f"cache evictions {row['cache_evictions']:>3d}, "
+            f"recompute {row['recompute_overhead']:6.2%}, "
+            f"p95 {row['simulated_p95_latency'] * 1e3:7.2f} ms "
+            f"({'bit-equal' if row['bit_equal_to_unbounded'] else 'MISMATCH'})"
+        )
+
+    rows = list(results["sweep"].values()) + list(results["policies_at_tightest"].values())
+    assert all(row["bit_equal_to_unbounded"] for row in rows), "eviction changed answers"
+    assert all(
+        row["peak_resident_bytes"] <= row["memory_budget_bytes"] for row in rows
+    ), "budget exceeded between events"
+    assert all(row["completed"] == num_requests for row in rows), "requests went missing"
+    tight_row = results["sweep"][f"{BUDGET_FRACTIONS[-1]:.2f}"]
+    assert tight_row["cache_evictions"] > 0, "tier-2 eviction never engaged at 25%"
+    assert tight_row["recompute_macs"] > 0, "recompute never charged at 25%"
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

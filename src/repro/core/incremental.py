@@ -31,6 +31,33 @@ from .network import Block, SteppingNetwork
 from .plan import NetworkPlan
 
 
+def _buffers_nbytes(
+    input: Optional[np.ndarray],
+    cache: Dict[int, np.ndarray],
+    logits: Optional[np.ndarray],
+    aux: Dict,
+) -> int:
+    """Byte footprint of one in-flight inference's resident buffers.
+
+    Counts everything a suspended context pins in accelerator memory:
+    the engine's (possibly dtype-cast) input copy, the full-width
+    activation caches, the last logits and the plan's auxiliary buffers
+    (im2col column buffers, pooled maps).  Non-array aux entries (the
+    ``"level"`` tag) are free.
+    """
+    total = 0
+    if input is not None:
+        total += input.nbytes
+    for value in cache.values():
+        total += value.nbytes
+    if logits is not None:
+        total += logits.nbytes
+    for value in aux.values():
+        if isinstance(value, np.ndarray):
+            total += value.nbytes
+    return total
+
+
 @dataclass
 class InferenceState:
     """Suspended execution state of one in-flight anytime inference.
@@ -71,6 +98,33 @@ class InferenceState:
         already be cast to the inference dtype.
         """
         return cls(input=inputs, cache={}, logits=None, current_subnet=-1, steps=[])
+
+    def nbytes(self) -> int:
+        """Measured byte footprint of this suspended context.
+
+        Input copy + activation caches + logits + plan ``aux`` buffers —
+        the quantity a bounded "resident contexts" budget charges per
+        suspended request (see :mod:`repro.serving.memory`).
+        """
+        return _buffers_nbytes(self.input, self.cache, self.logits, self.aux)
+
+    def aux_nbytes(self) -> int:
+        """Bytes held by the plan's auxiliary buffers alone (tier-1 evictable)."""
+        return sum(
+            value.nbytes for value in self.aux.values() if isinstance(value, np.ndarray)
+        )
+
+    def drop_aux(self) -> int:
+        """Release the plan's auxiliary buffers; returns the bytes freed.
+
+        The cheap eviction tier: aux buffers are pure caches that the
+        compiled plan rebuilds transparently from the activation cache on
+        the next step, so dropping them changes no logits and charges no
+        extra MACs — only memory comes back.
+        """
+        freed = self.aux_nbytes()
+        self.aux.clear()
+        return freed
 
     def copy(self) -> "InferenceState":
         """Deep copy of the cached activations (for isolated snapshots)."""
@@ -218,6 +272,15 @@ class IncrementalInference:
     def current_subnet(self) -> int:
         """Index of the last executed subnet (-1 before :meth:`run`)."""
         return self._current_subnet
+
+    def state_nbytes(self) -> int:
+        """Byte footprint of the currently resident execution state.
+
+        Same accounting as :meth:`InferenceState.nbytes`, measured on the
+        engine's live buffers — what the bound context of a serving
+        backend occupies right now.
+        """
+        return _buffers_nbytes(self._input, self._cache, self._logits, self._aux)
 
     def export_state(self) -> InferenceState:
         """Detach the in-flight execution state (suspend).

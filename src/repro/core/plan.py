@@ -178,6 +178,7 @@ class _PoolStep:
     index: int  # aux-state key (position in the plan)
     num_channels: int  # width of the incoming full-width map
     in_levels: np.ndarray  # subnet level of each incoming channel
+    out_spatial: Tuple[int, int] = (1, 1)  # pooled-map dims (footprint accounting)
 
 
 @dataclass
@@ -225,6 +226,7 @@ class NetworkPlan:
         self.dtype = np.dtype(dtype)
         self.num_subnets = network.num_subnets
         self.flatten_input = not network.spec._has_conv()
+        self.input_shape: Tuple[int, ...] = tuple(network.spec.input_shape)
         self.steps: List[object] = []
         #: Exact per-level MAC counts (what a step from ``i`` to ``j`` charges).
         self.subnet_macs: Tuple[int, ...] = tuple(
@@ -238,15 +240,25 @@ class NetworkPlan:
     # ------------------------------------------------------------------
     def _compile(self, network) -> None:
         prev_layer = None
+        spatial: Optional[Tuple[int, int]] = None
         for block in network.blocks:
             if block.kind in ("conv", "linear") and not block.is_output:
-                self.steps.append(self._compile_hidden(network, block))
+                step = self._compile_hidden(network, block)
+                self.steps.append(step)
                 prev_layer = block.layer
+                if block.kind == "conv":
+                    spatial = step.out_spatial
             elif block.kind == "linear" and block.is_output:
                 self.steps.append(self._compile_output(network, block))
             elif block.kind == "pool":
                 if prev_layer is None:
                     raise ValueError("compiled plans require a parametric layer before pooling")
+                if spatial is None:
+                    raise ValueError("compiled plans require a conv layer before pooling")
+                spatial = (
+                    (spatial[0] - block.pool_size) // block.pool_stride + 1,
+                    (spatial[1] - block.pool_size) // block.pool_stride + 1,
+                )
                 self.steps.append(
                     _PoolStep(
                         kind=block.pool_kind,
@@ -255,6 +267,7 @@ class NetworkPlan:
                         index=len(self.steps),
                         num_channels=prev_layer.assignment.num_units,
                         in_levels=prev_layer.assignment.unit_subnet.copy(),
+                        out_spatial=spatial,
                     )
                 )
             elif block.kind == "flatten":
@@ -339,6 +352,61 @@ class NetworkPlan:
             bias=layer.bias.data.astype(self.dtype),
             slabs=_RangeCache(levels),
         )
+
+    # ------------------------------------------------------------------
+    # Footprint accounting
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the packed per-level weight slabs themselves.
+
+        The plan's own (shared, read-only) footprint — excluded from the
+        per-request resident-context budget, which charges only private
+        state; reported so deployments can size total memory.
+        """
+        total = 0
+        for step in self.steps:
+            if isinstance(step, (_HiddenStep, _OutputStep)):
+                for slab in step.slabs.levels:
+                    total += slab.weight.nbytes
+                    if slab.bias is not None:
+                        total += slab.bias.nbytes
+            if isinstance(step, _OutputStep):
+                total += step.bias.nbytes
+        return total
+
+    def state_nbytes(self, batch_size: int = 1) -> int:
+        """Predicted resident footprint of one started inference context.
+
+        Input copy + full-width activation caches + plan ``aux`` buffers
+        (im2col columns, pooled maps) + logits, for a request of
+        ``batch_size`` samples.  Caches and aux buffers are allocated at
+        full width on first touch regardless of the executing subnet
+        level, so the prediction is level-independent and matches
+        :meth:`~repro.core.incremental.IncrementalInference.state_nbytes`
+        exactly for a compiled context that has taken at least one step.
+        Serving layers use it to size memory budgets and to estimate a
+        node's resident bytes before any request has run.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        itemsize = self.dtype.itemsize
+        elements = batch_size * int(np.prod(self.input_shape))
+        for step in self.steps:
+            if isinstance(step, _HiddenStep):
+                if step.kind == "conv":
+                    out_h, out_w = step.out_spatial
+                    elements += batch_size * step.num_units * out_h * out_w  # cache
+                    kh, kw = step.kernel
+                    elements += step.in_channels * kh * kw * batch_size * out_h * out_w
+                else:
+                    elements += batch_size * step.num_units  # cache (no aux)
+            elif isinstance(step, _PoolStep):
+                out_h, out_w = step.out_spatial
+                elements += batch_size * step.num_channels * out_h * out_w  # pooled map
+            elif isinstance(step, _OutputStep):
+                elements += batch_size * step.bias.shape[0]  # logits
+        return elements * itemsize
 
     # ------------------------------------------------------------------
     # Execution

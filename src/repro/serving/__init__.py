@@ -21,10 +21,17 @@ configs.
   (:data:`BATCH_POLICIES`: none / same-level / windowed) that coalesce
   ready requests at one subnet edge into a single shared-plan forward
   pass, bit-equal per request to unbatched serving;
+* :mod:`repro.serving.memory` — the bounded resident-context budget:
+  :class:`MemoryBudget` plus pluggable eviction policies
+  (:data:`EVICTION_POLICIES`: lru / largest-first / lowest-progress)
+  that drop suspended contexts in two tiers (aux buffers, then
+  activation caches with honest recompute-on-resume), bit-identical
+  logits to unbounded serving;
 * :mod:`repro.serving.engine` — the discrete-event
   :class:`ServingEngine`, its resumable :class:`ServingRun` event loop
   and the :class:`ServingReport` metrics (throughput, p50/p95/p99
-  latency, deadline-miss rate, batch occupancy);
+  latency, deadline-miss rate, batch occupancy, eviction/recompute
+  accounting);
 * :mod:`repro.serving.spec` — declarative configs:
   :class:`ServingSpec` (one node), :class:`ClusterSpec` (a fleet) and
   :class:`StreamSpec`, each JSON-round-trippable via
@@ -65,6 +72,7 @@ from .cluster import (
     ClusterReport,
     JoinShortestQueueRouter,
     LeastLoadedRouter,
+    MemoryAwareLeastLoadedRouter,
     NodeState,
     QueueDepthLeastLoadedRouter,
     RoundRobinRouter,
@@ -74,6 +82,16 @@ from .cluster import (
     serve,
 )
 from .engine import JobRecord, ServedStep, ServingEngine, ServingReport, ServingRun
+from .memory import (
+    EVICTION_POLICIES,
+    EvictionEvent,
+    EvictionPolicy,
+    LargestFirstEviction,
+    LowestProgressEviction,
+    LRUEviction,
+    MemoryBudget,
+    get_eviction_policy,
+)
 from .request import (
     STREAMS,
     Request,
@@ -141,8 +159,17 @@ __all__ = [
     "JoinShortestQueueRouter",
     "LeastLoadedRouter",
     "QueueDepthLeastLoadedRouter",
+    "MemoryAwareLeastLoadedRouter",
     "ROUTERS",
     "get_router",
+    "MemoryBudget",
+    "EvictionPolicy",
+    "EvictionEvent",
+    "LRUEviction",
+    "LargestFirstEviction",
+    "LowestProgressEviction",
+    "EVICTION_POLICIES",
+    "get_eviction_policy",
     "NodeState",
     "ServingCluster",
     "ClusterReport",

@@ -59,12 +59,19 @@ DEFAULT_SERVING_DTYPE = np.dtype(np.float32)
 
 @dataclass
 class StepOutcome:
-    """Result of advancing a session by one subnet level."""
+    """Result of advancing a session by one subnet level.
+
+    ``macs_charged`` includes ``macs_recomputed`` — the extra MACs spent
+    replaying an evicted context's executed levels before this step could
+    run (zero unless the session's activation caches were evicted while
+    suspended; see :mod:`repro.serving.memory`).
+    """
 
     subnet: int
     logits: np.ndarray
     macs_charged: float
     macs_reused: float
+    macs_recomputed: float = 0.0
 
 
 class ExecutionSession:
@@ -86,6 +93,13 @@ class ExecutionSession:
         self._started = False
         self._current_subnet = -1
         self._last_logits: Optional[np.ndarray] = None
+        #: Subnet levels executed so far, in order — the replay script
+        #: that rebuilds an evicted context bit-for-bit.
+        self._level_history: List[int] = []
+        #: Set when the activation caches were evicted while suspended;
+        #: the next advance replays ``_level_history`` first (and the
+        #: backend charges those MACs via :meth:`pending_recompute_macs`).
+        self._recompute_pending = False
 
     # ------------------------------------------------------------------
     @property
@@ -106,11 +120,95 @@ class ExecutionSession:
         return target if target < self.backend.num_subnets else None
 
     def next_step_macs(self) -> Optional[float]:
-        """Cost (MACs) the backend charges for the next step (None when done)."""
+        """Cost (MACs) the backend charges for the next step (None when done).
+
+        Includes the honest recompute surcharge of an evicted context:
+        if this session's caches were dropped while it waited, the next
+        step must first replay every level it had executed, and that
+        work is charged here — schedulers, policies and the trace all
+        see the true cost of resuming an evicted job.
+        """
         target = self.next_subnet()
         if target is None:
             return None
-        return self.backend.step_cost(self._current_subnet if self._started else -1, target)
+        cost = self.backend.step_cost(self._current_subnet if self._started else -1, target)
+        return cost + self.pending_recompute_macs()
+
+    # ------------------------------------------------------------------
+    # Memory accounting and eviction hooks (see repro.serving.memory)
+    # ------------------------------------------------------------------
+    def resident_nbytes(self) -> int:
+        """Bytes this session's context currently pins in memory.
+
+        The delivered ``logits`` handed to the client are not counted —
+        they live on the serving record either way; what is measured is
+        the engine-side state (input copy, activation caches, plan aux
+        buffers, working logits), whether suspended here or currently
+        bound in the shared engine.
+        """
+        if self.backend._active is self:
+            return self.backend._engine.state_nbytes()
+        if self._state is None:
+            return 0
+        return self._state.nbytes()
+
+    def drop_aux(self) -> int:
+        """Tier-1 eviction: release the plan's aux buffers (transparent).
+
+        Returns the bytes freed; the buffers rebuild from the activation
+        cache on the next step, bit-for-bit and at no MAC charge.
+        """
+        self.backend.unbind(self)
+        if self._state is None:
+            return 0
+        return self._state.drop_aux()
+
+    def drop_state(self) -> int:
+        """Tier-2 eviction: release the whole context (recompute on resume).
+
+        Returns the bytes freed.  The job's serving-level progress
+        markers (current subnet, delivered logits) survive — only the
+        accelerator-side state is gone, so the next advance replays the
+        executed levels first and the backend charges those MACs.
+        """
+        self.backend.unbind(self)
+        if self._state is None:
+            return 0
+        freed = self._state.nbytes()
+        self._state = None
+        if self._started:
+            self._recompute_pending = True
+        return freed
+
+    def close(self) -> int:
+        """Release every resident buffer — the job left the system."""
+        self.backend.unbind(self)
+        if self._state is None:
+            return 0
+        freed = self._state.nbytes()
+        self._state = None
+        self._recompute_pending = False
+        return freed
+
+    def pending_recompute_macs(self) -> float:
+        """MACs the next advance must spend rebuilding evicted state."""
+        if not self._recompute_pending or self._current_subnet < 0:
+            return 0.0
+        return self.backend.recompute_macs(self._current_subnet)
+
+    def _rebuild(self, engine: IncrementalInference) -> None:
+        """Replay the executed level sequence on a fresh engine state.
+
+        The replay runs the exact ``run`` / ``step_to`` sequence the job
+        originally took (batched steps are bit-equal to solo ones, so
+        one replay script covers both), which restores the activation
+        caches, aux buffers and logits bit-for-bit.
+        """
+        levels = self._level_history
+        engine.run(self.inputs, subnet=levels[0])
+        for level in levels[1:]:
+            engine.step_to(level)
+        self._recompute_pending = False
 
     # ------------------------------------------------------------------
     def advance(self) -> StepOutcome:
@@ -119,17 +217,27 @@ class ExecutionSession:
         if target is None:
             raise RuntimeError("session already reached the largest subnet")
         cost = self.next_step_macs()
+        recomputed = self.pending_recompute_macs()
         engine = self.backend.bind(self)
-        if not self._started:
+        if self._recompute_pending:
+            self._rebuild(engine)
+            step = engine.step_to(target)
+        elif not self._started:
             step = engine.run(self.inputs, subnet=target)
         else:
             step = engine.step_to(target)
         self._note_step(step)
+        reused = float(step.macs_reused) if self.backend.reuses_activations else 0.0
+        if recomputed:
+            # The "reused" MACs of this step were just recomputed, not
+            # served from memory: report them as recompute, not reuse.
+            reused = 0.0
         return StepOutcome(
             subnet=step.subnet,
             logits=step.logits,
             macs_charged=float(cost),
-            macs_reused=float(step.macs_reused) if self.backend.reuses_activations else 0.0,
+            macs_reused=reused,
+            macs_recomputed=float(recomputed),
         )
 
     def suspend(self) -> None:
@@ -146,6 +254,7 @@ class ExecutionSession:
         self._started = True
         self._current_subnet = step.subnet
         self._last_logits = step.logits
+        self._level_history.append(step.subnet)
 
     # ------------------------------------------------------------------
     # Used by the backend to move state in and out of the shared engine.
@@ -226,6 +335,30 @@ class ExecutionBackend:
     def step_cost(self, from_subnet: int, to_subnet: int) -> float:
         """MACs charged for stepping ``from_subnet`` -> ``to_subnet``."""
         raise NotImplementedError
+
+    def recompute_macs(self, subnet: int) -> float:
+        """MACs to rebuild an evicted context last completed at ``subnet``.
+
+        For reuse backends the replay telescopes to the full cost of the
+        reached subnet; the recompute baseline charges nothing — it pays
+        the full subnet on every step anyway, so it has no cached work to
+        lose (the paper-level story: reuse is what memory buys).
+        """
+        if subnet < 0 or not self.reuses_activations:
+            return 0.0
+        return self.subnet_macs(subnet)
+
+    def context_nbytes(self, batch_size: int = 1) -> Optional[int]:
+        """Predicted resident footprint of one started context.
+
+        Plan-based (``None`` for uncompiled networks): what one request
+        of ``batch_size`` samples pins once it has taken a step — used to
+        size memory budgets and as the fleet router's per-request
+        memory-demand estimate.
+        """
+        if self.plan is None:
+            return None
+        return self.plan.state_nbytes(batch_size)
 
     def open(self, inputs: np.ndarray, start_subnet: int = 0) -> ExecutionSession:
         """Start a new session for one request's input batch."""
@@ -321,10 +454,18 @@ class BatchedSteppingBackend(SteppingBackend):
         from_subnet, target = self.group_edge(sessions)
         cost = self.step_cost(from_subnet, target)
         states: List[InferenceState] = []
+        recomputes: List[float] = []
         for session in sessions:
+            # An evicted member first replays its executed levels solo
+            # (bit-equal to the state it lost) and rejoins the batch with
+            # its caches restored; the replay MACs are charged to it.
+            recomputes.append(session.pending_recompute_macs())
+            if session._recompute_pending:
+                session._rebuild(self.bind(session))
             # A group member may be the engine's resident context from an
-            # earlier solo step: detach it first so every member's state
-            # is owned by its session while the shared pass runs.
+            # earlier solo step (or the rebuild above): detach it first so
+            # every member's state is owned by its session while the
+            # shared pass runs.
             if self._active is session:
                 session._export(self._engine)
                 self._active = None
@@ -346,18 +487,24 @@ class BatchedSteppingBackend(SteppingBackend):
         macs_to = int(self.plan.subnet_macs[target])
         macs_from = int(self.plan.subnet_macs[from_subnet]) if from_subnet >= 0 else 0
         outcomes: List[StepOutcome] = []
-        for session, state, logits in zip(sessions, states, batch_logits):
+        for session, state, logits, recomputed in zip(
+            sessions, states, batch_logits, recomputes
+        ):
             step = StepResult.from_macs(target, logits, macs_to, macs_from)
             state.logits = logits
             state.current_subnet = target
             state.steps.append(step)
             session._note_step(step)
+            reused = float(macs_from) if self.reuses_activations else 0.0
+            if recomputed:
+                reused = 0.0  # rebuilt this dispatch, not served from memory
             outcomes.append(
                 StepOutcome(
                     subnet=target,
                     logits=logits,
-                    macs_charged=float(cost),
-                    macs_reused=float(macs_from) if self.reuses_activations else 0.0,
+                    macs_charged=float(cost + recomputed),
+                    macs_reused=reused,
+                    macs_recomputed=float(recomputed),
                 )
             )
         return outcomes
@@ -414,6 +561,9 @@ class ServingJob:
     session: ExecutionSession
     first_scheduled_at: Optional[float] = None
     steps_executed: int = 0
+    #: Simulated finish time of the job's last executed step — the
+    #: recency signal LRU eviction orders on.
+    last_executed_at: Optional[float] = None
 
     @property
     def started(self) -> bool:
@@ -422,3 +572,8 @@ class ServingJob:
     @property
     def current_subnet(self) -> int:
         return self.session.current_subnet
+
+    @property
+    def resident_nbytes(self) -> int:
+        """Bytes this job's inference context currently pins."""
+        return self.session.resident_nbytes()

@@ -82,6 +82,10 @@ class NodeState:
         self.expected_macs = float(engine.backend.subnet_macs(num_subnets - 1))
         self.assigned: List[Request] = []
         self._completions: List[float] = []  # predicted, non-decreasing
+        #: Predicted resident bytes per assigned in-system request
+        #: (parallel to ``_completions``): the plan-based context
+        #: footprint of each placed request, the analytic memory signal.
+        self._resident: List[int] = []
         self._busy_until = 0.0
         #: Live event loop, attached only by interleaved cluster serving.
         self.run: Optional[ServingRun] = None
@@ -120,6 +124,24 @@ class NodeState:
             return self.run.queue_depth
         return self.queue_length(now)
 
+    def resident_bytes(self, now: float) -> int:
+        """Bytes of inference contexts resident on this node.
+
+        With a live run attached, the *measured* residency of the node's
+        in-flight contexts as of its last step boundary (the same
+        staleness as :meth:`published_depth`); otherwise the fluid-model
+        estimate — each assigned in-system request charged its plan-based
+        context footprint.  The signal a memory-aware router places on:
+        heterogeneous nodes differ in both speed *and* memory headroom,
+        and a node serving under a tight
+        :attr:`~repro.serving.spec.ServingSpec.memory_budget_bytes` pays
+        recompute MACs for every context beyond its budget.
+        """
+        if self.run is not None:
+            return self.run.resident_bytes
+        start = bisect_right(self._completions, now)
+        return sum(self._resident[start:])
+
     # ------------------------------------------------------------------
     def attach_run(self, run: ServingRun) -> None:
         """Bind the node's live event loop (interleaved serving)."""
@@ -131,6 +153,8 @@ class NodeState:
         finish = self.predicted_finish(self.expected_macs, request.arrival_time)
         self._busy_until = finish
         self._completions.append(finish)
+        context = self.engine.backend.context_nbytes(request.batch_size)
+        self._resident.append(0 if context is None else context)
         if self.run is not None:
             self.run.push(request)
 
@@ -152,6 +176,16 @@ class Router:
     #: the cluster then serves interleaved so the signal reflects each
     #: node's real queue state instead of the fluid model.
     uses_queue_depth = False
+
+    @property
+    def needs_live_state(self) -> bool:
+        """Whether placements must read measured (interleaved) node state.
+
+        True for any live signal — published queue depth, resident
+        bytes — as opposed to the analytic fluid model; the cluster
+        serves interleaved exactly when this holds.
+        """
+        return self.uses_queue_depth
 
     def reset(self, nodes: Sequence[NodeState]) -> None:
         """Forget all routing state (start of a ``serve()`` run)."""
@@ -209,11 +243,19 @@ class LeastLoadedRouter(Router):
     ``"queue-depth"`` keys on the node's *published* scheduler depth
     (real queue state at step boundaries, stale by one in-flight event)
     with the analytic estimate demoted to a tie-break — the registered
-    ``"least-loaded-depth"`` router is exactly this configuration.
+    ``"least-loaded-depth"`` router is exactly this configuration;
+    ``"memory"`` keys on :meth:`NodeState.resident_bytes` — the node
+    whose inference contexts pin the fewest bytes takes the request,
+    which is what keeps memory-budgeted nodes
+    (:attr:`~repro.serving.spec.ServingSpec.memory_budget_bytes`) out of
+    eviction/recompute thrash; the registered ``"least-loaded-memory"``
+    router is this configuration.  Live-state signals (``"queue-depth"``,
+    ``"memory"``) make the cluster serve interleaved so placements read
+    measured node state.
     """
 
     name = "least-loaded"
-    SIGNALS = ("predicted-finish", "queue-depth")
+    SIGNALS = ("predicted-finish", "queue-depth", "memory")
 
     def __init__(self, signal: str = "predicted-finish") -> None:
         if signal not in self.SIGNALS:
@@ -226,12 +268,26 @@ class LeastLoadedRouter(Router):
     def uses_queue_depth(self) -> bool:  # type: ignore[override]
         return self.signal == "queue-depth"
 
+    @property
+    def needs_live_state(self) -> bool:  # type: ignore[override]
+        # Both live-state signals need the interleaved per-node runs.
+        return self.signal in ("queue-depth", "memory")
+
     def route(self, request: Request, nodes: Sequence[NodeState], now: float) -> int:
         if self.signal == "queue-depth":
             return min(
                 nodes,
                 key=lambda node: (
                     node.published_depth(now),
+                    node.predicted_finish(node.expected_macs, now),
+                    node.index,
+                ),
+            ).index
+        if self.signal == "memory":
+            return min(
+                nodes,
+                key=lambda node: (
+                    node.resident_bytes(now),
                     node.predicted_finish(node.expected_macs, now),
                     node.index,
                 ),
@@ -251,6 +307,15 @@ class QueueDepthLeastLoadedRouter(LeastLoadedRouter):
         super().__init__(signal="queue-depth")
 
 
+class MemoryAwareLeastLoadedRouter(LeastLoadedRouter):
+    """Least-loaded placement from measured resident-context bytes."""
+
+    name = "least-loaded-memory"
+
+    def __init__(self) -> None:
+        super().__init__(signal="memory")
+
+
 #: Name-based registry of router policies, mirroring ``SCHEDULERS``.
 ROUTERS: Dict[str, Type[Router]] = {
     RoundRobinRouter.name: RoundRobinRouter,
@@ -258,6 +323,7 @@ ROUTERS: Dict[str, Type[Router]] = {
     "jsq": JoinShortestQueueRouter,
     LeastLoadedRouter.name: LeastLoadedRouter,
     QueueDepthLeastLoadedRouter.name: QueueDepthLeastLoadedRouter,
+    MemoryAwareLeastLoadedRouter.name: MemoryAwareLeastLoadedRouter,
 }
 
 
@@ -370,6 +436,29 @@ class ClusterReport:
         return float(sum(report.total_macs for report in self.node_reports))
 
     # ------------------------------------------------------------------
+    # Fleet memory accounting
+    # ------------------------------------------------------------------
+    @property
+    def peak_resident_bytes(self) -> int:
+        """Largest post-event context residency any node reached."""
+        return max(
+            (report.peak_resident_bytes for report in self.node_reports), default=0
+        )
+
+    @property
+    def aux_evictions(self) -> int:
+        return sum(report.aux_evictions for report in self.node_reports)
+
+    @property
+    def cache_evictions(self) -> int:
+        return sum(report.cache_evictions for report in self.node_reports)
+
+    @property
+    def total_macs_recomputed(self) -> float:
+        """Fleet-wide MACs spent replaying evicted contexts."""
+        return float(sum(report.total_macs_recomputed for report in self.node_reports))
+
+    # ------------------------------------------------------------------
     # Fleet batch-occupancy accounting
     # ------------------------------------------------------------------
     @property
@@ -443,6 +532,10 @@ class ClusterReport:
             "solo_steps": self.solo_steps,
             "batched_steps": self.batched_steps,
             "mean_batch_occupancy": self.mean_batch_occupancy,
+            "peak_resident_bytes": self.peak_resident_bytes,
+            "aux_evictions": self.aux_evictions,
+            "cache_evictions": self.cache_evictions,
+            "total_macs_recomputed": self.total_macs_recomputed,
             "load_imbalance": self.load_imbalance,
             "node_jobs": self.node_jobs,
             "node_utilisation": self.node_utilisation,
@@ -606,16 +699,19 @@ class ServingCluster:
 
         With no explicit ``requests`` the spec's declared streams are
         built and merged (requires :meth:`from_spec` construction).
-        Depth-aware routers (``uses_queue_depth``) serve interleaved —
-        placements read real per-node queue state; every other router
-        uses the exact two-phase decomposition.
+        Live-state routers (``needs_live_state``: published queue depth,
+        resident bytes) serve interleaved — placements read measured
+        per-node state; every other router uses the exact two-phase
+        decomposition.
         """
         if requests is None:
             if self.spec is None:
                 raise ValueError("no requests given and no ClusterSpec to build them from")
             input_shape = self.engines[0].backend.network.spec.input_shape
             requests = self.spec.build_requests(input_shape=input_shape)
-        if getattr(self.router, "uses_queue_depth", False):
+        if getattr(self.router, "needs_live_state", False) or getattr(
+            self.router, "uses_queue_depth", False
+        ):
             _, node_reports = self._serve_interleaved(requests)
         else:
             partition = self.route_requests(requests)

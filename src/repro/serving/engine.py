@@ -49,6 +49,7 @@ from ..runtime.platform import ResourceTrace
 from ..runtime.policies import PolicyState, prediction_confidence
 from .backend import ExecutionBackend, ServingJob
 from .batching import BatchPolicy, NoBatching, get_batch_policy
+from .memory import EvictionEvent, EvictionPolicy, MemoryBudget
 from .request import Request
 from .scheduler import FIFOScheduler, Scheduler, get_scheduler
 
@@ -57,7 +58,12 @@ _TIME_EPS = 1e-12
 
 @dataclass
 class ServedStep:
-    """One executed subnet level of one request."""
+    """One executed subnet level of one request.
+
+    ``macs_recomputed`` (included in ``macs_charged``) is the replay
+    surcharge paid when this step resumed an evicted context — zero in
+    unbounded serving.
+    """
 
     subnet: int
     start_time: float
@@ -66,6 +72,7 @@ class ServedStep:
     macs_reused: float
     confidence: float
     logits: Optional[np.ndarray] = None
+    macs_recomputed: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -152,6 +159,11 @@ class JobRecord:
     def total_macs_reused(self) -> float:
         return sum(step.macs_reused for step in self.steps)
 
+    @property
+    def total_macs_recomputed(self) -> float:
+        """MACs this job spent replaying evicted state (part of charged)."""
+        return sum(step.macs_recomputed for step in self.steps)
+
 
 def _batch_accuracy(logits: Optional[np.ndarray], labels) -> Optional[float]:
     if logits is None or labels is None:
@@ -181,6 +193,19 @@ class ServingReport:
     #: for unbatched serving, larger entries where ready jobs shared a
     #: forward pass.
     batch_sizes: List[int] = field(default_factory=list)
+    #: Resident-context budget the run served under (None = unbounded)
+    #: and the eviction policy that enforced it.
+    memory_budget_bytes: Optional[float] = None
+    eviction_policy_name: str = ""
+    #: High-water mark of post-event residency — never exceeds the
+    #: budget when one is set; the unbounded run's peak is what
+    #: budget sweeps are sized from.
+    peak_resident_bytes: int = 0
+    aux_evictions: int = 0
+    cache_evictions: int = 0
+    bytes_evicted: int = 0
+    #: Every eviction performed, in order (tier, victim, bytes).
+    eviction_events: List[EvictionEvent] = field(default_factory=list)
 
     def invalidate_caches(self) -> None:
         """Drop memoised derived lists after mutating ``jobs``."""
@@ -304,6 +329,17 @@ class ServingReport:
         total = self.total_macs + self.total_macs_reused
         return self.total_macs_reused / total if total else 0.0
 
+    @property
+    def total_macs_recomputed(self) -> float:
+        """MACs spent replaying evicted contexts (included in total_macs)."""
+        return float(sum(job.total_macs_recomputed for job in self.jobs))
+
+    @property
+    def recompute_overhead(self) -> float:
+        """Fraction of all charged MACs that were eviction replays."""
+        total = self.total_macs
+        return self.total_macs_recomputed / total if total else 0.0
+
     # ------------------------------------------------------------------
     # Batch-occupancy accounting
     # ------------------------------------------------------------------
@@ -360,6 +396,14 @@ class ServingReport:
             "batched_steps": self.batched_steps,
             "mean_batch_occupancy": self.mean_batch_occupancy,
             "max_batch_occupancy": self.max_batch_occupancy,
+            "memory_budget_bytes": self.memory_budget_bytes,
+            "eviction_policy": self.eviction_policy_name,
+            "peak_resident_bytes": self.peak_resident_bytes,
+            "aux_evictions": self.aux_evictions,
+            "cache_evictions": self.cache_evictions,
+            "bytes_evicted": self.bytes_evicted,
+            "total_macs_recomputed": self.total_macs_recomputed,
+            "recompute_overhead": self.recompute_overhead,
         }
 
 
@@ -394,6 +438,20 @@ class ServingEngine:
         context switch).  A batched dispatch charges it once for the
         whole batch — amortising this overhead is the simulated-time
         benefit of batching.
+    memory_budget_bytes:
+        Bound on the total bytes of resident inference contexts
+        (suspended requests' activation caches, plan aux buffers, input
+        copies).  ``None`` (default) is unbounded; a bounded engine
+        evicts suspended jobs between events — aux buffers first (they
+        rebuild transparently), then whole contexts, whose resume
+        replays their executed levels and charges the recompute MACs
+        honestly.  Logits are bit-identical either way for any budget
+        that holds one running context; see :mod:`repro.serving.memory`.
+    eviction_policy:
+        Which suspended context to evict first
+        (:data:`~repro.serving.memory.EVICTION_POLICIES`: ``"lru"``,
+        ``"largest-first"``, ``"lowest-progress"``) — a registry name or
+        an :class:`~repro.serving.memory.EvictionPolicy` instance.
     drop_expired:
         When True, a request whose deadline passes before it ever runs
         is dropped without consuming accelerator time (admission
@@ -415,6 +473,8 @@ class ServingEngine:
         scheduler: Union[Scheduler, Type[Scheduler], str, None] = None,
         *,
         batch_policy: Union[BatchPolicy, str, None] = None,
+        memory_budget_bytes: Optional[float] = None,
+        eviction_policy: Union[EvictionPolicy, str] = "lru",
         overhead_per_step: float = 0.0,
         drop_expired: bool = False,
         enforce_deadline: bool = True,
@@ -439,6 +499,10 @@ class ServingEngine:
                 "one session per step"
             )
         self.batch_policy = batch_policy
+        #: Prototype budget (bound + policy, zeroed counters); every run
+        #: gets a fresh clone, like the scheduler.  Validates the policy
+        #: name and bound eagerly.
+        self.memory_budget = MemoryBudget(memory_budget_bytes, eviction_policy)
         self.overhead_per_step = overhead_per_step
         self.drop_expired = drop_expired
         self.enforce_deadline = enforce_deadline
@@ -546,6 +610,10 @@ class ServingRun:
         # O(n) ready-set scan.
         self._expiry: List[Tuple[float, int]] = []
         self._batch_sizes: List[int] = []
+        #: Fresh per-run resident-context budget (counters start at zero);
+        #: enforcement runs after every dispatch, so between events the
+        #: residency never exceeds the configured bound.
+        self.memory = engine.memory_budget.clone()
         self._report: Optional[ServingReport] = None
 
     # ------------------------------------------------------------------
@@ -574,6 +642,16 @@ class ServingRun:
         length exhibits.
         """
         return len(self.scheduler)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes the node's live inference contexts pin right now.
+
+        Like :attr:`queue_depth`, a stale-by-one-event signal: measured
+        state as of the last processed event — what a memory-aware fleet
+        router reads between arrivals.
+        """
+        return MemoryBudget.resident_bytes(self.scheduler.jobs())
 
     def next_event_time(self) -> Optional[float]:
         """When the next event would run (None when the run is drained)."""
@@ -612,6 +690,13 @@ class ServingRun:
         )
         report.jobs = [self._records[request_id] for request_id in sorted(self._records)]
         report.batch_sizes = list(self._batch_sizes)
+        report.memory_budget_bytes = self.memory.budget_bytes
+        report.eviction_policy_name = self.memory.policy.name
+        report.peak_resident_bytes = self.memory.peak_resident_bytes
+        report.aux_evictions = self.memory.aux_evictions
+        report.cache_evictions = self.memory.cache_evictions
+        report.bytes_evicted = self.memory.bytes_evicted
+        report.eviction_events = list(self.memory.events)
         self._report = report
         return report
 
@@ -634,6 +719,9 @@ class ServingRun:
         record.stop_reason = reason
         record.final_logits = job.session.logits
         self.scheduler.discard(job)
+        # The job left the system: release its resident context so the
+        # memory accounting (and any bounded budget) sees it gone.
+        job.session.close()
 
     def _batch_candidates(self, winner: ServingJob) -> List[ServingJob]:
         """Ready jobs that could share the winner's step, winner first.
@@ -739,6 +827,7 @@ class ServingRun:
 
         for member, outcome in zip(members, outcomes):
             member.steps_executed += 1
+            member.last_executed_at = finish
             record = self._records[member.request.request_id]
             record.steps.append(
                 ServedStep(
@@ -749,6 +838,7 @@ class ServingRun:
                     macs_reused=outcome.macs_reused,
                     confidence=prediction_confidence(outcome.logits),
                     logits=outcome.logits if engine.store_logits else None,
+                    macs_recomputed=outcome.macs_recomputed,
                 )
             )
             record.final_logits = outcome.logits
@@ -758,6 +848,7 @@ class ServingRun:
             # (and eventually all others) can make no further progress.
             for member in members:
                 self._finalize(member, "starved", "trace provides no further throughput")
+            self.memory.enforce(self.scheduler.jobs(), now=self.now)
             return
 
         self.now = finish
@@ -766,3 +857,8 @@ class ServingRun:
             stop_reason = engine._continuation_stop_reason(member, self.now, len(scheduler))
             if stop_reason is not None:
                 self._finalize(member, "completed", stop_reason)
+        # Memory only grows during a dispatch (the executed contexts'
+        # caches).  Enforce the resident budget now, with the members
+        # that just ran protected (evicted only as a last resort), so
+        # between events the residency never exceeds the bound.
+        self.memory.enforce(self.scheduler.jobs(), protected=members, now=self.now)

@@ -47,6 +47,7 @@ from ..runtime.traces import trace_library
 from ..utils.rng import new_generator
 from .backend import ExecutionBackend, get_backend
 from .batching import BATCH_POLICIES, get_batch_policy
+from .memory import MemoryBudget
 from .request import Request, get_stream
 from .scheduler import SCHEDULERS
 
@@ -179,6 +180,14 @@ class ServingSpec:
         Optional cap on the subnet levels this node serves (shallow
         nodes in heterogeneous fleets); ``None`` serves every level of
         the model.
+    memory_budget_bytes / eviction_policy:
+        Bounded resident-context memory
+        (:mod:`repro.serving.memory`): total bytes the node's suspended
+        inference contexts may pin (``None`` = unbounded) and the
+        eviction order (:data:`~repro.serving.memory.EVICTION_POLICIES`:
+        ``"lru"``, ``"largest-first"``, ``"lowest-progress"``).  Evicted
+        jobs recompute on resume; logits are unchanged, only latency and
+        MACs.
     """
 
     name: str = ""
@@ -201,6 +210,8 @@ class ServingSpec:
     max_batch_size: int = 8
     batch_window: float = 0.0
     num_subnets: Optional[int] = None
+    memory_budget_bytes: Optional[float] = None
+    eviction_policy: str = "lru"
 
     def __post_init__(self) -> None:
         # Fail at config load, not mid-simulation.
@@ -235,6 +246,13 @@ class ServingSpec:
             )
         if self.num_subnets is not None and self.num_subnets < 1:
             raise ValueError("num_subnets cap must be at least 1")
+        # Delegate to the single source of truth for the memory knobs:
+        # the constructor build_engine will call anyway (KeyError on an
+        # unknown eviction policy propagates with its registry message).
+        try:
+            MemoryBudget(self.memory_budget_bytes, self.eviction_policy)
+        except ValueError as exc:
+            raise ValueError(f"memory_budget_bytes: {exc}") from None
 
     # ------------------------------------------------------------------
     # Builders
@@ -294,6 +312,8 @@ class ServingSpec:
             self.build_trace(),
             self.scheduler,
             batch_policy=self.build_batch_policy(),
+            memory_budget_bytes=self.memory_budget_bytes,
+            eviction_policy=self.eviction_policy,
             overhead_per_step=overhead,
             drop_expired=self.drop_expired,
             enforce_deadline=self.enforce_deadline,

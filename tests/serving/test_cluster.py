@@ -365,6 +365,154 @@ class TestQueueDepthRouting:
         )
 
 
+class TestMemoryAwareRouting:
+    """The resident-bytes router and the fleet memory aggregates."""
+
+    def test_registered_and_flagged(self):
+        from repro.serving import MemoryAwareLeastLoadedRouter
+
+        assert "least-loaded-memory" in ROUTERS
+        router = get_router("least-loaded-memory")
+        assert isinstance(router, MemoryAwareLeastLoadedRouter)
+        assert router.signal == "memory"
+        assert router.needs_live_state  # resident bytes: serve interleaved
+        assert not router.uses_queue_depth  # ...but it routes on memory
+        assert LeastLoadedRouter(signal="memory").needs_live_state
+        assert get_router("least-loaded-depth").needs_live_state
+        assert not get_router("least-loaded").needs_live_state
+
+    def test_memory_signal_spreads_a_burst(
+        self, stepping_network, sample_pool, calibrated_rate
+    ):
+        """Resident contexts pile bytes on a node and push traffic away."""
+        images, _ = sample_pool
+        burst = [
+            Request(request_id=i, arrival_time=0.001 * i, inputs=images[i % len(images)][None])
+            for i in range(8)
+        ]
+        cluster = ServingCluster(
+            [
+                _engine(stepping_network, calibrated_rate),
+                _engine(stepping_network, calibrated_rate),
+            ],
+            router="least-loaded-memory",
+            names=["a", "b"],
+        )
+        report = cluster.serve(burst)
+        assert report.num_jobs == 8
+        assert all(count > 0 for count in report.node_jobs)
+
+    def test_analytic_resident_bytes_without_live_run(
+        self, stepping_network, sample_pool, calibrated_rate
+    ):
+        """The fluid-model fallback charges each in-system request its
+        plan-predicted context footprint."""
+        from repro.serving.cluster import NodeState
+
+        images, _ = sample_pool
+        engine = _engine(stepping_network, calibrated_rate)
+        node = NodeState(0, "n", engine)
+        context = engine.backend.context_nbytes(2)  # _requests uses batch_size=2
+        assert node.resident_bytes(0.0) == 0
+        request = Request(request_id=0, arrival_time=0.0, inputs=images[:2])
+        node.assign(request)
+        assert node.resident_bytes(0.0) == context
+        # Past the predicted completion the estimate drains back to zero.
+        assert node.resident_bytes(1e9) == 0
+
+    def test_fleet_report_memory_aggregates(self, stepping_network, sample_pool):
+        """ClusterReport sums node evictions and takes the peak residency."""
+        import numpy as np
+
+        from repro.core.incremental import IncrementalInference
+        from repro.runtime.policies import ConfidencePolicy
+        from repro.serving import SteppingBackend
+
+        images, _ = sample_pool
+        context = IncrementalInference(stepping_network, dtype=np.float32).plan.state_nbytes(1)
+        largest = float(stepping_network.subnet_macs(stepping_network.num_subnets - 1))
+        trace = ResourceTrace.constant(largest / 0.4, name="constant")
+        rng = np.random.default_rng(2)
+        requests, arrival = [], 0.0
+        for index in range(14):
+            arrival += float(rng.exponential(0.15))
+            requests.append(
+                Request(
+                    request_id=index,
+                    arrival_time=arrival,
+                    inputs=images[index % len(images)][None],
+                    deadline=arrival + float(rng.uniform(0.3, 8.0)),
+                )
+            )
+        engine = ServingEngine(
+            SteppingBackend(
+                stepping_network,
+                policy=ConfidencePolicy(threshold=1.0, respect_deadline=False),
+                dtype=np.float32,
+            ),
+            trace,
+            "edf",
+            memory_budget_bytes=int(context * 1.2),
+            enforce_deadline=False,
+        )
+        cluster = ServingCluster([engine], names=["only"])
+        report = cluster.serve(requests)
+        node = report.node_reports[0]
+        assert report.cache_evictions == node.cache_evictions > 0
+        assert report.aux_evictions == node.aux_evictions > 0
+        assert report.peak_resident_bytes == node.peak_resident_bytes
+        assert report.total_macs_recomputed == node.total_macs_recomputed > 0
+        payload = report.as_dict()
+        assert payload["cache_evictions"] == node.cache_evictions
+        assert payload["peak_resident_bytes"] == node.peak_resident_bytes
+        json.dumps(payload)  # artifact-ready
+
+
+class TestEndToEndDeterminism:
+    """Serving the same ClusterSpec JSON twice is byte-for-byte identical.
+
+    The regression the stack must never lose: every layer — model
+    synthesis from seeds, stream generation, routing, scheduling,
+    batching, memory eviction — is deterministic, so two fully
+    independent builds of the same config produce identical reports.
+    """
+
+    CONFIGS = ["cluster_smoke.json", "cluster_batched.json", "cluster_memory.json"]
+
+    @staticmethod
+    def _config_path(name):
+        from pathlib import Path
+
+        return Path(__file__).resolve().parents[2] / "benchmarks" / "configs" / name
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_serve_twice_byte_identical(self, config):
+        first = serve(None, ClusterSpec.from_json(self._config_path(config)))
+        second = serve(None, ClusterSpec.from_json(self._config_path(config)))
+        assert json.dumps(first.as_dict(), sort_keys=True) == json.dumps(
+            second.as_dict(), sort_keys=True
+        )
+
+    def test_memory_bounded_fleet_from_json_evicts_and_completes(self):
+        """Acceptance: the checked-in memory config exercises eviction."""
+        spec = ClusterSpec.from_json(self._config_path("cluster_memory.json"))
+        assert spec.router == "least-loaded-memory"
+        assert all(node.memory_budget_bytes is not None for node in spec.nodes)
+        assert {node.eviction_policy for node in spec.nodes} == {
+            "lru",
+            "largest-first",
+            "lowest-progress",
+        }
+        report = serve(None, spec)
+        payload = report.as_dict()
+        assert payload["completed"] + payload["dropped"] == payload["num_jobs"] > 0
+        assert payload["cache_evictions"] > 0  # tier 2 genuinely engaged
+        assert payload["total_macs_recomputed"] > 0
+        for node_spec, node_report in zip(spec.nodes, report.node_reports):
+            assert node_report.peak_resident_bytes <= node_spec.memory_budget_bytes
+        json.dumps(payload)  # artifact-ready
+
+
 class TestBatchedFleetFromJson:
     def test_checked_in_batched_cluster_config_serves(self):
         """Acceptance criterion: batching-enabled fleet runs from checked-in JSON."""

@@ -133,6 +133,114 @@ class TestReadyQueue:
             scheduler.pick(now=0.0)
 
 
+class TestReadyQueueFuzz:
+    """Randomized op sequences against the stateless ``select`` oracle.
+
+    The engine drives the heap-backed queues through interleaved
+    add / pick / discard traffic (including expiry-heap discards that
+    never pick), with lazy heap deletion underneath; for every reachable
+    queue state, ``pick`` must agree with the ``select`` ordering oracle
+    over the same live set, and ``get``/``len`` must track membership.
+    """
+
+    @pytest.mark.parametrize("name", ["fifo", "edf", "priority"])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_op_sequence_matches_oracle(self, name, seed):
+        rng = np.random.default_rng(seed)
+        scheduler = get_scheduler(name)
+        live = {}
+        next_id = 0
+        for _ in range(300):
+            op = rng.choice(["add", "pick", "expire", "complete", "get"], p=[0.35, 0.25, 0.15, 0.15, 0.1])
+            if op == "add":
+                arrival = round(float(rng.uniform(0.0, 4.0)), 1)  # ties likely
+                deadline = (
+                    None
+                    if rng.random() < 0.3
+                    else arrival + round(float(rng.uniform(0.5, 6.0)), 1)
+                )
+                job = _job(
+                    next_id, arrival, deadline=deadline, priority=int(rng.integers(0, 3))
+                )
+                live[next_id] = job
+                scheduler.add(job)
+                next_id += 1
+            elif op == "pick" and live:
+                picked = scheduler.pick(now=0.0)
+                assert picked is scheduler.select(list(live.values()), now=0.0)
+                # pick is stable: the winner stays queued until discarded
+                assert scheduler.pick(now=1.0) is picked
+            elif op == "expire" and live:
+                # Expiry-heap path: drop a random job *without* picking it
+                # (lazy heap entries must expire silently on later pops).
+                victim_id = int(rng.choice(list(live)))
+                scheduler.discard(live.pop(victim_id))
+                assert scheduler.get(victim_id) is None
+            elif op == "complete" and live:
+                picked = scheduler.pick(now=0.0)
+                live.pop(picked.request.request_id)
+                scheduler.discard(picked)
+            elif op == "get" and live:
+                some_id = int(rng.choice(list(live)))
+                assert scheduler.get(some_id) is live[some_id]
+            assert len(scheduler) == len(live)
+        # Drain: the emptied queue must keep agreeing with the oracle.
+        while live:
+            picked = scheduler.pick(now=0.0)
+            assert picked is scheduler.select(list(live.values()), now=0.0)
+            live.pop(picked.request.request_id)
+            scheduler.discard(picked)
+        with pytest.raises(LookupError):
+            scheduler.pick(now=0.0)
+
+    @pytest.mark.parametrize("name", ["fifo", "edf", "priority"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_expiry_heap_fuzz_end_to_end(self, stepping_network, name, seed):
+        """Random deadline traffic through drop_expired admission control.
+
+        Hardens the engine's expiry heap (lazy started/finalised skips):
+        dropped jobs must never have consumed accelerator time, started
+        deadline jobs must have begun before their deadline, and every
+        request must be accounted for exactly once.
+        """
+        rng = np.random.default_rng(seed)
+        requests = []
+        arrival = 0.0
+        for index in range(18):
+            arrival += float(rng.exponential(0.12))
+            deadline = (
+                None if rng.random() < 0.25 else arrival + float(rng.uniform(0.05, 2.0))
+            )
+            requests.append(
+                Request(
+                    request_id=index,
+                    arrival_time=arrival,
+                    inputs=np.zeros((1, 3, 12, 12)),
+                    deadline=deadline,
+                    priority=int(rng.integers(0, 3)),
+                )
+            )
+        largest = float(stepping_network.subnet_macs(stepping_network.num_subnets - 1))
+        trace = ResourceTrace.constant(largest / 0.4, name="constant")
+        engine = ServingEngine(
+            SteppingBackend(stepping_network), trace, name, drop_expired=True
+        )
+        report = engine.serve(requests)
+        assert report.num_jobs == len(requests)
+        statuses = {job.status for job in report.jobs}
+        assert statuses <= {"completed", "dropped"}
+        for job in report.jobs:
+            if job.status == "dropped":
+                # Admission control refunds the accelerator entirely.
+                assert job.steps == []
+                assert job.request.deadline is not None
+            elif job.request.deadline is not None and job.steps:
+                # A started deadline job began strictly before expiring.
+                assert job.steps[0].start_time < job.request.deadline
+        completed = [job for job in report.jobs if job.status == "completed"]
+        assert len(completed) + len(report.dropped_jobs) == len(requests)
+
+
 def _serve(network, requests, scheduler):
     largest = float(network.subnet_macs(network.num_subnets - 1))
     trace = ResourceTrace.constant(largest / 0.4, name="constant")

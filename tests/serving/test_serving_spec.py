@@ -234,6 +234,68 @@ class TestPolicyRegistry:
             get_policy("oracle")
 
 
+class TestMemoryKnobs:
+    def test_memory_fields_round_trip(self):
+        spec = ServingSpec(
+            memory_budget_bytes=262144.0,
+            eviction_policy="largest-first",
+        )
+        blob = json.dumps(spec.to_dict())
+        restored = ServingSpec.from_dict(json.loads(blob))
+        assert restored == spec
+        assert restored.memory_budget_bytes == 262144.0
+        assert restored.eviction_policy == "largest-first"
+
+    def test_unbounded_default_round_trips(self):
+        spec = ServingSpec()
+        blob = json.dumps(spec.to_dict())
+        restored = ServingSpec.from_dict(json.loads(blob))
+        assert restored.memory_budget_bytes is None
+        assert restored.eviction_policy == "lru"
+
+    def test_cluster_spec_round_trips_memory_knobs(self):
+        cluster = ClusterSpec(
+            nodes=(
+                ServingSpec(name="tight", memory_budget_bytes=65536, eviction_policy="lowest-progress"),
+                ServingSpec(name="roomy"),
+            ),
+            streams=(StreamSpec(kind="poisson", params={"rate": 5.0, "num_requests": 4}),),
+        )
+        blob = json.dumps(cluster.to_dict())
+        restored = ClusterSpec.from_dict(json.loads(blob))
+        assert restored == cluster
+        assert restored.nodes[0].memory_budget_bytes == 65536
+        assert restored.nodes[1].memory_budget_bytes is None
+
+    def test_invalid_memory_knobs_rejected(self):
+        with pytest.raises(ValueError, match="memory_budget_bytes"):
+            ServingSpec(memory_budget_bytes=0)
+        with pytest.raises(ValueError, match="memory_budget_bytes"):
+            ServingSpec(memory_budget_bytes=-4096)
+        # Values MemoryBudget cannot represent fail at config load too.
+        with pytest.raises(ValueError, match="memory_budget_bytes"):
+            ServingSpec(memory_budget_bytes=float("inf"))
+        with pytest.raises(ValueError, match="memory_budget_bytes"):
+            ServingSpec(memory_budget_bytes=0.5)  # truncates to zero bytes
+        with pytest.raises(KeyError, match="eviction"):
+            ServingSpec(eviction_policy="round-robin")
+
+    def test_build_engine_wires_memory_budget(self, stepping_network):
+        spec = ServingSpec(
+            trace="constant",
+            trace_rate=1e9,
+            memory_budget_bytes=131072,
+            eviction_policy="largest-first",
+        )
+        engine = spec.build_engine(stepping_network)
+        assert engine.memory_budget.budget_bytes == 131072
+        assert engine.memory_budget.policy.name == "largest-first"
+        unbounded = ServingSpec(trace="constant", trace_rate=1e9).build_engine(
+            stepping_network
+        )
+        assert unbounded.memory_budget.budget_bytes is None
+
+
 class TestBatchingAndCapKnobs:
     def test_batching_fields_round_trip(self):
         spec = ServingSpec(
