@@ -757,25 +757,20 @@ class NetworkPlan:
 
         slab = step.slabs.pack(from_subnet, to_subnet)
         if slab.units.size:
-            flats = [cols.reshape(-1, cols.shape[3] * out_h * out_w) for cols in colss]
-            if len({flat.shape for flat in flats}) == 1:
-                # (units, C*kh*kw) @ (B, C*kh*kw, N*oh*ow): one dispatch,
-                # one solo-shaped GEMM per member under the hood.
-                z = slab.weight @ np.stack(flats)
+            # One solo-shaped GEMM per member, not a stacked batched
+            # matmul: the incremental slab is a few units wide while the
+            # column buffers are full-width, so ``np.stack`` would copy
+            # far more bytes per member than the GEMM computes.  The
+            # per-member products are exactly the solo path's, keeping
+            # the batched step bit-equal by construction.
+            for cached, cols in zip(cacheds, colss):
+                flat = cols.reshape(-1, cols.shape[3] * out_h * out_w)
+                z = slab.weight @ flat
                 z += slab.bias[:, None]
                 z = activation_infer(z, step.activation)
-                for cached, zb in zip(cacheds, z):
-                    cached[:, slab.units] = zb.reshape(
-                        -1, cached.shape[0], out_h, out_w
-                    ).transpose(1, 0, 2, 3)
-            else:
-                for cached, flat in zip(cacheds, flats):
-                    z = slab.weight @ flat
-                    z += slab.bias[:, None]
-                    z = activation_infer(z, step.activation)
-                    cached[:, slab.units] = z.reshape(
-                        -1, cached.shape[0], out_h, out_w
-                    ).transpose(1, 0, 2, 3)
+                cached[:, slab.units] = z.reshape(
+                    -1, cached.shape[0], out_h, out_w
+                ).transpose(1, 0, 2, 3)
         return cacheds, [slab.units] * len(members)
 
     def _run_linear_batch(

@@ -61,9 +61,15 @@ class PolicyState:
     next_step_macs: float
     estimated_finish_time: float
     queue_depth: int = 0
+    #: Precomputed ``prediction_confidence(logits)`` when the caller
+    #: already paid for the softmax (the serving engine shares it with
+    #: the served-step record); None recomputes on demand.
+    confidence_value: Optional[float] = None
 
     @property
     def confidence(self) -> float:
+        if self.confidence_value is not None:
+            return self.confidence_value
         return prediction_confidence(self.logits)
 
     @property
@@ -95,6 +101,35 @@ class SteppingPolicy:
     name = "policy"
 
     def decide(self, state: PolicyState) -> PolicyDecision:
+        raise NotImplementedError
+
+    @property
+    def time_sensitive(self) -> bool:
+        """Whether :meth:`decide` can change between calls at one level.
+
+        A time-sensitive verdict reads the clock, the deadline or the
+        queue, so callers must re-ask at every boundary.  A
+        time-insensitive one depends only on the logits at the current
+        level and may be memoised per level (the serving engine's
+        continuous batching re-asks the same question many times per
+        round while sizing refills).  Defaults to True: caching is an
+        opt-in for policies that can prove their verdict is stable.
+        """
+        return True
+
+    def stationary_stop_reason(self, confidence: float) -> Optional[str]:
+        """Fast-path verdict from the prediction confidence alone.
+
+        Serving engines that already hold the step's memoised
+        confidence may consult this instead of building a full
+        :class:`PolicyState` — but only when :attr:`time_sensitive` is
+        False, a larger subnet exists, and no deadline is being
+        enforced (the engine owns those checks).  Returns the stop
+        reason, or None to keep stepping; must agree exactly with what
+        :meth:`decide` would conclude from the same confidence.  The
+        base implementation signals "no fast path" by raising, so
+        engines fall back to :meth:`decide`.
+        """
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -142,6 +177,19 @@ class ConfidencePolicy(SteppingPolicy):
         ):
             return PolicyDecision(False, "next step would miss the deadline")
         return PolicyDecision(True, f"confidence {confidence:.3f} below threshold")
+
+    @property
+    def time_sensitive(self) -> bool:
+        # With deadlines ignored the verdict is a pure function of the
+        # logits, which only change when the session advances a level.
+        return self.respect_deadline
+
+    def stationary_stop_reason(self, confidence: float) -> Optional[str]:
+        # Mirrors decide() for the confidence comparison; the engine has
+        # already ruled out the largest-subnet and deadline branches.
+        if confidence >= self.threshold:
+            return f"confident enough ({confidence:.3f} >= {self.threshold})"
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ConfidencePolicy(threshold={self.threshold})"

@@ -15,12 +15,15 @@ configs.
 * :mod:`repro.serving.backend` — the :class:`ExecutionBackend` protocol
   with the SteppingNet (reuse), recompute (slimmable) and batched
   shared-plan backends behind the :data:`BACKENDS` registry;
-* :mod:`repro.serving.scheduler` — FIFO / EDF / priority scheduling of
-  subnet steps behind the :data:`SCHEDULERS` registry;
+* :mod:`repro.serving.scheduler` — FIFO / EDF / priority plus the
+  cost-signal-aware batch-aware / least-recompute / utility-per-mac
+  scheduling of subnet steps behind the :data:`SCHEDULERS` registry,
+  every queue carrying a per-edge ready index for sub-linear batch
+  dispatch;
 * :mod:`repro.serving.batching` — batching policies
-  (:data:`BATCH_POLICIES`: none / same-level / windowed) that coalesce
-  ready requests at one subnet edge into a single shared-plan forward
-  pass, bit-equal per request to unbatched serving;
+  (:data:`BATCH_POLICIES`: none / same-level / windowed / continuous)
+  that coalesce ready requests at one subnet edge into a single
+  shared-plan forward pass, bit-equal per request to unbatched serving;
 * :mod:`repro.serving.memory` — the bounded resident-context budget:
   :class:`MemoryBudget` plus pluggable eviction policies
   (:data:`EVICTION_POLICIES`: lru / largest-first / lowest-progress)
@@ -49,6 +52,7 @@ The documented front door is :func:`serve`::
 from .backend import (
     BACKENDS,
     DEFAULT_SERVING_DTYPE,
+    BatchedRecomputeBackend,
     BatchedSteppingBackend,
     ExecutionBackend,
     ExecutionSession,
@@ -62,6 +66,7 @@ from .batching import (
     BATCH_POLICIES,
     BatchDecision,
     BatchPolicy,
+    ContinuousBatching,
     NoBatching,
     SameLevelBatching,
     WindowedBatching,
@@ -74,6 +79,7 @@ from .cluster import (
     LeastLoadedRouter,
     MemoryAwareLeastLoadedRouter,
     NodeState,
+    OccupancyAwareLeastLoadedRouter,
     QueueDepthLeastLoadedRouter,
     RoundRobinRouter,
     Router,
@@ -104,10 +110,13 @@ from .request import (
 )
 from .scheduler import (
     SCHEDULERS,
+    BatchAwareScheduler,
     EDFScheduler,
     FIFOScheduler,
+    LeastRecomputeScheduler,
     PriorityScheduler,
     Scheduler,
+    UtilityPerMacScheduler,
     get_scheduler,
 )
 from .spec import POLICIES, ClusterSpec, ServingSpec, StreamSpec, get_policy
@@ -120,6 +129,7 @@ __all__ = [
     "SteppingBackend",
     "RecomputeBackend",
     "BatchedSteppingBackend",
+    "BatchedRecomputeBackend",
     "ServingJob",
     "BACKENDS",
     "get_backend",
@@ -128,6 +138,7 @@ __all__ = [
     "NoBatching",
     "SameLevelBatching",
     "WindowedBatching",
+    "ContinuousBatching",
     "BATCH_POLICIES",
     "get_batch_policy",
     "ServingEngine",
@@ -147,6 +158,9 @@ __all__ = [
     "FIFOScheduler",
     "EDFScheduler",
     "PriorityScheduler",
+    "BatchAwareScheduler",
+    "LeastRecomputeScheduler",
+    "UtilityPerMacScheduler",
     "SCHEDULERS",
     "get_scheduler",
     "ServingSpec",
@@ -160,6 +174,7 @@ __all__ = [
     "LeastLoadedRouter",
     "QueueDepthLeastLoadedRouter",
     "MemoryAwareLeastLoadedRouter",
+    "OccupancyAwareLeastLoadedRouter",
     "ROUTERS",
     "get_router",
     "MemoryBudget",

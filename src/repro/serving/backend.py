@@ -72,6 +72,11 @@ class StepOutcome:
     macs_charged: float
     macs_reused: float
     macs_recomputed: float = 0.0
+    #: Lazily memoised ``prediction_confidence(logits)`` — the policy
+    #: check and the served-step record both need it, and the softmax is
+    #: a measurable slice of a small model's serving wall-clock.  Filled
+    #: by the engine on first use, never by backends.
+    confidence: Optional[float] = None
 
 
 class ExecutionSession:
@@ -429,20 +434,21 @@ class SteppingBackend(ExecutionBackend):
         return self.subnet_macs(to_subnet) - base
 
 
-class BatchedSteppingBackend(SteppingBackend):
-    """SteppingNet serving with shared-plan batched steps.
+class _SharedPlanBatchingMixin:
+    """Group advance through one shared :meth:`NetworkPlan.execute_batch` pass.
 
-    Identical cost model and per-request numerics to
-    :class:`SteppingBackend`; what changes is *how* a group of sessions
-    at the same subnet edge advances: one
-    :meth:`~repro.core.plan.NetworkPlan.execute_batch` pass instead of
-    one plan walk per session.  Logits are bit-equal (same dtype) to the
-    solo compiled path per request, so the unbatched backend remains the
-    correctness oracle.  Networks a plan cannot represent fall back to
-    looped solo advances (still correct, no shared pass).
+    Mixed into a concrete backend (stepping or recompute): the *stacking
+    mechanic* — detach every member's state, rebuild evicted members,
+    synthesise fresh state for unstarted ones, run one shared plan walk
+    and write the results back through ``_note_step`` — is identical for
+    both cost models; only :meth:`ExecutionBackend.step_cost` and
+    :attr:`ExecutionBackend.reuses_activations` (both read from ``self``)
+    differ.  Logits are bit-equal (same dtype) to the solo compiled path
+    per request, so the unbatched backend remains the correctness
+    oracle.  Networks a plan cannot represent fall back to looped solo
+    advances (still correct, no shared pass).
     """
 
-    name = "batched-stepping"
     supports_batching = True
 
     def advance_group(self, sessions: Sequence[ExecutionSession]) -> List[StepOutcome]:
@@ -510,6 +516,19 @@ class BatchedSteppingBackend(SteppingBackend):
         return outcomes
 
 
+class BatchedSteppingBackend(_SharedPlanBatchingMixin, SteppingBackend):
+    """SteppingNet serving with shared-plan batched steps.
+
+    Identical cost model and per-request numerics to
+    :class:`SteppingBackend`; what changes is *how* a group of sessions
+    at the same subnet edge advances: one
+    :meth:`~repro.core.plan.NetworkPlan.execute_batch` pass instead of
+    one plan walk per session (see :class:`_SharedPlanBatchingMixin`).
+    """
+
+    name = "batched-stepping"
+
+
 class RecomputeBackend(ExecutionBackend):
     """Slimmable-style serving: every step re-executes the full subnet.
 
@@ -525,6 +544,21 @@ class RecomputeBackend(ExecutionBackend):
         return self.subnet_macs(to_subnet)
 
 
+class BatchedRecomputeBackend(_SharedPlanBatchingMixin, RecomputeBackend):
+    """Recompute baseline with shared-plan batched steps.
+
+    The same stacking mechanic as :class:`BatchedSteppingBackend` over
+    the recompute cost model: each member of a same-edge group is
+    charged the *full* target-subnet MACs while the group still shares
+    one plan walk and one launch overhead.  This keeps reuse-vs-recompute
+    comparisons fair under batching — both baselines coalesce
+    identically; only the charged MACs differ, exactly as in the solo
+    executors.
+    """
+
+    name = "batched-recompute"
+
+
 #: Name-based registry of execution backends, mirroring ``SCHEDULERS``:
 #: declarative configs (:class:`~repro.serving.spec.ServingSpec`) refer to
 #: backends by kind.  ``"stepping"`` is the canonical key; the class-level
@@ -536,6 +570,7 @@ BACKENDS: Dict[str, Type[ExecutionBackend]] = {
     RecomputeBackend.name: RecomputeBackend,
     "batched": BatchedSteppingBackend,
     BatchedSteppingBackend.name: BatchedSteppingBackend,
+    BatchedRecomputeBackend.name: BatchedRecomputeBackend,
 }
 
 
@@ -564,6 +599,12 @@ class ServingJob:
     #: Simulated finish time of the job's last executed step — the
     #: recency signal LRU eviction orders on.
     last_executed_at: Optional[float] = None
+    #: Memoised ``(level, stop_reason)`` of the last continuation check,
+    #: valid only while the policy is not time-sensitive (the verdict at
+    #: one level cannot change until the session advances).  Continuous
+    #: batching re-asks the same question for every refill candidate at
+    #: every round; the memo turns those re-asks into a tuple compare.
+    stop_memo: Optional[tuple] = None
 
     @property
     def started(self) -> bool:
@@ -572,6 +613,29 @@ class ServingJob:
     @property
     def current_subnet(self) -> int:
         return self.session.current_subnet
+
+    @property
+    def edge(self) -> tuple:
+        """The job's ``(current, next)`` subnet edge — the batching key.
+
+        Two jobs share a forward pass exactly when their edges are
+        equal; the schedulers' per-edge ready index buckets on this.
+        Session-less jobs (scheduler unit tests) sit at the entry edge
+        ``(-1, 0)``, where every real request also starts.
+        """
+        if self.session is None:
+            return (-1, 0)
+        return (
+            self.session.current_subnet if self.started else -1,
+            self.session.next_subnet(),
+        )
+
+    @property
+    def pending_recompute_macs(self) -> float:
+        """Replay surcharge the job's next step must pay (0 when warm)."""
+        if self.session is None:
+            return 0.0
+        return self.session.pending_recompute_macs()
 
     @property
     def resident_nbytes(self) -> int:

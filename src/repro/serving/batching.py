@@ -19,7 +19,12 @@ jobs ride the winner's step as one shared
   coalescing wait: when the winner has not started yet and the batch is
   under-full, hold the dispatch for arrivals landing within
   ``window`` seconds of the winner's arrival (the classic serving-system
-  trade of a little first-token latency for a fuller batch).
+  trade of a little first-token latency for a fuller batch);
+* :class:`ContinuousBatching` (``"continuous"``) — greedy, plus
+  mid-wave refills: an under-full started dispatch is topped back up
+  with ready jobs from lower subnet edges, which catch up inside the
+  dispatch and ride the shared pass — batch occupancy no longer decays
+  as waves drain.
 
 The engine hands the policy a pre-validated candidate list (ready jobs
 at the winner's edge that its continuation checks would actually
@@ -72,6 +77,12 @@ class BatchPolicy:
     #: Whether the policy can ever return more than one member; the
     #: engine requires a batching-capable backend only when it can.
     coalesces = True
+    #: Whether the engine may top an under-full in-flight dispatch back
+    #: up with ready jobs from *lower* subnet edges (continuous
+    #: batching's mid-wave join): laggards catch up inside the dispatch
+    #: and ride the shared pass.  The policy itself still only sees
+    #: same-edge candidates in :meth:`form`.
+    refills = False
 
     def form(
         self,
@@ -183,6 +194,51 @@ class WindowedBatching(SameLevelBatching):
         )
 
 
+class ContinuousBatching(SameLevelBatching):
+    """Greedy coalescing plus mid-wave refills at every step boundary.
+
+    Dispatch formation is :class:`SameLevelBatching`'s (greedy, never
+    waiting — a request that misses this dispatch can join the *next*
+    step boundary instead, so idling for arrivals buys nothing).  What
+    changes is the :attr:`~BatchPolicy.refills` declaration: when a
+    started wave dispatches under-full, the engine tops it up with ready
+    jobs from lower subnet edges — each laggard catches up to the wave's
+    edge inside the dispatch (solo replay levels, exactly the mechanic
+    eviction-rejoin uses; its step-up policy is consulted between
+    levels) and then rides the shared pass.  Per-request logits stay
+    bit-equal to solo serving; occupancy no longer decays as waves
+    drain, which is the throughput multiplier
+    ``benchmarks/bench_continuous.py`` measures.
+
+    ``max_catchup_levels`` bounds the admission cost: a laggard whose
+    replay distance to the wave's edge exceeds the cap is not refilled —
+    it keeps its queue position and enters a *fresh* wave instead, where
+    its cohort batches wide.  Unbounded catch-up (the default, ``None``)
+    maximises occupancy but lets a high-riding wave absorb entry jobs
+    one or two at a time through long, skinny replay chains; a small cap
+    trades a little occupancy for fat entry waves.
+    """
+
+    name = "continuous"
+    refills = True
+
+    def __init__(
+        self, max_batch_size: int = 8, max_catchup_levels: Optional[int] = None
+    ) -> None:
+        super().__init__(max_batch_size)
+        if max_catchup_levels is not None and max_catchup_levels < 0:
+            raise ValueError("max_catchup_levels must be non-negative")
+        self.max_catchup_levels = (
+            None if max_catchup_levels is None else int(max_catchup_levels)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(max_batch_size={self.max_batch_size}, "
+            f"max_catchup_levels={self.max_catchup_levels})"
+        )
+
+
 #: Name-based registry of batching policies, mirroring ``SCHEDULERS``:
 #: declarative configs (:class:`~repro.serving.spec.ServingSpec`) refer
 #: to policies by name plus the ``max_batch_size`` / ``batch_window``
@@ -191,6 +247,7 @@ BATCH_POLICIES: Dict[str, Callable[..., BatchPolicy]] = {
     NoBatching.name: NoBatching,
     SameLevelBatching.name: SameLevelBatching,
     WindowedBatching.name: WindowedBatching,
+    ContinuousBatching.name: ContinuousBatching,
 }
 
 
@@ -198,12 +255,14 @@ def get_batch_policy(
     name: str,
     max_batch_size: Optional[int] = None,
     window: Optional[float] = None,
+    max_catchup_levels: Optional[int] = None,
 ) -> BatchPolicy:
     """Instantiate a batching policy by registry name.
 
-    ``max_batch_size`` and ``window`` are forwarded to the policies that
-    take them; passing them with ``"none"`` is accepted (and ignored) so
-    one config schema covers every policy.
+    ``max_batch_size``, ``window`` and ``max_catchup_levels`` are
+    forwarded to the policies that take them; passing them with
+    ``"none"`` is accepted (and ignored) so one config schema covers
+    every policy.
     """
     try:
         factory = BATCH_POLICIES[name.lower()]
@@ -217,4 +276,6 @@ def get_batch_policy(
             kwargs["max_batch_size"] = int(max_batch_size)
         if factory is WindowedBatching and window is not None:
             kwargs["window"] = float(window)
+        if factory is ContinuousBatching and max_catchup_levels is not None:
+            kwargs["max_catchup_levels"] = int(max_catchup_levels)
     return factory(**kwargs)

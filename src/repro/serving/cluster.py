@@ -142,6 +142,21 @@ class NodeState:
         start = bisect_right(self._completions, now)
         return sum(self._resident[start:])
 
+    def batch_potential(self, now: float) -> int:
+        """Ready jobs a newly placed request could share its first pass with.
+
+        With a live run attached, the measured number of queued jobs
+        still at the entry subnet edge (the scheduler's per-edge index,
+        same one-event staleness as :meth:`published_depth`) — the
+        occupancy signal: routing a request to the node where the most
+        first steps wait lets coalescing policies fill their shared
+        passes instead of fragmenting waves across the fleet.  Without a
+        live run, the fluid-model jobs-in-system count.
+        """
+        if self.run is not None:
+            return self.run.entry_edge_depth
+        return self.queue_length(now)
+
     # ------------------------------------------------------------------
     def attach_run(self, run: ServingRun) -> None:
         """Bind the node's live event loop (interleaved serving)."""
@@ -255,7 +270,7 @@ class LeastLoadedRouter(Router):
     """
 
     name = "least-loaded"
-    SIGNALS = ("predicted-finish", "queue-depth", "memory")
+    SIGNALS = ("predicted-finish", "queue-depth", "memory", "occupancy")
 
     def __init__(self, signal: str = "predicted-finish") -> None:
         if signal not in self.SIGNALS:
@@ -270,8 +285,8 @@ class LeastLoadedRouter(Router):
 
     @property
     def needs_live_state(self) -> bool:  # type: ignore[override]
-        # Both live-state signals need the interleaved per-node runs.
-        return self.signal in ("queue-depth", "memory")
+        # All live-state signals need the interleaved per-node runs.
+        return self.signal in ("queue-depth", "memory", "occupancy")
 
     def route(self, request: Request, nodes: Sequence[NodeState], now: float) -> int:
         if self.signal == "queue-depth":
@@ -288,6 +303,18 @@ class LeastLoadedRouter(Router):
                 nodes,
                 key=lambda node: (
                     node.resident_bytes(now),
+                    node.predicted_finish(node.expected_macs, now),
+                    node.index,
+                ),
+            ).index
+        if self.signal == "occupancy":
+            # Maximise batch potential: join the node where the most
+            # first steps wait (fullest shared pass), finish-time and
+            # node index breaking ties.
+            return min(
+                nodes,
+                key=lambda node: (
+                    -node.batch_potential(now),
                     node.predicted_finish(node.expected_macs, now),
                     node.index,
                 ),
@@ -316,6 +343,23 @@ class MemoryAwareLeastLoadedRouter(LeastLoadedRouter):
         super().__init__(signal="memory")
 
 
+class OccupancyAwareLeastLoadedRouter(LeastLoadedRouter):
+    """Placement that maximises batch occupancy: join the fullest wave.
+
+    Routes each request to the node with the most queued first steps
+    (:meth:`NodeState.batch_potential`), so coalescing batch policies —
+    ``"continuous"`` in particular — form full shared passes instead of
+    fragmenting a wave across half-idle nodes.  Live-state: the cluster
+    serves interleaved and the signal is each node's measured per-edge
+    queue depth.
+    """
+
+    name = "least-loaded-occupancy"
+
+    def __init__(self) -> None:
+        super().__init__(signal="occupancy")
+
+
 #: Name-based registry of router policies, mirroring ``SCHEDULERS``.
 ROUTERS: Dict[str, Type[Router]] = {
     RoundRobinRouter.name: RoundRobinRouter,
@@ -324,6 +368,7 @@ ROUTERS: Dict[str, Type[Router]] = {
     LeastLoadedRouter.name: LeastLoadedRouter,
     QueueDepthLeastLoadedRouter.name: QueueDepthLeastLoadedRouter,
     MemoryAwareLeastLoadedRouter.name: MemoryAwareLeastLoadedRouter,
+    OccupancyAwareLeastLoadedRouter.name: OccupancyAwareLeastLoadedRouter,
 }
 
 

@@ -39,15 +39,20 @@ import heapq
 import math
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Type, Union
 
 import numpy as np
 
 from ..analysis.metrics import deadline_miss_rate as _deadline_miss_rate
 from ..analysis.metrics import percentile
 from ..runtime.platform import ResourceTrace
-from ..runtime.policies import PolicyState, prediction_confidence
-from .backend import ExecutionBackend, ServingJob
+from ..runtime.policies import (
+    PolicyState,
+    SteppingPolicy,
+    prediction_confidence,
+    softmax,
+)
+from .backend import ExecutionBackend, ServingJob, StepOutcome
 from .batching import BatchPolicy, NoBatching, get_batch_policy
 from .memory import EvictionEvent, EvictionPolicy, MemoryBudget
 from .request import Request
@@ -189,10 +194,16 @@ class ServingReport:
     scheduler_name: str = ""
     trace_name: str = ""
     batch_policy_name: str = "none"
-    #: Member count of every dispatch, in execution order: ``[1, 1, ...]``
-    #: for unbatched serving, larger entries where ready jobs shared a
-    #: forward pass.
+    #: Member count of every executed forward pass, in execution order:
+    #: ``[1, 1, ...]`` for unbatched serving, larger entries where ready
+    #: jobs shared a pass.  A continuous-batching dispatch contributes
+    #: one entry per catch-up cohort pass plus one for the shared pass
+    #: it tops up, so every executed step belongs to exactly one entry.
     batch_sizes: List[int] = field(default_factory=list)
+    #: Jobs a continuous-batching run topped into an in-flight wave
+    #: (each one caught up mid-dispatch instead of opening a new wave);
+    #: 0 for every policy without refills.
+    refilled_jobs: int = 0
     #: Resident-context budget the run served under (None = unbounded)
     #: and the eviction policy that enforced it.
     memory_budget_bytes: Optional[float] = None
@@ -345,7 +356,13 @@ class ServingReport:
     # ------------------------------------------------------------------
     @property
     def num_dispatches(self) -> int:
-        """Accelerator dispatches (a batch of any size counts once)."""
+        """Executed forward passes (a shared pass of any size counts once).
+
+        The wall-clock unit batching amortises: each entry is one plan
+        walk, whatever its member count.  Continuous batching's catch-up
+        cohorts count as their own passes even though they ride their
+        dispatch's single launch overhead.
+        """
         return len(self.batch_sizes)
 
     @property
@@ -396,6 +413,7 @@ class ServingReport:
             "batched_steps": self.batched_steps,
             "mean_batch_occupancy": self.mean_batch_occupancy,
             "max_batch_occupancy": self.max_batch_occupancy,
+            "refilled_jobs": self.refilled_jobs,
             "memory_budget_bytes": self.memory_budget_bytes,
             "eviction_policy": self.eviction_policy_name,
             "peak_resident_bytes": self.peak_resident_bytes,
@@ -428,11 +446,14 @@ class ServingEngine:
         silently corrupting each other.
     batch_policy:
         A :class:`~repro.serving.batching.BatchPolicy` registry name
-        (``"none"``, ``"same-level"``, ``"windowed"``) or instance.
-        Anything but ``"none"`` coalesces compatible ready jobs at the
-        scheduler winner's subnet edge into one shared forward pass and
-        requires a batching-capable backend
-        (:class:`~repro.serving.backend.BatchedSteppingBackend`).
+        (``"none"``, ``"same-level"``, ``"windowed"``, ``"continuous"``)
+        or instance.  Anything but ``"none"`` coalesces compatible ready
+        jobs at the scheduler winner's subnet edge into one shared
+        forward pass and requires a batching-capable backend
+        (:class:`~repro.serving.backend.BatchedSteppingBackend` or
+        :class:`~repro.serving.backend.BatchedRecomputeBackend`);
+        ``"continuous"`` additionally refills under-full in-flight waves
+        with catch-up laggards at every step boundary.
     overhead_per_step:
         Fixed seconds charged per executed subnet step (kernel launch,
         context switch).  A batched dispatch charges it once for the
@@ -539,20 +560,97 @@ class ServingEngine:
         return run.finish()
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _outcome_confidence(outcome: "StepOutcome") -> float:
+        """The outcome's prediction confidence, softmaxed exactly once."""
+        if outcome.confidence is None:
+            outcome.confidence = prediction_confidence(outcome.logits)
+        return outcome.confidence
+
+    @staticmethod
+    def _fill_group_confidences(outcomes: Sequence["StepOutcome"]) -> None:
+        """Memoise the confidences of one shared pass in a single softmax.
+
+        One vectorised softmax over the stacked single-image rows
+        replaces ``B`` tiny per-member numpy calls — a measurable share
+        of the per-step host cost at interactive batch shapes.  Softmax,
+        row-max and the batch mean are all per-row reductions, so each
+        member's value is bit-identical to the solo
+        :func:`prediction_confidence` of its own logits.  Multi-image
+        members (their confidence is a mean over their own rows) are
+        left for the lazy solo path.
+        """
+        pending = [
+            outcome
+            for outcome in outcomes
+            if outcome.confidence is None and outcome.logits.shape[0] == 1
+        ]
+        if len(pending) < 2:
+            return
+        stacked = np.concatenate(
+            [np.asarray(outcome.logits, dtype=np.float64) for outcome in pending]
+        )
+        maxes = softmax(stacked).max(axis=-1)
+        for outcome, value in zip(pending, maxes):
+            outcome.confidence = float(value)
+
     def _continuation_stop_reason(
-        self, job: ServingJob, now: float, ready_count: int
+        self,
+        job: ServingJob,
+        now: float,
+        ready_count: int,
+        outcome: Optional["StepOutcome"] = None,
     ) -> Optional[str]:
-        """Why ``job`` should be finalised now, or None to keep refining."""
+        """Why ``job`` should be finalised now, or None to keep refining.
+
+        ``outcome`` is the step the job just executed, when the caller
+        has it at hand: its memoised confidence is shared with the
+        policy so one softmax per step serves both the verdict and the
+        served-step record.
+        """
         session = job.session
         deadline = job.request.deadline
         if session.next_subnet() is None:
             return "largest subnet reached"
         if self.enforce_deadline and deadline is not None and now >= deadline - _TIME_EPS:
             return "deadline reached"
-        next_macs = session.next_step_macs()
-        estimated = self.trace.time_to_execute(next_macs, now)
-        if math.isfinite(estimated):
-            estimated += self.overhead_per_step
+        cacheable = not self.backend.policy.time_sensitive and not (
+            self.enforce_deadline and deadline is not None
+        )
+        if cacheable:
+            memo = job.stop_memo
+            if memo is not None and memo[0] == session.current_subnet:
+                return memo[1]
+            policy = self.backend.policy
+            if (
+                outcome is not None
+                and type(policy).stationary_stop_reason
+                is not SteppingPolicy.stationary_stop_reason
+            ):
+                # The policy verdict is stationary (no clock, no
+                # deadline) and the step's confidence is already
+                # memoised: ask the policy directly instead of pricing
+                # the next step and building a full PolicyState.  The
+                # fast path must agree exactly with decide(); policies
+                # that don't override it take the full path below.
+                reason = policy.stationary_stop_reason(
+                    self._outcome_confidence(outcome)
+                )
+                job.stop_memo = (session.current_subnet, reason)
+                return reason
+        if self.backend.policy.time_sensitive:
+            next_macs = float(session.next_step_macs())
+            estimated = self.trace.time_to_execute(next_macs, now)
+            if math.isfinite(estimated):
+                estimated += self.overhead_per_step
+        else:
+            # A time-insensitive verdict is a pure function of the
+            # logits (that is what the flag asserts), so skip pricing
+            # the next step — neither the MAC lookup chain nor the
+            # trace walk can influence the decision, and continuation
+            # checks run once per member per level.
+            next_macs = math.nan
+            estimated = math.inf
         state = PolicyState(
             current_subnet=session.current_subnet,
             num_subnets=self.backend.num_subnets,
@@ -562,9 +660,15 @@ class ServingEngine:
             next_step_macs=float(next_macs),
             estimated_finish_time=estimated,
             queue_depth=max(ready_count - 1, 0),
+            confidence_value=(
+                self._outcome_confidence(outcome) if outcome is not None else None
+            ),
         )
         decision = self.backend.policy.decide(state)
-        return None if decision.step_up else decision.reason
+        reason = None if decision.step_up else decision.reason
+        if cacheable:
+            job.stop_memo = (session.current_subnet, reason)
+        return reason
 
 
 class ServingRun:
@@ -610,10 +714,18 @@ class ServingRun:
         # O(n) ready-set scan.
         self._expiry: List[Tuple[float, int]] = []
         self._batch_sizes: List[int] = []
+        self._refilled_jobs: int = 0
         #: Fresh per-run resident-context budget (counters start at zero);
         #: enforcement runs after every dispatch, so between events the
         #: residency never exceeds the configured bound.
         self.memory = engine.memory_budget.clone()
+        # Unbounded runs track residency incrementally (a per-executed-job
+        # ledger) instead of re-summing every queued context per dispatch
+        # — the peak stays exact and dispatch cost stays independent of
+        # the queue length.  Bounded runs keep the full eviction scan.
+        self._resident_total: int = 0
+        self._resident_sizes: Dict[Union[int, str], int] = {}
+        self._footprint_by_level: Dict[Tuple[int, Tuple[int, ...]], int] = {}
         self._report: Optional[ServingReport] = None
 
     # ------------------------------------------------------------------
@@ -653,6 +765,17 @@ class ServingRun:
         """
         return MemoryBudget.resident_bytes(self.scheduler.jobs())
 
+    @property
+    def entry_edge_depth(self) -> int:
+        """Queued jobs still at the entry subnet edge ``(-1, 0)``.
+
+        The batch companions a newly routed request would share its
+        mandatory first pass with — the occupancy-aware routing signal,
+        read straight off the scheduler's per-edge index with the same
+        one-event staleness as :attr:`queue_depth`.
+        """
+        return self.scheduler.count_at_edge((-1, 0))
+
     def next_event_time(self) -> Optional[float]:
         """When the next event would run (None when the run is drained)."""
         if len(self.scheduler):
@@ -690,6 +813,7 @@ class ServingRun:
         )
         report.jobs = [self._records[request_id] for request_id in sorted(self._records)]
         report.batch_sizes = list(self._batch_sizes)
+        report.refilled_jobs = self._refilled_jobs
         report.memory_budget_bytes = self.memory.budget_bytes
         report.eviction_policy_name = self.memory.policy.name
         report.peak_resident_bytes = self.memory.peak_resident_bytes
@@ -719,6 +843,10 @@ class ServingRun:
         record.stop_reason = reason
         record.final_logits = job.session.logits
         self.scheduler.discard(job)
+        if self.memory.budget_bytes is None:
+            self._resident_total -= self._resident_sizes.pop(
+                job.request.request_id, 0
+            )
         # The job left the system: release its resident context so the
         # memory accounting (and any bounded budget) sees it gone.
         job.session.close()
@@ -730,40 +858,154 @@ class ServingRun:
         qualify — mixed start levels never reach the batch policy — and
         started companions whose continuation checks say "stop" are left
         for their own pick instead of being advanced past their policy.
-        Companions are offered in scheduler preference order.
+        Companions come from the scheduler's per-edge ready index in
+        preference order: ``O(B log n)`` for a ``B``-member batch instead
+        of a scan-and-sort over the whole ready set.  Stop-reason checks
+        (policy.decide + a trace query) stay lazy — run in preference
+        order only until the policy's batch is full — with the fetch size
+        doubled only when filtered companions leave the batch under-full.
         """
         engine = self.engine
-        edge = (
-            winner.session.current_subnet if winner.started else -1,
-            winner.session.next_subnet(),
-        )
-        companions: List[ServingJob] = []
-        for job in self.scheduler.jobs():
-            if job is winner:
-                continue
-            current = job.session.current_subnet if job.started else -1
-            if (current, job.session.next_subnet()) == edge:
-                companions.append(job)
-        try:
-            companions.sort(key=self.scheduler.key)
-        except NotImplementedError:
-            pass  # select()-only scheduler: admission order
-        # Stop-reason checks (policy.decide + a trace query) are the
-        # expensive part: run them lazily, in preference order, only
-        # until the policy's batch is full.
+        scheduler = self.scheduler
+        edge = winner.edge
         limit = getattr(engine.batch_policy, "max_batch_size", None)
-        ready = len(self.scheduler)
         members = [winner]
-        for job in companions:
-            if limit is not None and len(members) >= limit:
+        if limit is not None and limit <= 1:
+            return members
+        total = scheduler.count_at_edge(edge)
+        if total <= 1:
+            return members
+        ready = len(scheduler)
+        fetch = total if limit is None else min(total, limit)
+        offset = 0
+        while limit is None or len(members) < limit:
+            candidates = scheduler.jobs_at_edge(edge, fetch)
+            for job in candidates[offset:]:
+                if limit is not None and len(members) >= limit:
+                    break
+                if job is winner:
+                    continue
+                if (
+                    job.started
+                    and engine._continuation_stop_reason(job, self.now, ready) is not None
+                ):
+                    continue
+                members.append(job)
+            if fetch >= total:
                 break
+            offset = len(candidates)
+            fetch = min(total, fetch * 2)
+        return members
+
+    def _catch_up_macs(self, job: ServingJob, target: int) -> float:
+        """Upper bound on the MACs ``job`` adds to a dispatch joined at ``target``.
+
+        The full catch-up path: the pending eviction replay, every level
+        from the job's next up to the wave's edge, plus the job's share
+        of the shared ``(edge -> target)`` step itself.  An upper bound —
+        the job's policy may stop it mid catch-up — which is the safe
+        direction for the deadline guard.
+        """
+        session = job.session
+        backend = self.engine.backend
+        macs = session.pending_recompute_macs()
+        prev = session.current_subnet if job.started else -1
+        first = session.current_subnet + 1 if job.started else session.start_subnet
+        for level in range(first, target + 1):
+            macs += backend.step_cost(prev, level)
+            prev = level
+        return macs
+
+    def _refill_laggards(
+        self,
+        winner: ServingJob,
+        members: List[ServingJob],
+        slots: int,
+        exclude: Optional[Set[str]] = None,
+    ) -> List[ServingJob]:
+        """Ready jobs below the wave's edge that can catch up and join it.
+
+        Continuous batching's mid-wave join: candidates come from the
+        per-edge index (every edge strictly below the winner's current
+        level, the entry edge included), merged in scheduler preference
+        order.  A candidate is skipped when its own policy already says
+        stop, or when its catch-up work — which rides the same dispatch
+        and therefore delays everyone — would push the projected finish
+        past any accepted member's (or its own) deadline.  ``exclude``
+        lists request ids already consumed by this dispatch (refilled
+        laggards that stopped during catch-up) whose ready-index entries
+        are stale until the dispatch finalises them.
+        """
+        engine = self.engine
+        scheduler = self.scheduler
+        from_level = winner.session.current_subnet
+        target = winner.session.next_subnet()
+        catchup_cap = getattr(engine.batch_policy, "max_catchup_levels", None)
+        taken = {member.request.request_id for member in members}
+        if exclude:
+            taken |= exclude
+        pool: List[ServingJob] = []
+        for edge in scheduler.edges():
+            level, next_level = edge
+            if next_level is None or level >= from_level:
+                continue
+            if catchup_cap is not None and from_level - level > catchup_cap:
+                # Replay distance exceeds the admission cap: let the job
+                # keep its queue position and open a fresh, wide wave
+                # later instead of trickling in through a skinny replay.
+                continue
+            # Overfetch by the exclusion count: consumed-but-unfinalised
+            # jobs (earlier refill rounds of this dispatch) still occupy
+            # the front of their old edge bucket and must not crowd the
+            # fetch window.
+            pool.extend(scheduler.jobs_at_edge(edge, slots + len(taken)))
+        try:
+            pool.sort(key=scheduler.key)
+        except NotImplementedError:
+            pass  # select()-only scheduler: admission order per edge
+        bound = math.inf
+        if engine.enforce_deadline:
+            for member in members:
+                deadline = member.request.deadline
+                if deadline is not None:
+                    bound = min(bound, deadline)
+        # The dispatch's MAC total is only needed to project a finish
+        # time against a *finite* deadline bound; deadline-free serving
+        # never prices catch-up work, so build it lazily (including the
+        # laggards admitted before the first deadline appeared).
+        base_macs: Optional[float] = None
+        ready = len(scheduler)
+        laggards: List[ServingJob] = []
+        for job in pool:
+            if len(laggards) >= slots:
+                break
+            if job.request.request_id in taken:
+                continue
             if (
                 job.started
                 and engine._continuation_stop_reason(job, self.now, ready) is not None
             ):
                 continue
-            members.append(job)
-        return members
+            cand_bound = bound
+            if engine.enforce_deadline and job.request.deadline is not None:
+                cand_bound = min(cand_bound, job.request.deadline)
+            if cand_bound < math.inf:
+                if base_macs is None:
+                    base_macs = sum(
+                        member.session.next_step_macs() for member in members
+                    )
+                    for admitted in laggards:
+                        base_macs += self._catch_up_macs(admitted, target)
+                extra = self._catch_up_macs(job, target)
+                projected = engine.trace.time_to_execute(base_macs + extra, self.now)
+                if math.isfinite(projected):
+                    projected += engine.overhead_per_step
+                if not projected <= cand_bound - _TIME_EPS:
+                    continue  # joining would blow a deadline; try the next
+                base_macs += extra
+            bound = cand_bound
+            laggards.append(job)
+        return laggards
 
     def _advance_once(self) -> None:
         """Process exactly one event (idle jump, coalescing wait or dispatch)."""
@@ -812,21 +1054,96 @@ class ServingRun:
         for member in members:
             if member.first_scheduled_at is None:
                 member.first_scheduled_at = self.now
-        total_macs = sum(member.session.next_step_macs() for member in members)
+
+        # Execute first, then clock the dispatch: laggards catch up level
+        # by level and their policies may stop them short of the join, so
+        # the MACs the dispatch actually charges are only known after the
+        # passes ran.  Execution consumes no *simulated* time (the trace
+        # query is pure), so the reorder changes no timing.
+        group = list(members)
+        executed: List[Tuple[ServingJob, "StepOutcome"]] = []
+        early_stops: List[Tuple[ServingJob, str]] = []
+        from_level = job.session.current_subnet if job.started else -1
+        ready = len(scheduler)
+
+        def catch_up(batch: List[ServingJob]) -> None:
+            # Laggards catch up in lockstep: each round, every laggard at
+            # the same subnet edge advances in one shared pass (laggards
+            # mostly come off the entry edge together, so the catch-up
+            # itself batches instead of degenerating into per-job solo
+            # walks).  The laggard's own policy rules between every
+            # caught-up level, exactly as it would at a solo step
+            # boundary — a job is never refined past what its policy
+            # allows just to fill a batch.
+            active = [
+                laggard
+                for laggard in batch
+                if laggard.session.current_subnet < from_level
+            ]
+            while active:
+                cohorts: Dict[Tuple, List[ServingJob]] = {}
+                for laggard in active:
+                    cohorts.setdefault(laggard.edge, []).append(laggard)
+                active = []
+                for cohort in cohorts.values():
+                    if len(cohort) == 1:
+                        outcomes = [cohort[0].session.advance()]
+                    else:
+                        outcomes = engine.backend.advance_group(
+                            [laggard.session for laggard in cohort]
+                        )
+                        engine._fill_group_confidences(outcomes)
+                    self._batch_sizes.append(len(cohort))
+                    for laggard, outcome in zip(cohort, outcomes):
+                        laggard.steps_executed += 1
+                        executed.append((laggard, outcome))
+                        stop_reason = engine._continuation_stop_reason(
+                            laggard, self.now, ready, outcome
+                        )
+                        if stop_reason is not None:
+                            early_stops.append((laggard, stop_reason))
+                        elif laggard.session.current_subnet == from_level:
+                            group.append(laggard)
+                        else:
+                            active.append(laggard)
+
+        if engine.batch_policy.refills and job.started:
+            limit = getattr(engine.batch_policy, "max_batch_size", None)
+            if limit is not None and len(group) < limit:
+                # One refill round per dispatch: re-refilling after
+                # catch-up stop-outs free slots again would consume the
+                # entry backlog through many skinny level-0 cohorts
+                # instead of few wide entry waves — measurably more
+                # passes, not fewer.
+                more = self._refill_laggards(job, group, limit - len(group))
+                self._refilled_jobs += len(more)
+                for member in more:
+                    if member.first_scheduled_at is None:
+                        member.first_scheduled_at = self.now
+                catch_up(more)
+
+        if len(group) == 1:
+            group_outcomes = [group[0].session.advance()]
+        else:
+            group_outcomes = engine.backend.advance_group(
+                [member.session for member in group]
+            )
+            engine._fill_group_confidences(group_outcomes)
+        for member, outcome in zip(group, group_outcomes):
+            member.steps_executed += 1
+            executed.append((member, outcome))
+        self._batch_sizes.append(len(group))
+        self._sync_resident([job_ for job_, _ in executed])
+
+        total_macs = sum(outcome.macs_charged for _, outcome in executed)
         finish = engine.trace.time_to_execute(total_macs, self.now)
         if math.isfinite(finish):
-            # One launch overhead for the whole batch: amortising it is
-            # the simulated-time benefit of coalescing.
+            # One launch overhead for the whole dispatch (catch-up levels
+            # included): amortising it is the simulated-time benefit of
+            # coalescing.
             finish += engine.overhead_per_step
 
-        if len(members) == 1:
-            outcomes = [members[0].session.advance()]
-        else:
-            outcomes = engine.backend.advance_group([member.session for member in members])
-        self._batch_sizes.append(len(members))
-
-        for member, outcome in zip(members, outcomes):
-            member.steps_executed += 1
+        for member, outcome in executed:
             member.last_executed_at = finish
             record = self._records[member.request.request_id]
             record.steps.append(
@@ -836,7 +1153,7 @@ class ServingRun:
                     finish_time=finish,
                     macs_charged=outcome.macs_charged,
                     macs_reused=outcome.macs_reused,
-                    confidence=prediction_confidence(outcome.logits),
+                    confidence=engine._outcome_confidence(outcome),
                     logits=outcome.logits if engine.store_logits else None,
                     macs_recomputed=outcome.macs_recomputed,
                 )
@@ -846,19 +1163,76 @@ class ServingRun:
         if not math.isfinite(finish):
             # The trace never grants enough throughput again; the jobs
             # (and eventually all others) can make no further progress.
-            for member in members:
+            for laggard, reason in early_stops:
+                self._finalize(laggard, "completed", reason)
+            for member in group:
                 self._finalize(member, "starved", "trace provides no further throughput")
-            self.memory.enforce(self.scheduler.jobs(), now=self.now)
+            self._enforce_memory()
             return
 
         self.now = finish
         self._admit(self.now)
-        for member in members:
-            stop_reason = engine._continuation_stop_reason(member, self.now, len(scheduler))
+        for laggard, reason in early_stops:
+            self._finalize(laggard, "completed", reason)
+        for member, outcome in zip(group, group_outcomes):
+            stop_reason = engine._continuation_stop_reason(
+                member, self.now, len(scheduler), outcome
+            )
             if stop_reason is not None:
                 self._finalize(member, "completed", stop_reason)
+            else:
+                # The member's subnet edge moved (and cost-aware keys may
+                # read its progress): refresh its ready-index bucket.
+                scheduler.reindex(member)
         # Memory only grows during a dispatch (the executed contexts'
         # caches).  Enforce the resident budget now, with the members
         # that just ran protected (evicted only as a last resort), so
         # between events the residency never exceeds the bound.
-        self.memory.enforce(self.scheduler.jobs(), protected=members, now=self.now)
+        self._enforce_memory(protected=group)
+
+    def _sync_resident(self, executed: Sequence[ServingJob]) -> None:
+        """Refresh the incremental residency ledger for just-executed jobs.
+
+        Only the dispatch's executed members can have grown their
+        contexts, so updating their ledger entries keeps
+        ``_resident_total`` equal to the full queue sum at a cost
+        proportional to the batch, not the queue.
+        """
+        if self.memory.budget_bytes is not None:
+            return
+        sizes = self._resident_sizes
+        footprints = self._footprint_by_level
+        for job in executed:
+            # With no budget there are no evictions, so a context's
+            # footprint is a pure function of its level and input shape
+            # (the plan materialises the same cache/aux buffers for the
+            # same edge walk): scan each (level, shape) once and serve
+            # the rest of the run from the memo.
+            key = (job.session.current_subnet, job.request.inputs.shape)
+            new = footprints.get(key)
+            if new is None:
+                new = job.session.resident_nbytes()
+                footprints[key] = new
+            request_id = job.request.request_id
+            self._resident_total += new - sizes.get(request_id, 0)
+            sizes[request_id] = new
+
+    def _enforce_memory(self, protected: Sequence[ServingJob] = ()) -> None:
+        """Enforce the resident budget, re-keying jobs evictions touched.
+
+        A tier-2 eviction changes the victim's ``pending_recompute_macs``
+        — a signal cost-aware schedulers key on — so every job an
+        eviction event names is reindexed while still queued.
+        """
+        if self.memory.budget_bytes is None:
+            # Unbounded: nothing can be evicted; just fold the ledger
+            # total into the peak without touching the queue.
+            if self._resident_total > self.memory.peak_resident_bytes:
+                self.memory.peak_resident_bytes = self._resident_total
+            return
+        before = len(self.memory.events)
+        self.memory.enforce(self.scheduler.jobs(), protected=protected, now=self.now)
+        for event in self.memory.events[before:]:
+            evicted = self.scheduler.get(event.request_id)
+            if evicted is not None:
+                self.scheduler.reindex(evicted)

@@ -49,7 +49,7 @@ from .backend import ExecutionBackend, get_backend
 from .batching import BATCH_POLICIES, get_batch_policy
 from .memory import MemoryBudget
 from .request import Request, get_stream
-from .scheduler import SCHEDULERS
+from .scheduler import SCHEDULERS, Scheduler, get_scheduler
 
 
 def _full_quality_policy(**params) -> ConfidencePolicy:
@@ -154,6 +154,11 @@ class ServingSpec:
         Registry names (:data:`~repro.serving.backend.BACKENDS`,
         :data:`~repro.serving.scheduler.SCHEDULERS`,
         :data:`~repro.runtime.platform.PLATFORMS`, :data:`POLICIES`).
+        Cost-signal-aware schedulers (``"batch-aware"``,
+        ``"least-recompute"``, ``"utility-per-mac"``) are configured the
+        same way; ``scheduler_params`` forwards constructor keywords
+        (e.g. ``{"min_slack": 0.02}`` for ``"batch-aware"``), validated
+        at config load.
     trace:
         Name in the platform's :func:`~repro.runtime.traces.trace_library`
         (``steady-high``, ``steady-low``, ``power-switch``, ``duty-cycle``,
@@ -172,10 +177,12 @@ class ServingSpec:
         compiled :class:`~repro.core.plan.NetworkPlan`.
     batch_policy / max_batch_size / batch_window:
         Request coalescing (:data:`~repro.serving.batching.BATCH_POLICIES`):
-        ``"none"`` (default), ``"same-level"`` greedy, or ``"windowed"``
-        with a ``batch_window``-second max wait; ``max_batch_size`` caps
-        members per shared pass.  Policies other than ``"none"`` need a
-        batching-capable backend (``"batched"``).
+        ``"none"`` (default), ``"same-level"`` greedy, ``"windowed"``
+        with a ``batch_window``-second max wait, or ``"continuous"``
+        (greedy plus mid-wave refills at every step boundary);
+        ``max_batch_size`` caps members per shared pass.  Policies other
+        than ``"none"`` need a batching-capable backend (``"batched"``
+        or ``"batched-recompute"``).
     num_subnets:
         Optional cap on the subnet levels this node serves (shallow
         nodes in heterogeneous fleets); ``None`` serves every level of
@@ -193,6 +200,7 @@ class ServingSpec:
     name: str = ""
     backend: str = "stepping"
     scheduler: str = "fifo"
+    scheduler_params: Mapping[str, Any] = field(default_factory=dict)
     platform: str = "mobile-soc"
     trace: str = "steady-high"
     trace_rate: Optional[float] = None
@@ -216,10 +224,9 @@ class ServingSpec:
     def __post_init__(self) -> None:
         # Fail at config load, not mid-simulation.
         backend_cls = get_backend(self.backend)
-        if self.scheduler.lower() not in SCHEDULERS:
-            raise KeyError(
-                f"unknown scheduler '{self.scheduler}'; available: {sorted(SCHEDULERS)}"
-            )
+        # Instantiating validates both the name and the params (a typo'd
+        # or mistyped scheduler_params key fails here, at config load).
+        get_scheduler(self.scheduler, **dict(self.scheduler_params))
         get_platform(self.platform)
         if self.policy.lower() not in POLICIES:
             raise KeyError(f"unknown policy '{self.policy}'; available: {sorted(POLICIES)}")
@@ -285,6 +292,15 @@ class ServingSpec:
     def build_policy(self) -> SteppingPolicy:
         return get_policy(self.policy, **dict(self.policy_params))
 
+    def build_scheduler(self) -> Scheduler:
+        """The node's scheduler instance (``scheduler_params`` applied).
+
+        The engine treats it as a prototype — every ``serve()`` run gets
+        a :meth:`~repro.serving.scheduler.Scheduler.clone`, which
+        preserves constructor parameters.
+        """
+        return get_scheduler(self.scheduler, **dict(self.scheduler_params))
+
     def build_backend(self, network) -> ExecutionBackend:
         return get_backend(self.backend)(
             network,
@@ -310,7 +326,7 @@ class ServingSpec:
         return ServingEngine(
             self.build_backend(network),
             self.build_trace(),
-            self.scheduler,
+            self.build_scheduler(),
             batch_policy=self.build_batch_policy(),
             memory_budget_bytes=self.memory_budget_bytes,
             eviction_policy=self.eviction_policy,
@@ -326,6 +342,7 @@ class ServingSpec:
     def to_dict(self) -> Dict[str, Any]:
         data = {f.name: getattr(self, f.name) for f in fields(self)}
         data["policy_params"] = dict(self.policy_params)
+        data["scheduler_params"] = dict(self.scheduler_params)
         return data
 
     @classmethod

@@ -477,7 +477,12 @@ class TestEndToEndDeterminism:
     independent builds of the same config produce identical reports.
     """
 
-    CONFIGS = ["cluster_smoke.json", "cluster_batched.json", "cluster_memory.json"]
+    CONFIGS = [
+        "cluster_smoke.json",
+        "cluster_batched.json",
+        "cluster_memory.json",
+        "cluster_continuous.json",
+    ]
 
     @staticmethod
     def _config_path(name):

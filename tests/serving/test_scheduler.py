@@ -193,6 +193,115 @@ class TestReadyQueueFuzz:
         with pytest.raises(LookupError):
             scheduler.pick(now=0.0)
 
+    @pytest.mark.parametrize(
+        "name",
+        ["fifo", "edf", "priority", "batch-aware", "least-recompute", "utility-per-mac"],
+    )
+    @pytest.mark.parametrize("seed", range(4))
+    def test_edge_index_fuzz_matches_oracle(self, name, seed):
+        """The per-edge ready index against the brute-force edge scan.
+
+        Random add / advance / evict / discard / query traffic over jobs
+        whose subnet edges and cost signals keep changing (with
+        ``reindex`` after every mutation, as the engine guarantees): at
+        every reachable state, ``count_at_edge`` must equal the live
+        census, ``jobs_at_edge`` must equal the key-sorted edge scan for
+        every fetch size, and ``pick`` must agree with ``select``.
+        """
+
+        class _Session:
+            def __init__(self):
+                self.current_subnet = 0
+                self._next = 0
+                self._recompute = 0.0
+                self._macs = 1.0
+
+            def next_subnet(self):
+                return self._next
+
+            def pending_recompute_macs(self):
+                return self._recompute
+
+            def next_step_macs(self):
+                return self._macs
+
+        def make_job(request_id, rng):
+            arrival = round(float(rng.uniform(0.0, 4.0)), 1)
+            request = Request(
+                request_id=request_id,
+                arrival_time=arrival,
+                inputs=np.zeros((1, 3, 12, 12)),
+                deadline=(
+                    None
+                    if rng.random() < 0.3
+                    else arrival + round(float(rng.uniform(1.0, 9.0)), 1)
+                ),
+                priority=int(rng.integers(0, 3)),
+            )
+            session = _Session()
+            session._macs = round(float(rng.uniform(0.5, 4.0)), 2)
+            return ServingJob(request=request, session=session)
+
+        rng = np.random.default_rng(seed)
+        scheduler = get_scheduler(name)
+        live = {}
+        next_id = 0
+        edges = [(-1, 0), (0, 1), (1, 2), (2, 3)]
+        for _ in range(250):
+            op = rng.choice(
+                ["add", "advance", "evict", "discard", "pick", "edges"],
+                p=[0.3, 0.2, 0.1, 0.15, 0.1, 0.15],
+            )
+            if op == "add":
+                job = make_job(next_id, rng)
+                live[next_id] = job
+                scheduler.add(job)
+                next_id += 1
+            elif op == "advance" and live:
+                # A level executed: the edge moves, cost signals change.
+                job = live[int(rng.choice(list(live)))]
+                if job.session._next >= 3:
+                    continue
+                job.steps_executed += 1
+                job.session.current_subnet = job.session._next
+                job.session._next += 1
+                job.session._recompute = 0.0
+                job.session._macs = round(float(rng.uniform(0.5, 4.0)), 2)
+                scheduler.reindex(job)
+            elif op == "evict" and live:
+                # Eviction changed the replay surcharge, not the edge.
+                job = live[int(rng.choice(list(live)))]
+                job.session._recompute = round(float(rng.uniform(1.0, 9.0)), 1)
+                scheduler.reindex(job)
+            elif op == "discard" and live:
+                victim = live.pop(int(rng.choice(list(live))))
+                scheduler.discard(victim)
+            elif op == "pick" and live:
+                picked = scheduler.pick(now=0.0)
+                assert picked is scheduler.select(list(live.values()), now=0.0)
+            elif op == "edges":
+                expected = {}
+                for job in live.values():
+                    expected.setdefault(job.edge, []).append(job)
+                assert sorted(scheduler.edges()) == sorted(expected)
+                for edge in edges:
+                    at_edge = expected.get(edge, [])
+                    assert scheduler.count_at_edge(edge) == len(at_edge)
+                    ranked = sorted(at_edge, key=scheduler.key)
+                    for fetch in (1, 2, len(at_edge) or 1, None):
+                        got = scheduler.jobs_at_edge(edge, fetch)
+                        want = ranked if fetch is None else ranked[:fetch]
+                        assert [j.request.request_id for j in got] == [
+                            j.request.request_id for j in want
+                        ]
+            assert len(scheduler) == len(live)
+        while live:
+            picked = scheduler.pick(now=0.0)
+            assert picked is scheduler.select(list(live.values()), now=0.0)
+            live.pop(picked.request.request_id)
+            scheduler.discard(picked)
+        assert scheduler.edges() == []
+
     @pytest.mark.parametrize("name", ["fifo", "edf", "priority"])
     @pytest.mark.parametrize("seed", [0, 1])
     def test_expiry_heap_fuzz_end_to_end(self, stepping_network, name, seed):

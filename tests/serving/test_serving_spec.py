@@ -47,6 +47,46 @@ class TestServingSpec:
         with pytest.raises(KeyError, match="schedulr"):
             ServingSpec.from_dict({"schedulr": "edf"})
 
+    def test_scheduler_params_round_trip_and_build(self, stepping_network):
+        from repro.serving import BatchAwareScheduler
+
+        spec = ServingSpec(
+            scheduler="batch-aware", scheduler_params={"min_slack": 0.25}
+        )
+        blob = json.dumps(spec.to_dict())
+        assert ServingSpec.from_dict(json.loads(blob)) == spec
+        scheduler = spec.build_scheduler()
+        assert isinstance(scheduler, BatchAwareScheduler)
+        assert scheduler.min_slack == 0.25
+        engine = spec.build_engine(stepping_network)
+        assert engine.scheduler.name == "batch-aware"
+        assert engine.scheduler.min_slack == 0.25
+
+    def test_scheduler_params_validated_at_construction(self):
+        with pytest.raises(TypeError):
+            ServingSpec(scheduler="fifo", scheduler_params={"min_slack": 0.25})
+        with pytest.raises(ValueError, match="min_slack"):
+            ServingSpec(scheduler="batch-aware", scheduler_params={"min_slack": -1.0})
+
+    def test_cost_aware_schedulers_and_continuous_policy_resolve(
+        self, stepping_network
+    ):
+        for name in ("batch-aware", "least-recompute", "utility-per-mac"):
+            spec = ServingSpec(
+                backend="batched", scheduler=name, batch_policy="continuous",
+                max_batch_size=16,
+            )
+            engine = spec.build_engine(stepping_network)
+            assert engine.scheduler.name == name
+            assert engine.batch_policy.name == "continuous"
+            assert engine.batch_policy.max_batch_size == 16
+            assert engine.batch_policy.refills
+        recompute = ServingSpec(
+            backend="batched-recompute", batch_policy="continuous"
+        ).build_engine(stepping_network)
+        assert recompute.backend.supports_batching
+        assert not recompute.backend.reuses_activations
+
     def test_constant_trace_requires_rate(self):
         with pytest.raises(ValueError, match="trace_rate"):
             ServingSpec(trace="constant")
