@@ -232,7 +232,13 @@ def main() -> None:
 
     if args.smoke:
         assert payload["num_jobs"] > 0, "smoke fleet served no requests"
-        assert payload["completed"] + payload["dropped"] == payload["num_jobs"]
+        terminal = (
+            payload["completed"]
+            + payload["dropped"]
+            + payload["rejected"]
+            + payload["lost"]
+        )
+        assert terminal == payload["num_jobs"], "records do not partition the workload"
         assert payload["num_nodes"] >= 3, "smoke fleet must be heterogeneous (>=3 nodes)"
 
     args.out.parent.mkdir(parents=True, exist_ok=True)

@@ -35,6 +35,13 @@ configs.
   and the :class:`ServingReport` metrics (throughput, p50/p95/p99
   latency, deadline-miss rate, batch occupancy, eviction/recompute
   accounting);
+* :mod:`repro.serving.faults` — fault injection for chaos testing:
+  seeded, JSON-round-trippable :class:`FaultSpec` schedules of node
+  crashes (with optional recovery), transient step failures, slowdown
+  windows and router↔node partitions (:data:`FAULT_KINDS`), plus the
+  capped-exponential-backoff :class:`RetryPolicy` — the cluster layer
+  survives them with checkpointed failover (bit-exact replay on a
+  surviving node) and degrade-before-reject admission control;
 * :mod:`repro.serving.spec` — declarative configs:
   :class:`ServingSpec` (one node), :class:`ClusterSpec` (a fleet) and
   :class:`StreamSpec`, each JSON-round-trippable via
@@ -73,7 +80,9 @@ from .batching import (
     get_batch_policy,
 )
 from .cluster import (
+    ADMISSION_POLICIES,
     ROUTERS,
+    AdmissionController,
     ClusterReport,
     JoinShortestQueueRouter,
     LeastLoadedRouter,
@@ -88,6 +97,18 @@ from .cluster import (
     serve,
 )
 from .engine import JobRecord, ServedStep, ServingEngine, ServingReport, ServingRun
+from .faults import (
+    FAULT_KINDS,
+    RETRY_KINDS,
+    CrashFault,
+    FaultInjector,
+    FaultSpec,
+    PartitionFault,
+    RetryPolicy,
+    SlowdownFault,
+    TransientFault,
+    fault_from_dict,
+)
 from .memory import (
     EVICTION_POLICIES,
     EvictionEvent,
@@ -189,4 +210,16 @@ __all__ = [
     "ServingCluster",
     "ClusterReport",
     "serve",
+    "FaultSpec",
+    "FaultInjector",
+    "RetryPolicy",
+    "CrashFault",
+    "TransientFault",
+    "SlowdownFault",
+    "PartitionFault",
+    "FAULT_KINDS",
+    "RETRY_KINDS",
+    "fault_from_dict",
+    "AdmissionController",
+    "ADMISSION_POLICIES",
 ]

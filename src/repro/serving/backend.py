@@ -49,6 +49,7 @@ import numpy as np
 from ..core.incremental import IncrementalInference, InferenceState, StepResult
 from ..core.plan import BatchMember, NetworkPlan
 from ..runtime.policies import GreedyPolicy, SteppingPolicy
+from ..utils.errors import ConfigError
 from .request import Request
 
 #: Inference-path dtype: serving runs float32 by default (half the memory
@@ -200,6 +201,36 @@ class ExecutionSession:
         if not self._recompute_pending or self._current_subnet < 0:
             return 0.0
         return self.backend.recompute_macs(self._current_subnet)
+
+    @property
+    def level_history(self) -> List[int]:
+        """Copy of the executed-level replay script (checkpoint payload)."""
+        return list(self._level_history)
+
+    def restore(self, history: Sequence[int], logits: Optional[np.ndarray]) -> None:
+        """Seed a fresh session with another session's checkpoint.
+
+        This is the failover half of the PR-5 eviction contract: the
+        checkpoint is just the executed-level history plus the delivered
+        logits — no accelerator state crosses nodes.  The restored
+        session is marked recompute-pending, so its next advance replays
+        the history on *this* backend (bit-equal by the replay
+        invariant) and charges the recompute MACs honestly.
+        """
+        if self._started or self._state is not None:
+            raise RuntimeError("restore() requires a fresh session")
+        levels = [int(level) for level in history]
+        if levels and not 0 <= levels[-1] < self.backend.num_subnets:
+            raise IndexError(
+                f"checkpoint level {levels[-1]} out of range for backend "
+                f"with {self.backend.num_subnets} subnets"
+            )
+        self._level_history = levels
+        if levels:
+            self._started = True
+            self._current_subnet = levels[-1]
+            self._recompute_pending = True
+        self._last_logits = logits
 
     def _rebuild(self, engine: IncrementalInference) -> None:
         """Replay the executed level sequence on a fresh engine state.
@@ -579,7 +610,9 @@ def get_backend(name: str) -> Type[ExecutionBackend]:
     try:
         return BACKENDS[name.lower()]
     except KeyError as exc:
-        raise KeyError(f"unknown backend '{name}'; available: {sorted(BACKENDS)}") from exc
+        raise ConfigError(
+            f"unknown backend '{name}'; available: {sorted(BACKENDS)}"
+        ) from exc
 
 
 @dataclass
@@ -605,6 +638,10 @@ class ServingJob:
     #: batching re-asks the same question for every refill candidate at
     #: every round; the memo turns those re-asks into a tuple compare.
     stop_memo: Optional[tuple] = None
+    #: Retry attempts consumed so far (transient failures + failovers).
+    #: Travels with the job across nodes; the retry budget is per
+    #: request, not per node.
+    retries: int = 0
 
     @property
     def started(self) -> bool:

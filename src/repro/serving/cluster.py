@@ -43,9 +43,11 @@ bit-for-bit.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import math
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import cached_property
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type, Union
 
@@ -53,7 +55,15 @@ import numpy as np
 
 from ..analysis.metrics import deadline_miss_rate as _deadline_miss_rate
 from ..analysis.metrics import percentile
-from .engine import JobRecord, ServingEngine, ServingReport, ServingRun
+from ..utils.errors import ConfigError
+from .engine import (
+    InterruptedJob,
+    JobRecord,
+    ServingEngine,
+    ServingReport,
+    ServingRun,
+)
+from .faults import FaultInjector, FaultSpec, RetryPolicy
 from .request import Request
 from .spec import ClusterSpec
 
@@ -162,15 +172,20 @@ class NodeState:
         """Bind the node's live event loop (interleaved serving)."""
         self.run = run
 
-    def assign(self, request: Request) -> None:
-        """Record a placement and roll the fluid load model forward."""
+    def assign(self, request: Request, push: bool = True) -> None:
+        """Record a placement and roll the fluid load model forward.
+
+        ``push=False`` updates only the fluid model — the fault-tolerant
+        coordinator pushes into the live run itself (failed-over jobs
+        enter via ``push_resumed``, not ``push``).
+        """
         self.assigned.append(request)
         finish = self.predicted_finish(self.expected_macs, request.arrival_time)
         self._busy_until = finish
         self._completions.append(finish)
         context = self.engine.backend.context_nbytes(request.batch_size)
         self._resident.append(0 if context is None else context)
-        if self.run is not None:
+        if push and self.run is not None:
             self.run.push(request)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -377,7 +392,61 @@ def get_router(name: str) -> Router:
     try:
         return ROUTERS[name.lower()]()
     except KeyError as exc:
-        raise KeyError(f"unknown router '{name}'; available: {sorted(ROUTERS)}") from exc
+        raise ConfigError(
+            f"unknown router '{name}'; available: {sorted(ROUTERS)}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+#: Fleet admission policies: admit everything, or degrade-before-reject.
+ADMISSION_POLICIES: Tuple[str, ...] = ("none", "degrade")
+
+
+class AdmissionController:
+    """Degrade-before-reject admission on the routed node's signals.
+
+    The anytime property gives admission control a middle ground real
+    servers lack: instead of the binary admit/reject, an arrival whose
+    full-quality service is predicted to miss its deadline is *capped*
+    to the largest subnet level whose :meth:`NodeState.predicted_finish`
+    still lands in time (``Request.max_subnet``), and an arrival whose
+    context would blow a bounded node's memory budget — forcing
+    eviction/recompute thrash for everyone resident — is capped to the
+    mandatory minimum level.  Only when even the minimum subnet cannot
+    meet the deadline on any reachable node is the request rejected.
+    """
+
+    def decide(
+        self, request: Request, node: NodeState, now: float
+    ) -> Tuple[str, Optional[Request]]:
+        """``("accept", request)``, ``("degrade", capped)`` or ``("reject", None)``."""
+        backend = node.engine.backend
+        top = backend.num_subnets - 1
+        limit = top if request.max_subnet is None else min(top, request.max_subnet)
+        cap = limit
+        deadline = request.deadline
+        if deadline is not None:
+            feasible = None
+            for level in range(cap, -1, -1):
+                finish = node.predicted_finish(float(backend.subnet_macs(level)), now)
+                if finish <= deadline:
+                    feasible = level
+                    break
+            if feasible is None:
+                return "reject", None
+            cap = feasible
+        budget = node.engine.memory_budget.budget_bytes
+        context = backend.context_nbytes(request.batch_size)
+        if budget is not None and context is not None:
+            if node.resident_bytes(now) + context > budget:
+                # Predicted recompute thrash: take the mandatory level
+                # and leave — degrading beats evicting everyone else.
+                cap = 0
+        if cap >= limit:
+            return "accept", request
+        return "degrade", replace(request, max_subnet=cap)
 
 
 # ----------------------------------------------------------------------
@@ -402,6 +471,23 @@ class ClusterReport:
     node_names: List[str] = field(default_factory=list)
     router_name: str = ""
     cluster_name: str = "cluster"
+    #: Records the fault-tolerant coordinator finalised itself: rejected
+    #: arrivals, requests lost because no node was ever reachable, and
+    #: best-effort anytime completions delivered when a retry budget or
+    #: deadline ran out mid-failover.  Empty outside fault-tolerant runs.
+    extra_jobs: List[JobRecord] = field(default_factory=list)
+    #: Queued-but-unstarted requests moved off a crashed node.
+    migrations: int = 0
+    #: Started jobs resumed on a surviving node from their subnet-level
+    #: checkpoint (bit-exact replay; recompute MACs charged honestly).
+    failovers: int = 0
+    #: Arrivals admitted with a capped target subnet instead of rejected.
+    degraded_admissions: int = 0
+    #: Arrivals refused because even the minimum subnet was predicted to
+    #: miss the deadline on every reachable node.
+    rejected: int = 0
+    #: Requests that never reached any node and never will.
+    lost: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -410,11 +496,15 @@ class ClusterReport:
 
     @cached_property
     def _jobs(self) -> List[JobRecord]:
-        return [job for report in self.node_reports for job in report.jobs]
+        jobs = [job for report in self.node_reports for job in report.jobs]
+        jobs.extend(self.extra_jobs)
+        return jobs
 
     @cached_property
     def _completed_jobs(self) -> List[JobRecord]:
-        return [job for report in self.node_reports for job in report.completed_jobs]
+        jobs = [job for report in self.node_reports for job in report.completed_jobs]
+        jobs.extend(job for job in self.extra_jobs if job.status == "completed")
+        return jobs
 
     @cached_property
     def _latencies(self) -> np.ndarray:
@@ -431,7 +521,17 @@ class ClusterReport:
 
     @property
     def dropped(self) -> int:
-        return sum(len(report.dropped_jobs) for report in self.node_reports)
+        return sum(1 for job in self._jobs if job.status == "dropped")
+
+    @property
+    def retries(self) -> int:
+        """Fleet-wide retry attempts (transient step failures + failovers)."""
+        return sum(job.retries for job in self._jobs)
+
+    @property
+    def timed_out(self) -> int:
+        """Jobs the per-request watchdog finalised with a partial result."""
+        return sum(1 for job in self._jobs if job.timed_out)
 
     @cached_property
     def makespan(self) -> float:
@@ -581,6 +681,13 @@ class ClusterReport:
             "aux_evictions": self.aux_evictions,
             "cache_evictions": self.cache_evictions,
             "total_macs_recomputed": self.total_macs_recomputed,
+            "retries": self.retries,
+            "timed_out": self.timed_out,
+            "migrations": self.migrations,
+            "failovers": self.failovers,
+            "degraded_admissions": self.degraded_admissions,
+            "rejected": self.rejected,
+            "lost": self.lost,
             "load_imbalance": self.load_imbalance,
             "node_jobs": self.node_jobs,
             "node_utilisation": self.node_utilisation,
@@ -591,6 +698,42 @@ class ClusterReport:
                 )
             ],
         }
+
+
+def _merge_incarnation_reports(reports: List[ServingReport]) -> ServingReport:
+    """Merge the reports of one node's successive run incarnations.
+
+    A node that crashes and recovers serves through several
+    :class:`~repro.serving.engine.ServingRun` instances; the fleet
+    report presents them as one node.  Job lists and batch logs
+    concatenate, counters add, the residency peak is the max, and jobs
+    are re-sorted by request id so the merged report is deterministic.
+    """
+    if len(reports) == 1:
+        return reports[0]
+    first = reports[0]
+    merged = ServingReport(
+        backend_name=first.backend_name,
+        scheduler_name=first.scheduler_name,
+        trace_name=first.trace_name,
+        batch_policy_name=first.batch_policy_name,
+        memory_budget_bytes=first.memory_budget_bytes,
+        eviction_policy_name=first.eviction_policy_name,
+    )
+    for report in reports:
+        merged.jobs.extend(report.jobs)
+        merged.batch_sizes.extend(report.batch_sizes)
+        merged.eviction_events.extend(report.eviction_events)
+        merged.refilled_jobs += report.refilled_jobs
+        merged.retries += report.retries
+        merged.aux_evictions += report.aux_evictions
+        merged.cache_evictions += report.cache_evictions
+        merged.bytes_evicted += report.bytes_evicted
+        merged.peak_resident_bytes = max(
+            merged.peak_resident_bytes, report.peak_resident_bytes
+        )
+    merged.jobs.sort(key=lambda job: job.request.request_id)
+    return merged
 
 
 # ----------------------------------------------------------------------
@@ -619,6 +762,8 @@ class ServingCluster:
         names: Optional[Sequence[str]] = None,
         name: str = "cluster",
         spec: Optional[ClusterSpec] = None,
+        faults: Optional[Union[FaultSpec, Mapping[str, Any]]] = None,
+        admission: str = "none",
     ) -> None:
         if not engines:
             raise ValueError("a ServingCluster needs at least one engine")
@@ -631,6 +776,26 @@ class ServingCluster:
         self.node_names = list(names)
         self.name = name
         self.spec = spec
+        if isinstance(faults, Mapping):
+            faults = FaultSpec.from_dict(faults)
+        self.faults = faults
+        if admission not in ADMISSION_POLICIES:
+            raise ConfigError(
+                f"unknown admission policy '{admission}'; "
+                f"available: {sorted(ADMISSION_POLICIES)}"
+            )
+        self.admission = admission
+        if self.faults is not None:
+            # Fail fast on fault events naming nodes this fleet lacks.
+            self.faults.injector(self.node_names)
+            for node_name, engine in zip(self.node_names, self.engines):
+                # Slowdown windows derate the node's trace statically, so
+                # the run's execution times and the fluid routing signals
+                # read the same derated rates.
+                engine.trace = self.faults.derate(engine.trace, node_name)
+                # Transient step failures on every node back off under
+                # the chaos schedule's retry policy.
+                engine.retry_policy = self.faults.retry
 
     # ------------------------------------------------------------------
     @classmethod
@@ -659,6 +824,8 @@ class ServingCluster:
             names=[node.node_name for node in spec.nodes],
             name=spec.name,
             spec=spec,
+            faults=spec.faults,
+            admission=spec.admission,
         )
 
     @property
@@ -739,6 +906,253 @@ class ServingCluster:
         reports = [run.finish() for run in runs]
         return [node.assigned for node in nodes], reports
 
+    # ------------------------------------------------------------------
+    # Fault-tolerant serving
+    # ------------------------------------------------------------------
+    def _serve_fault_tolerant(
+        self, requests: Sequence[Request]
+    ) -> Tuple[List[ServingReport], List[JobRecord], Dict[str, int]]:
+        """Interleaved serving under a chaos schedule, with failover.
+
+        One event heap drives arrivals, injected crash/recover
+        transitions, and the retry/reroute events failover generates.
+        Ties break on push order, and injected transitions are pushed
+        first — so at an instant where a node both recovers and receives
+        work, the recovery lands first.  Every run is advanced to each
+        event before it is processed, so placements read post-fault
+        state.
+
+        Crash semantics: the dying run hands back its queued-but-
+        unstarted requests (migrated immediately, charged nothing) and
+        its in-flight jobs as subnet-level checkpoints.  A checkpoint
+        re-enters a surviving node through the eviction replay path
+        (:meth:`ServingRun.push_resumed`) after its capped exponential
+        backoff — the replay restores the activation state bit-for-bit
+        and charges the recompute MACs honestly, exactly like a PR-5
+        eviction.  When the retry budget or the deadline runs out, the
+        checkpoint is finalised with its best-so-far anytime prediction
+        instead of being lost: partial answers are the whole point of
+        stepping inference.
+        """
+        self._check_unique_ids(requests)
+        injector = (
+            self.faults.injector(self.node_names) if self.faults is not None else None
+        )
+        retry = self.faults.retry if self.faults is not None else RetryPolicy()
+        enforce = all(engine.enforce_deadline for engine in self.engines)
+        nodes = [
+            NodeState(index, name, engine)
+            for index, (name, engine) in enumerate(zip(self.node_names, self.engines))
+        ]
+        runs: List[ServingRun] = []
+        for name, engine, node in zip(self.node_names, self.engines, nodes):
+            run = engine.open_run(fault_injector=injector, node=name)
+            node.attach_run(run)
+            runs.append(run)
+        alive = [True] * len(nodes)
+        finished: List[List[ServingRun]] = [[] for _ in nodes]
+        self.router.reset(nodes)
+        admission = AdmissionController() if self.admission == "degrade" else None
+        counters = {
+            "migrations": 0,
+            "failovers": 0,
+            "degraded_admissions": 0,
+            "rejected": 0,
+            "lost": 0,
+        }
+        extra: List[JobRecord] = []
+
+        events: List[Tuple[float, int, str, Any]] = []
+        sequence = itertools.count()
+
+        def push_event(time: float, kind: str, payload: Any) -> None:
+            heapq.heappush(events, (time, next(sequence), kind, payload))
+
+        if injector is not None:
+            for index, name in enumerate(self.node_names):
+                for time, kind in injector.transitions(name):
+                    push_event(time, kind, index)
+        for request in sorted(requests, key=lambda r: (r.arrival_time, r.request_id)):
+            push_event(request.arrival_time, "arrival", request)
+
+        def best_effort(checkpoint: InterruptedJob, reason: str) -> None:
+            """Finalise a checkpoint with its best-so-far anytime result."""
+            extra.append(
+                JobRecord(
+                    request=checkpoint.request,
+                    steps=list(checkpoint.steps),
+                    status="completed" if checkpoint.steps else "dropped",
+                    stop_reason=reason,
+                    final_logits=checkpoint.logits,
+                    retries=checkpoint.retries,
+                )
+            )
+
+        def place(
+            request: Request,
+            now: float,
+            checkpoint: Optional[InterruptedJob] = None,
+        ) -> None:
+            reachable = [
+                node
+                for index, node in enumerate(nodes)
+                if alive[index]
+                and (injector is None or injector.reachable(node.name, now))
+            ]
+            candidates = reachable
+            if checkpoint is not None and checkpoint.history:
+                # The replay must land on a node whose backend serves
+                # every level the checkpoint already executed.
+                top = checkpoint.history[-1]
+                candidates = [
+                    node
+                    for node in reachable
+                    if node.engine.backend.num_subnets > top
+                ]
+            if not candidates:
+                if checkpoint is not None and reachable:
+                    best_effort(
+                        checkpoint,
+                        "no surviving node serves the checkpoint's subnet levels",
+                    )
+                    return
+                horizon = (
+                    injector.next_reachable(now) if injector is not None else math.inf
+                )
+                if math.isfinite(horizon):
+                    if checkpoint is not None:
+                        push_event(horizon, "retry", checkpoint)
+                    else:
+                        push_event(horizon, "reroute", request)
+                    return
+                if checkpoint is not None:
+                    best_effort(checkpoint, "fleet never reachable again")
+                else:
+                    counters["lost"] += 1
+                    extra.append(
+                        JobRecord(
+                            request=request,
+                            status="lost",
+                            stop_reason="no serving node ever reachable",
+                        )
+                    )
+                return
+            # Routers answer with NodeState.index; renumber the filtered
+            # candidate list positionally for the call (order-preserving,
+            # so index tie-breaks are unchanged) and restore afterwards.
+            original = [node.index for node in candidates]
+            for position, node in enumerate(candidates):
+                node.index = position
+            try:
+                choice = self.router.route(request, candidates, now)
+            finally:
+                for node, index in zip(candidates, original):
+                    node.index = index
+            if not 0 <= choice < len(candidates):
+                raise IndexError(
+                    f"router '{self.router.name}' returned node index {choice} "
+                    f"for {len(candidates)} reachable nodes"
+                )
+            node = candidates[choice]
+            if checkpoint is None and admission is not None:
+                verdict, admitted = admission.decide(request, node, now)
+                if verdict == "reject":
+                    # The routed node cannot land even the minimum
+                    # subnet; scan the rest before giving up.
+                    for other in candidates:
+                        if other is node:
+                            continue
+                        verdict, admitted = admission.decide(request, other, now)
+                        if verdict != "reject":
+                            node = other
+                            break
+                if verdict == "reject":
+                    counters["rejected"] += 1
+                    extra.append(
+                        JobRecord(
+                            request=request,
+                            status="rejected",
+                            stop_reason=(
+                                "admission control: minimum subnet predicted to "
+                                "miss the deadline on every reachable node"
+                            ),
+                        )
+                    )
+                    return
+                if verdict == "degrade":
+                    counters["degraded_admissions"] += 1
+                    assert admitted is not None
+                    request = admitted
+            node.assign(request, push=False)
+            if checkpoint is None:
+                node.run.push(request, not_before=now)
+            else:
+                node.run.push_resumed(
+                    request,
+                    history=checkpoint.history,
+                    steps=checkpoint.steps,
+                    logits=checkpoint.logits,
+                    retries=checkpoint.retries,
+                    resume_at=now,
+                )
+
+        while events:
+            time, _, kind, payload = heapq.heappop(events)
+            for index, run in enumerate(runs):
+                if alive[index]:
+                    run.run_until(time)
+            if kind in ("arrival", "reroute"):
+                place(payload, time)
+            elif kind == "retry":
+                place(payload.request, time, checkpoint=payload)
+            elif kind == "crash":
+                index = payload
+                if not alive[index]:
+                    continue
+                work = runs[index].crash(time)
+                finished[index].append(runs[index])
+                alive[index] = False
+                for request in work.unstarted:
+                    counters["migrations"] += 1
+                    place(request, time)
+                for checkpoint in work.interrupted:
+                    if checkpoint.retries >= retry.budget:
+                        best_effort(
+                            checkpoint, "retry budget exhausted at node failure"
+                        )
+                        continue
+                    delay = retry.backoff(checkpoint.retries)
+                    checkpoint.retries += 1
+                    retry_at = time + delay
+                    deadline = checkpoint.request.deadline
+                    if enforce and deadline is not None and retry_at >= deadline:
+                        best_effort(
+                            checkpoint, "deadline reached during failover backoff"
+                        )
+                        continue
+                    counters["failovers"] += 1
+                    push_event(retry_at, "retry", checkpoint)
+            elif kind == "recover":
+                index = payload
+                if alive[index]:
+                    continue
+                run = self.engines[index].open_run(
+                    fault_injector=injector, node=self.node_names[index]
+                )
+                nodes[index].attach_run(run)
+                runs[index] = run
+                alive[index] = True
+
+        node_reports: List[ServingReport] = []
+        for index, run in enumerate(runs):
+            incarnations = list(finished[index])
+            if not incarnations or incarnations[-1] is not run:
+                incarnations.append(run)
+            node_reports.append(
+                _merge_incarnation_reports([r.finish() for r in incarnations])
+            )
+        return node_reports, extra, counters
+
     def serve(self, requests: Optional[Sequence[Request]] = None) -> ClusterReport:
         """Route the workload and run every node's event loop.
 
@@ -754,6 +1168,16 @@ class ServingCluster:
                 raise ValueError("no requests given and no ClusterSpec to build them from")
             input_shape = self.engines[0].backend.network.spec.input_shape
             requests = self.spec.build_requests(input_shape=input_shape)
+        if self.faults is not None or self.admission != "none":
+            node_reports, extra_jobs, counters = self._serve_fault_tolerant(requests)
+            return ClusterReport(
+                node_reports=node_reports,
+                node_names=list(self.node_names),
+                router_name=self.router.name,
+                cluster_name=self.name,
+                extra_jobs=extra_jobs,
+                **counters,
+            )
         if getattr(self.router, "needs_live_state", False) or getattr(
             self.router, "uses_queue_depth", False
         ):

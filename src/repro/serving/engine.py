@@ -54,6 +54,7 @@ from ..runtime.policies import (
 )
 from .backend import ExecutionBackend, ServingJob, StepOutcome
 from .batching import BatchPolicy, NoBatching, get_batch_policy
+from .faults import FaultInjector, RetryPolicy
 from .memory import EvictionEvent, EvictionPolicy, MemoryBudget
 from .request import Request
 from .scheduler import FIFOScheduler, Scheduler, get_scheduler
@@ -90,9 +91,15 @@ class JobRecord:
 
     request: Request
     steps: List[ServedStep] = field(default_factory=list)
-    status: str = "completed"  # completed | dropped | starved
+    status: str = "completed"  # completed | dropped | starved | rejected | lost
     stop_reason: str = ""
     final_logits: Optional[np.ndarray] = None
+    #: True when the per-request watchdog (``max_service_time``) cut the
+    #: job off with its best-so-far anytime prediction.
+    timed_out: bool = False
+    #: Retry attempts this request consumed (transient failures plus
+    #: cross-node failovers) — cumulative across nodes.
+    retries: int = 0
 
     @property
     def final_subnet(self) -> int:
@@ -217,6 +224,10 @@ class ServingReport:
     bytes_evicted: int = 0
     #: Every eviction performed, in order (tier, victim, bytes).
     eviction_events: List[EvictionEvent] = field(default_factory=list)
+    #: Step attempts this run lost to transient faults (each one consumed
+    #: accelerator time, executed nothing, and re-queued its job under
+    #: the retry policy's backoff).
+    retries: int = 0
 
     def invalidate_caches(self) -> None:
         """Drop memoised derived lists after mutating ``jobs``."""
@@ -386,6 +397,11 @@ class ServingReport:
     def max_batch_occupancy(self) -> int:
         return max(self.batch_sizes) if self.batch_sizes else 0
 
+    @property
+    def timed_out(self) -> int:
+        """Jobs the per-request watchdog finalised with best-so-far."""
+        return sum(1 for job in self.jobs if job.timed_out)
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "backend": self.backend_name,
@@ -422,6 +438,8 @@ class ServingReport:
             "bytes_evicted": self.bytes_evicted,
             "total_macs_recomputed": self.total_macs_recomputed,
             "recompute_overhead": self.recompute_overhead,
+            "retries": self.retries,
+            "timed_out": self.timed_out,
         }
 
 
@@ -485,6 +503,15 @@ class ServingEngine:
     store_logits:
         Keep per-step logits on the records (needed for accuracy-at-
         deadline accounting; disable to save memory on huge streams).
+    max_service_time:
+        Per-request watchdog in simulated seconds: a job still resident
+        ``max_service_time`` after its arrival is finalised with its
+        best-so-far anytime prediction and flagged ``timed_out`` instead
+        of running unboundedly.  ``None`` (default) disables it.
+    retry_policy:
+        Backoff/budget policy for transiently-failed steps (see
+        :class:`~repro.serving.faults.RetryPolicy`); only consulted when
+        the run is driven with a fault injector.
     """
 
     def __init__(
@@ -500,9 +527,13 @@ class ServingEngine:
         drop_expired: bool = False,
         enforce_deadline: bool = True,
         store_logits: bool = True,
+        max_service_time: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if overhead_per_step < 0:
             raise ValueError("overhead_per_step must be non-negative")
+        if max_service_time is not None and max_service_time <= 0:
+            raise ValueError("max_service_time must be positive when set")
         self.backend = backend
         self.trace = trace
         self._scheduler_spec = scheduler if scheduler is not None else FIFOScheduler
@@ -528,6 +559,8 @@ class ServingEngine:
         self.drop_expired = drop_expired
         self.enforce_deadline = enforce_deadline
         self.store_logits = store_logits
+        self.max_service_time = max_service_time
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
 
     def _new_scheduler(self) -> Scheduler:
         """Instantiate a fresh ready queue from the configured factory."""
@@ -539,14 +572,23 @@ class ServingEngine:
         return spec.clone()
 
     # ------------------------------------------------------------------
-    def open_run(self) -> "ServingRun":
+    def open_run(
+        self,
+        *,
+        fault_injector: Optional[FaultInjector] = None,
+        node: Optional[str] = None,
+    ) -> "ServingRun":
         """Start a resumable event loop (push / run_until / finish).
 
         ``serve()`` is the closed-loop convenience over this; the fleet
         layer drives several open runs on one shared clock so routers
         can read each node's *actual* scheduler depth between events.
+
+        ``fault_injector`` (with this node's ``node`` name) wires the
+        run into a chaos schedule: transient faults fail dispatched
+        steps, and the cluster coordinator drives crash/recover events.
         """
-        return ServingRun(self)
+        return ServingRun(self, fault_injector=fault_injector, node=node)
 
     def serve(self, requests: Sequence[Request]) -> ServingReport:
         """Run the event loop until every request has been finalised.
@@ -612,6 +654,9 @@ class ServingEngine:
         deadline = job.request.deadline
         if session.next_subnet() is None:
             return "largest subnet reached"
+        cap = job.request.max_subnet
+        if cap is not None and session.current_subnet >= cap:
+            return "admission-capped subnet reached"
         if self.enforce_deadline and deadline is not None and now >= deadline - _TIME_EPS:
             return "deadline reached"
         cacheable = not self.backend.policy.time_sensitive and not (
@@ -671,6 +716,35 @@ class ServingEngine:
         return reason
 
 
+@dataclass
+class InterruptedJob:
+    """Checkpoint of a started job that lost its node (crash/partition).
+
+    Carries everything failover needs: the immutable request, the
+    executed-level replay script, the steps already served (they stay on
+    the final record), the best-so-far logits, and the retries consumed.
+    No accelerator state crosses nodes — the receiving backend replays
+    the history bit-for-bit and charges the recompute MACs honestly,
+    exactly as eviction-resume does.
+    """
+
+    request: Request
+    history: List[int]
+    steps: List[ServedStep]
+    logits: Optional[np.ndarray]
+    retries: int
+
+
+@dataclass
+class CrashedNodeWork:
+    """Everything a crashing node hands back to the cluster coordinator."""
+
+    #: Requests that never executed a step — they migrate whole.
+    unstarted: List[Request]
+    #: Started jobs with progress to fail over via checkpointed replay.
+    interrupted: List[InterruptedJob]
+
+
 class ServingRun:
     """One resumable pass of an engine's event loop.
 
@@ -696,9 +770,19 @@ class ServingRun:
     runs (one per cluster node) stay isolated.
     """
 
-    def __init__(self, engine: ServingEngine) -> None:
+    def __init__(
+        self,
+        engine: ServingEngine,
+        *,
+        fault_injector: Optional[FaultInjector] = None,
+        node: Optional[str] = None,
+    ) -> None:
         self.engine = engine
         self.now = 0.0
+        #: Chaos wiring: the shared injector answers "does this node's
+        #: next dispatch fail?"; ``node`` is this run's name in it.
+        self.fault_injector = fault_injector
+        self.node = node if node is not None else "node"
         # The scheduler *is* the ready set: a heap-backed queue that jobs
         # enter on admission and leave (lazily) on finalisation, so
         # picking the next job is O(log n) instead of an O(n) scan.
@@ -727,22 +811,87 @@ class ServingRun:
         self._resident_sizes: Dict[Union[int, str], int] = {}
         self._footprint_by_level: Dict[Tuple[int, Tuple[int, ...]], int] = {}
         self._report: Optional[ServingReport] = None
+        #: Jobs waiting out a retry backoff: id -> job, plus a heap of
+        #: (retry_at, id).  They hold their contexts (and count against
+        #: the memory budget) but are invisible to the scheduler.
+        self._delayed_jobs: Dict[int, ServingJob] = {}
+        self._delayed_heap: List[Tuple[float, int]] = []
+        #: Watchdog deadlines (arrival + max_service_time, id); entries
+        #: for finalised jobs are skipped lazily on pop.
+        self._watchdog: List[Tuple[float, int]] = []
+        #: Failover hand-offs awaiting admission: id -> restored job and
+        #: the steps it already served elsewhere.
+        self._resume_jobs: Dict[int, ServingJob] = {}
+        self._resume_steps: Dict[int, List[ServedStep]] = {}
+        #: Transient-fault attempts this run consumed (report counter).
+        self._retries: int = 0
+        self._crashed = False
 
     # ------------------------------------------------------------------
     # Feeding and observing the run
     # ------------------------------------------------------------------
-    def push(self, request: Request) -> None:
-        """Queue a request for admission at its arrival time."""
+    def push(self, request: Request, not_before: Optional[float] = None) -> None:
+        """Queue a request for admission at its arrival time.
+
+        ``not_before`` floors the admission instant: a request rerouted
+        to this node at coordinator time ``t`` (its first target was
+        partitioned or crashed) must not start earlier than ``t`` even
+        when this node's clock still lags behind.
+        """
         if self._report is not None:
             raise RuntimeError("run already finished; open a new one")
+        if self._crashed:
+            raise RuntimeError(f"node '{self.node}' crashed; cannot accept work")
         if request.request_id in self._ids:
             raise ValueError(
                 f"request_id {request.request_id} already pushed into this run"
             )
         self._ids.add(request.request_id)
-        heapq.heappush(
-            self._pending, (request.arrival_time, request.request_id, request)
+        when = request.arrival_time
+        if not_before is not None:
+            when = max(when, not_before)
+        heapq.heappush(self._pending, (when, request.request_id, request))
+
+    def push_resumed(
+        self,
+        request: Request,
+        *,
+        history: Sequence[int],
+        steps: Sequence[ServedStep] = (),
+        logits: Optional[np.ndarray] = None,
+        retries: int = 0,
+        resume_at: Optional[float] = None,
+    ) -> None:
+        """Queue a failed-over job with its checkpoint for admission.
+
+        The job enters this run's queue at ``resume_at`` (not before its
+        arrival time) holding a freshly opened session restored from the
+        checkpoint: its first dispatch here replays the executed-level
+        history — bit-equal to the original steps — and charges the
+        recompute MACs, exactly like an eviction resume.
+        """
+        if self._report is not None:
+            raise RuntimeError("run already finished; open a new one")
+        if self._crashed:
+            raise RuntimeError(f"node '{self.node}' crashed; cannot accept work")
+        if request.request_id in self._ids:
+            raise ValueError(
+                f"request_id {request.request_id} already pushed into this run"
+            )
+        session = self.engine.backend.open(request.inputs)
+        session.restore(history, logits)
+        job = ServingJob(
+            request=request,
+            session=session,
+            steps_executed=len(session.level_history),
+            retries=int(retries),
         )
+        request_id = request.request_id
+        self._ids.add(request_id)
+        self._resume_jobs[request_id] = job
+        self._resume_steps[request_id] = list(steps)
+        when = request.arrival_time if resume_at is None else max(resume_at, request.arrival_time)
+        heapq.heappush(self._pending, (when, request_id, request))
 
     @property
     def queue_depth(self) -> int:
@@ -763,7 +912,8 @@ class ServingRun:
         state as of the last processed event — what a memory-aware fleet
         router reads between arrivals.
         """
-        return MemoryBudget.resident_bytes(self.scheduler.jobs())
+        jobs = list(self.scheduler.jobs()) + list(self._delayed_jobs.values())
+        return MemoryBudget.resident_bytes(jobs)
 
     @property
     def entry_edge_depth(self) -> int:
@@ -778,11 +928,22 @@ class ServingRun:
 
     def next_event_time(self) -> Optional[float]:
         """When the next event would run (None when the run is drained)."""
+        if self._crashed:
+            return None
         if len(self.scheduler):
             return self.now
+        candidates = []
         if self._pending:
-            return max(self.now, self._pending[0][0])
-        return None
+            candidates.append(self._pending[0][0])
+        if self._delayed_heap:
+            candidates.append(self._delayed_heap[0][0])
+            # Watchdog deadlines only matter while jobs are live; with an
+            # empty scheduler that means backoff-delayed ones.
+            if self._watchdog:
+                candidates.append(self._watchdog[0][0])
+        if not candidates:
+            return None
+        return max(self.now, min(candidates))
 
     # ------------------------------------------------------------------
     # Driving the run
@@ -821,6 +982,7 @@ class ServingRun:
         report.cache_evictions = self.memory.cache_evictions
         report.bytes_evicted = self.memory.bytes_evicted
         report.eviction_events = list(self.memory.events)
+        report.retries = self._retries
         self._report = report
         return report
 
@@ -831,25 +993,180 @@ class ServingRun:
         engine = self.engine
         while self._pending and self._pending[0][0] <= until + _TIME_EPS:
             _, _, request = heapq.heappop(self._pending)
-            job = ServingJob(request=request, session=engine.backend.open(request.inputs))
-            self._records[request.request_id] = JobRecord(request=request)
+            request_id = request.request_id
+            job = self._resume_jobs.pop(request_id, None)
+            if job is None:
+                job = ServingJob(
+                    request=request, session=engine.backend.open(request.inputs)
+                )
+            record = JobRecord(
+                request=request, steps=self._resume_steps.pop(request_id, [])
+            )
+            if record.steps:
+                record.final_logits = job.session.logits
+            record.retries = job.retries
+            self._records[request_id] = record
             self.scheduler.add(job)
-            if engine.drop_expired and request.deadline is not None:
-                heapq.heappush(self._expiry, (request.deadline, request.request_id))
+            if engine.drop_expired and request.deadline is not None and not job.started:
+                heapq.heappush(self._expiry, (request.deadline, request_id))
+            if engine.max_service_time is not None:
+                heapq.heappush(
+                    self._watchdog,
+                    (request.arrival_time + engine.max_service_time, request_id),
+                )
 
-    def _finalize(self, job: ServingJob, status: str, reason: str) -> None:
-        record = self._records[job.request.request_id]
+    def _finalize(
+        self, job: ServingJob, status: str, reason: str, timed_out: bool = False
+    ) -> None:
+        request_id = job.request.request_id
+        record = self._records[request_id]
         record.status = status
         record.stop_reason = reason
-        record.final_logits = job.session.logits
+        if timed_out:
+            record.timed_out = True
+        record.retries = job.retries
+        if job.session.logits is not None:
+            record.final_logits = job.session.logits
         self.scheduler.discard(job)
+        self._delayed_jobs.pop(request_id, None)
         if self.memory.budget_bytes is None:
-            self._resident_total -= self._resident_sizes.pop(
-                job.request.request_id, 0
-            )
+            self._resident_total -= self._resident_sizes.pop(request_id, 0)
         # The job left the system: release its resident context so the
         # memory accounting (and any bounded budget) sees it gone.
         job.session.close()
+
+    def _release_delayed(self) -> None:
+        """Re-queue delayed jobs whose retry backoff has elapsed."""
+        while self._delayed_heap and self._delayed_heap[0][0] <= self.now + _TIME_EPS:
+            _, request_id = heapq.heappop(self._delayed_heap)
+            job = self._delayed_jobs.pop(request_id, None)
+            if job is None:
+                continue  # stale entry: finalised during the backoff
+            self.scheduler.add(job)
+
+    def _run_watchdog(self) -> None:
+        """Finalise jobs whose per-request service-time budget elapsed."""
+        if self.engine.max_service_time is None:
+            return
+        while self._watchdog and self._watchdog[0][0] <= self.now + _TIME_EPS:
+            _, request_id = heapq.heappop(self._watchdog)
+            job = self.scheduler.get(request_id)
+            if job is None:
+                job = self._delayed_jobs.get(request_id)
+            if job is None:
+                continue  # stale entry: already finalised
+            if job.started:
+                self._finalize(
+                    job, "completed", "max service time exceeded", timed_out=True
+                )
+            else:
+                self._finalize(
+                    job, "dropped", "max service time exceeded", timed_out=True
+                )
+
+    def _fail_step(self, job: ServingJob) -> None:
+        """One transient fault: the attempt's time is spent, nothing ran.
+
+        The wasted attempt consumes exactly the step's execution time on
+        the trace (the work launched and was lost) but the session never
+        advances, so logits and the job's MAC ledger are untouched.  The
+        job then retries under the engine's :class:`RetryPolicy`: backoff
+        in simulated time while holding its context, or — when the
+        budget or its deadline is exhausted — finalisation with its
+        best-so-far anytime prediction.
+        """
+        engine = self.engine
+        macs = job.session.next_step_macs()
+        finish = engine.trace.time_to_execute(float(macs), self.now)
+        if not math.isfinite(finish):
+            self._finalize(job, "starved", "trace provides no further throughput")
+            return
+        self.now = finish + engine.overhead_per_step
+        job.retries += 1
+        self._retries += 1
+        policy = engine.retry_policy
+        status = "completed" if job.started else "dropped"
+        if job.retries > policy.budget:
+            self._finalize(
+                job, status, "retry budget exhausted after transient failures"
+            )
+            return
+        retry_at = self.now + policy.backoff(job.retries - 1)
+        deadline = job.request.deadline
+        if (
+            engine.enforce_deadline
+            and deadline is not None
+            and retry_at >= deadline - _TIME_EPS
+        ):
+            self._finalize(job, status, "deadline reached during retry backoff")
+            return
+        request_id = job.request.request_id
+        self.scheduler.discard(job)
+        self._delayed_jobs[request_id] = job
+        heapq.heappush(self._delayed_heap, (retry_at, request_id))
+
+    def crash(self, now: float) -> CrashedNodeWork:
+        """Kill this run: drop every resident context, hand back the work.
+
+        Finalised records stay (they are this incarnation's report);
+        every live job is checkpointed (started) or returned whole
+        (unstarted) for the cluster coordinator to re-place.  After a
+        crash the run accepts no work and reports no events — a
+        recovered node is a *new* run on the same engine.
+        """
+        if self._report is not None:
+            raise RuntimeError("run already finished")
+        if self._crashed:
+            raise RuntimeError(f"node '{self.node}' already crashed")
+        self.now = max(self.now, now)
+        self._crashed = True
+        unstarted: List[Request] = []
+        interrupted: List[InterruptedJob] = []
+        live = list(self.scheduler.jobs()) + list(self._delayed_jobs.values())
+        for job in live:
+            request_id = job.request.request_id
+            record = self._records.pop(request_id)
+            if job.started:
+                interrupted.append(
+                    InterruptedJob(
+                        request=job.request,
+                        history=job.session.level_history,
+                        steps=list(record.steps),
+                        logits=job.session.logits,
+                        retries=job.retries,
+                    )
+                )
+            else:
+                unstarted.append(job.request)
+            self.scheduler.discard(job)
+            if self.memory.budget_bytes is None:
+                self._resident_total -= self._resident_sizes.pop(request_id, 0)
+            job.session.close()
+            self._ids.discard(request_id)
+        self._delayed_jobs.clear()
+        self._delayed_heap.clear()
+        self._watchdog.clear()
+        # Pushed-but-unadmitted work re-routes whole; failover hand-offs
+        # that never landed keep their original checkpoints.
+        while self._pending:
+            _, request_id, request = heapq.heappop(self._pending)
+            job = self._resume_jobs.pop(request_id, None)
+            steps = self._resume_steps.pop(request_id, [])
+            if job is not None:
+                interrupted.append(
+                    InterruptedJob(
+                        request=request,
+                        history=job.session.level_history,
+                        steps=steps,
+                        logits=job.session.logits,
+                        retries=job.retries,
+                    )
+                )
+                job.session.close()
+            else:
+                unstarted.append(request)
+            self._ids.discard(request_id)
+        return CrashedNodeWork(unstarted=unstarted, interrupted=interrupted)
 
     def _batch_candidates(self, winner: ServingJob) -> List[ServingJob]:
         """Ready jobs that could share the winner's step, winner first.
@@ -1012,9 +1329,18 @@ class ServingRun:
         engine = self.engine
         scheduler = self.scheduler
         self._admit(self.now)
+        self._release_delayed()
+        self._run_watchdog()
         if not len(scheduler):
+            targets = []
             if self._pending:
-                self.now = max(self.now, self._pending[0][0])
+                targets.append(self._pending[0][0])
+            if self._delayed_heap:
+                targets.append(self._delayed_heap[0][0])
+                if self._watchdog:
+                    targets.append(self._watchdog[0][0])
+            if targets:
+                self.now = max(self.now, min(targets))
             return
 
         if engine.drop_expired:
@@ -1036,6 +1362,12 @@ class ServingRun:
             if stale_reason is not None:
                 self._finalize(job, "completed", stale_reason)
                 return
+
+        if self.fault_injector is not None and self.fault_injector.consume_transient(
+            self.node, self.now
+        ):
+            self._fail_step(job)
+            return
 
         members = [job]
         if engine.batch_policy.coalesces:
@@ -1231,7 +1563,11 @@ class ServingRun:
                 self.memory.peak_resident_bytes = self._resident_total
             return
         before = len(self.memory.events)
-        self.memory.enforce(self.scheduler.jobs(), protected=protected, now=self.now)
+        # Backoff-delayed jobs hold contexts too: they are evictable
+        # (their resume replays like any other) and must count against
+        # the budget even though the scheduler cannot see them.
+        jobs = list(self.scheduler.jobs()) + list(self._delayed_jobs.values())
+        self.memory.enforce(jobs, protected=protected, now=self.now)
         for event in self.memory.events[before:]:
             evicted = self.scheduler.get(event.request_id)
             if evicted is not None:

@@ -53,6 +53,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
+from ..utils.errors import ConfigError
 from .backend import ServingJob
 
 
@@ -145,7 +146,7 @@ def get_eviction_policy(name: str) -> EvictionPolicy:
     try:
         return EVICTION_POLICIES[name.lower()]()
     except KeyError as exc:
-        raise KeyError(
+        raise ConfigError(
             f"unknown eviction policy '{name}'; available: {sorted(EVICTION_POLICIES)}"
         ) from exc
 

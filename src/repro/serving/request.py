@@ -47,6 +47,11 @@ class Request:
         Larger is more important (used by the priority scheduler).
     labels:
         Optional ground truth for accuracy accounting.
+    max_subnet:
+        Largest subnet level this request may refine to; ``None`` means
+        uncapped.  Set by degrading admission control ("serve a smaller
+        answer rather than reject") — the engine stops stepping once the
+        cap is reached.
     """
 
     request_id: int
@@ -55,12 +60,15 @@ class Request:
     deadline: Optional[float] = None
     priority: int = 0
     labels: Optional[np.ndarray] = None
+    max_subnet: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.arrival_time < 0:
             raise ValueError("arrival_time must be non-negative")
         if self.deadline is not None and self.deadline <= self.arrival_time:
             raise ValueError("deadline must be after arrival_time")
+        if self.max_subnet is not None and self.max_subnet < 0:
+            raise ValueError("max_subnet must be >= 0 when set")
 
     @property
     def relative_deadline(self) -> float:

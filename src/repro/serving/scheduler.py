@@ -59,6 +59,7 @@ import math
 from collections import Counter
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
+from ..utils.errors import ConfigError
 from .backend import ServingJob
 
 #: A ``(current, next)`` subnet edge as exposed by ``ServingJob.edge``.
@@ -476,5 +477,7 @@ def get_scheduler(name: str, **params) -> Scheduler:
     try:
         cls = SCHEDULERS[name.lower()]
     except KeyError as exc:
-        raise KeyError(f"unknown scheduler '{name}'; available: {sorted(SCHEDULERS)}") from exc
+        raise ConfigError(
+            f"unknown scheduler '{name}'; available: {sorted(SCHEDULERS)}"
+        ) from exc
     return cls(**params)

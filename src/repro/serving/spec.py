@@ -44,9 +44,11 @@ from ..runtime.policies import (
     SteppingPolicy,
 )
 from ..runtime.traces import trace_library
+from ..utils.errors import ConfigError
 from ..utils.rng import new_generator
 from .backend import ExecutionBackend, get_backend
 from .batching import BATCH_POLICIES, get_batch_policy
+from .faults import FaultSpec
 from .memory import MemoryBudget
 from .request import Request, get_stream
 from .scheduler import SCHEDULERS, Scheduler, get_scheduler
@@ -75,7 +77,9 @@ def get_policy(name: str, **params) -> SteppingPolicy:
     try:
         factory = POLICIES[name.lower()]
     except KeyError as exc:
-        raise KeyError(f"unknown policy '{name}'; available: {sorted(POLICIES)}") from exc
+        raise ConfigError(
+            f"unknown policy '{name}'; available: {sorted(POLICIES)}"
+        ) from exc
     return factory(**params)
 
 
@@ -84,7 +88,7 @@ def _check_fields(cls, data: Mapping[str, Any]) -> Dict[str, Any]:
     known = {f.name for f in fields(cls)}
     unknown = set(data) - known
     if unknown:
-        raise KeyError(
+        raise ConfigError(
             f"unknown {cls.__name__} keys {sorted(unknown)}; known: {sorted(known)}"
         )
     return dict(data)
@@ -220,6 +224,10 @@ class ServingSpec:
     num_subnets: Optional[int] = None
     memory_budget_bytes: Optional[float] = None
     eviction_policy: str = "lru"
+    #: Per-request watchdog (simulated seconds): a job still resident
+    #: this long after arrival is finalised with its best-so-far anytime
+    #: prediction and flagged ``timed_out``.  ``None`` disables it.
+    max_service_time: Optional[float] = None
 
     def __post_init__(self) -> None:
         # Fail at config load, not mid-simulation.
@@ -253,11 +261,16 @@ class ServingSpec:
             )
         if self.num_subnets is not None and self.num_subnets < 1:
             raise ValueError("num_subnets cap must be at least 1")
+        if self.max_service_time is not None and self.max_service_time <= 0:
+            raise ValueError("max_service_time must be positive when set")
         # Delegate to the single source of truth for the memory knobs:
-        # the constructor build_engine will call anyway (KeyError on an
-        # unknown eviction policy propagates with its registry message).
+        # the constructor build_engine will call anyway (a ConfigError on
+        # an unknown eviction policy propagates with its registry
+        # message; other bad values get the knob-name prefix).
         try:
             MemoryBudget(self.memory_budget_bytes, self.eviction_policy)
+        except ConfigError:
+            raise
         except ValueError as exc:
             raise ValueError(f"memory_budget_bytes: {exc}") from None
 
@@ -334,6 +347,7 @@ class ServingSpec:
             drop_expired=self.drop_expired,
             enforce_deadline=self.enforce_deadline,
             store_logits=self.store_logits,
+            max_service_time=self.max_service_time,
         )
 
     # ------------------------------------------------------------------
@@ -369,15 +383,34 @@ class ClusterSpec:
     streams: Tuple[StreamSpec, ...] = ()
     model: Mapping[str, Any] = field(default_factory=dict)
     name: str = "cluster"
+    #: Optional chaos schedule (crashes, transients, slowdowns,
+    #: partitions) the fleet serves under; see
+    #: :class:`~repro.serving.faults.FaultSpec`.
+    faults: Optional[FaultSpec] = None
+    #: Fleet admission control: ``"none"`` admits everything verbatim,
+    #: ``"degrade"`` caps an arrival's target subnet when the routed
+    #: node's predicted finish misses its deadline (or its context would
+    #: thrash a bounded memory budget) and rejects only when even the
+    #: minimum subnet cannot land.
+    admission: str = "none"
 
     def __post_init__(self) -> None:
         if not self.nodes:
             raise ValueError("a ClusterSpec needs at least one node")
         # Lazy import: cluster.py imports this module at load time.
-        from .cluster import ROUTERS
+        from .cluster import ADMISSION_POLICIES, ROUTERS
 
         if self.router.lower() not in ROUTERS:
-            raise KeyError(f"unknown router '{self.router}'; available: {sorted(ROUTERS)}")
+            raise ConfigError(
+                f"unknown router '{self.router}'; available: {sorted(ROUTERS)}"
+            )
+        if isinstance(self.faults, Mapping):
+            object.__setattr__(self, "faults", FaultSpec.from_dict(self.faults))
+        if self.admission.lower() not in ADMISSION_POLICIES:
+            raise ConfigError(
+                f"unknown admission policy '{self.admission}'; "
+                f"available: {sorted(ADMISSION_POLICIES)}"
+            )
         object.__setattr__(self, "nodes", tuple(self.nodes))
         object.__setattr__(self, "streams", tuple(self.streams))
         names = [node.node_name for node in self.nodes]
@@ -461,19 +494,45 @@ class ClusterSpec:
             "streams": [stream.to_dict() for stream in self.streams],
             "model": dict(self.model),
             "name": self.name,
+            "faults": None if self.faults is None else self.faults.to_dict(),
+            "admission": self.admission,
         }
+
+    @staticmethod
+    def _expand_nodes(raw_nodes) -> Tuple[ServingSpec, ...]:
+        """Resolve node dicts, replicating any that carry a ``count``."""
+        nodes: List[ServingSpec] = []
+        for raw in raw_nodes:
+            if isinstance(raw, ServingSpec):
+                nodes.append(raw)
+                continue
+            payload = dict(raw)
+            count = payload.pop("count", 1)
+            if isinstance(count, bool) or not isinstance(count, int) or count <= 0:
+                raise ValueError(
+                    f"node key 'count' must be a positive integer, got {count!r}"
+                )
+            node = ServingSpec.from_dict(payload)
+            for index in range(count):
+                if count > 1 and node.name:
+                    nodes.append(replace(node, name=f"{node.name}#{index}"))
+                else:
+                    # Unnamed replicas share the default platform/backend
+                    # name; ClusterSpec auto-disambiguates those.
+                    nodes.append(node)
+        return tuple(nodes)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ClusterSpec":
         data = _check_fields(cls, data)
-        data["nodes"] = tuple(
-            node if isinstance(node, ServingSpec) else ServingSpec.from_dict(node)
-            for node in data.get("nodes", ())
-        )
+        data["nodes"] = cls._expand_nodes(data.get("nodes", ()))
         data["streams"] = tuple(
             stream if isinstance(stream, StreamSpec) else StreamSpec.from_dict(stream)
             for stream in data.get("streams", ())
         )
+        faults = data.get("faults")
+        if faults is not None and not isinstance(faults, FaultSpec):
+            data["faults"] = FaultSpec.from_dict(faults)
         return cls(**data)
 
     @classmethod

@@ -1,0 +1,23 @@
+"""Shared exception types.
+
+:class:`ConfigError` is raised when a declarative config names an
+unknown registry entry (scheduler, eviction policy, fault kind, retry
+policy, ...).  It inherits from **both** :class:`ValueError` and
+:class:`KeyError`: historically the registries raised ``KeyError`` (a
+name lookup failed) while config validation is conventionally a
+``ValueError`` — callers written against either contract keep working.
+"""
+
+from __future__ import annotations
+
+
+class ConfigError(ValueError, KeyError):
+    """An invalid configuration value (unknown registry name, bad knob).
+
+    Subclasses both ``ValueError`` and ``KeyError`` so existing
+    ``except KeyError`` handlers and new ``except ValueError`` handlers
+    both catch it.  ``KeyError.__str__`` would repr-quote the message;
+    plain formatting is restored here.
+    """
+
+    __str__ = Exception.__str__
