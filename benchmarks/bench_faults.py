@@ -144,26 +144,35 @@ def row_from_report(report, network, num_requests: int, wall: float) -> dict:
     jobs = report._jobs
     # Delivered quality: executed levels per request (0 = no answer).
     delivered = [len({step.subnet for step in job.steps}) for job in jobs]
-    return {
-        "num_jobs": report.num_jobs,
-        "completed": int(report.as_dict()["completed"]),
-        "dropped": report.dropped,
-        "mean_delivered_levels": float(np.mean(delivered)) if delivered else 0.0,
-        "deadline_miss_rate": report.deadline_miss_rate,
-        "simulated_p95_latency": report.p95_latency,
-        "simulated_makespan": report.makespan,
-        "total_macs": report.total_macs,
-        "recompute_macs": report.total_macs_recomputed,
-        "retries": report.retries,
-        "timed_out": report.timed_out,
-        "migrations": report.migrations,
-        "failovers": report.failovers,
-        "degraded_admissions": report.degraded_admissions,
-        "rejected": report.rejected,
-        "lost": report.lost,
-        "bit_equal_to_oracle": bit_equal_to_oracle(network, jobs),
-        "wall_seconds": wall,
+    # One serialisation path: consume the canonical ClusterReport.to_dict()
+    # instead of re-assembling its scalars by hand.
+    summary = report.to_dict()
+    row = {
+        key: summary[key]
+        for key in (
+            "num_jobs",
+            "completed",
+            "dropped",
+            "deadline_miss_rate",
+            "total_macs",
+            "retries",
+            "timed_out",
+            "migrations",
+            "failovers",
+            "degraded_admissions",
+            "rejected",
+            "lost",
+        )
     }
+    row.update(
+        mean_delivered_levels=float(np.mean(delivered)) if delivered else 0.0,
+        simulated_p95_latency=summary["p95_latency"],
+        simulated_makespan=summary["makespan"],
+        recompute_macs=summary["total_macs_recomputed"],
+        bit_equal_to_oracle=bit_equal_to_oracle(network, jobs),
+        wall_seconds=wall,
+    )
+    return row
 
 
 def main() -> None:

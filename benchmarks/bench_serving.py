@@ -21,10 +21,15 @@ p95 / p99 latency, deadline-miss rate, MAC totals), saved to
 The module doubles as the fleet-smoke CLI: run as a script it pushes a
 :class:`~repro.serving.ClusterSpec` JSON (default
 ``configs/cluster_smoke.json``, 3 heterogeneous nodes) through
-``repro.serving.serve`` and writes the ``ClusterReport.as_dict()``
+``repro.serving.serve`` and writes the ``ClusterReport.to_dict()``
 artifact::
 
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke --out ClusterReport.json
+
+``--bench`` additionally serves the fleet with observability disabled
+and enabled, asserts the reports are bit-identical either way (the
+zero-overhead contract) and writes the wall-clock overhead comparison
+to ``results/BENCH_serving.json``.
 """
 
 import pytest
@@ -181,13 +186,63 @@ def test_serving_scheduler_comparison(benchmark, trained_network, save_result):
 DEFAULT_CLUSTER = "configs/cluster_smoke.json"
 
 
+def _timed_serve(spec):
+    """Serve the spec's declared fleet and workload; report + wall seconds."""
+    import time
+
+    from repro.serving import serve
+
+    start = time.perf_counter()
+    report = serve(None, spec)  # None: instantiate the spec's declarative model
+    return report, time.perf_counter() - start
+
+
+def observability_overhead(spec, repeats: int = 3) -> dict:
+    """Measure the tracing subsystem's wall-clock cost on one fleet.
+
+    Serves the same workload with observability disabled and enabled (an
+    in-memory sink — the dominant cost is the emit path, not I/O),
+    asserts the reports are bit-identical either way, and reports the
+    best-of-``repeats`` wall clocks — the zero-overhead-when-disabled
+    contract, measured.
+    """
+    import dataclasses
+    import json
+
+    from repro.serving import ObservabilitySpec
+
+    spec_off = dataclasses.replace(spec, observe=None)
+    spec_on = dataclasses.replace(spec, observe=ObservabilitySpec(enabled=True))
+    walls = {"disabled": [], "enabled": []}
+    payloads = {}
+    for _ in range(repeats):
+        for key, variant in (("disabled", spec_off), ("enabled", spec_on)):
+            report, wall = _timed_serve(variant)
+            walls[key].append(wall)
+            payload = report.to_dict()
+            previous = payloads.setdefault(key, payload)
+            assert json.dumps(payload, sort_keys=True) == json.dumps(
+                previous, sort_keys=True
+            ), "serving is not deterministic across repeats"
+    assert json.dumps(payloads["disabled"], sort_keys=True) == json.dumps(
+        payloads["enabled"], sort_keys=True
+    ), "observability changed the ClusterReport (bit-identity contract)"
+    disabled, enabled = min(walls["disabled"]), min(walls["enabled"])
+    return {
+        "repeats": repeats,
+        "disabled_wall_seconds": disabled,
+        "enabled_wall_seconds": enabled,
+        "enabled_overhead_pct": (enabled / disabled - 1.0) * 100.0 if disabled else 0.0,
+        "reports_bit_identical": True,
+    }
+
+
 def main() -> None:
     import argparse
     import json
-    import time
     from pathlib import Path
 
-    from repro.serving import ClusterSpec, serve
+    from repro.serving import ClusterSpec
 
     parser = argparse.ArgumentParser(
         description="Run a ClusterSpec JSON through repro.serving.serve "
@@ -203,18 +258,21 @@ def main() -> None:
         "--smoke", action="store_true", help="assert the smoke expectations (CI gate)"
     )
     parser.add_argument(
+        "--bench",
+        action="store_true",
+        help="also measure observability overhead and write results/BENCH_serving.json",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=Path(__file__).parent / "results" / "ClusterReport.json",
-        help="where to write ClusterReport.as_dict()",
+        help="where to write ClusterReport.to_dict()",
     )
     args = parser.parse_args()
 
     spec = ClusterSpec.from_json(args.cluster)
-    start = time.perf_counter()
-    report = serve(None, spec)  # None: instantiate the spec's declarative model
-    wall = time.perf_counter() - start
-    payload = report.as_dict()
+    report, wall = _timed_serve(spec)
+    payload = report.to_dict()
     payload["wall_seconds"] = wall
 
     print(
@@ -244,6 +302,37 @@ def main() -> None:
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
+
+    if args.bench:
+        overhead = observability_overhead(spec)
+        bench_payload = {
+            "cluster": str(args.cluster.name),
+            "summary": {
+                key: payload[key]
+                for key in (
+                    "cluster",
+                    "router",
+                    "num_nodes",
+                    "num_jobs",
+                    "completed",
+                    "dropped",
+                    "throughput_rps",
+                    "p95_latency",
+                    "deadline_miss_rate",
+                    "load_imbalance",
+                )
+            },
+            "observability_overhead": overhead,
+        }
+        bench_out = Path(__file__).parent / "results" / "BENCH_serving.json"
+        bench_out.write_text(json.dumps(bench_payload, indent=2) + "\n")
+        print(
+            f"observability overhead: disabled "
+            f"{overhead['disabled_wall_seconds']:.3f} s, enabled "
+            f"{overhead['enabled_wall_seconds']:.3f} s "
+            f"({overhead['enabled_overhead_pct']:+.1f}%), reports bit-identical"
+        )
+        print(f"wrote {bench_out}")
 
 
 if __name__ == "__main__":

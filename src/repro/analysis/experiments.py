@@ -324,6 +324,7 @@ def serving_comparison(
     full_quality: bool = False,
     overhead_per_step: float = 0.0,
     seed: int = 0,
+    observe=None,
 ) -> Dict[str, object]:
     """Serve one Poisson workload through both execution backends.
 
@@ -340,6 +341,10 @@ def serving_comparison(
     accuracy reached by the deadline.  ``full_quality=True`` requires
     every request to reach the largest subnet regardless of deadline:
     the win shows up as tail latency and deadline-miss rate.
+
+    ``observe`` (an :class:`~repro.serving.observe.ObservabilitySpec`
+    or its dict form) attaches the tracing subsystem to both runs; the
+    reported metrics are bit-identical with or without it.
 
     Each backend run is described by a declarative
     :class:`~repro.serving.spec.ServingSpec` (also returned under
@@ -376,6 +381,7 @@ def serving_comparison(
             # Never confident, never deadline-limited: always step to the top.
             policy="full-quality" if full_quality else "greedy",
             enforce_deadline=not full_quality,
+            observe=observe,
         )
         key = get_backend(backend_kind).name
         specs[key] = spec.to_dict()

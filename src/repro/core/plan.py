@@ -61,6 +61,7 @@ weights, masks or assignments and a new plan must be built (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary, ref
 
@@ -233,6 +234,12 @@ class NetworkPlan:
             network.subnet_macs(level, apply_prune=self.apply_prune)
             for level in range(self.num_subnets)
         )
+        #: Optional :class:`~repro.utils.timing.Timer` recording
+        #: wall-clock per-level execute durations — the observability
+        #: layer's plan hook.  ``None`` (default) keeps execution free of
+        #: timing calls; attach via the serving backend so the shared
+        #: plan semantics are documented in one place.
+        self.timer = None
         self._compile(network)
 
     # ------------------------------------------------------------------
@@ -431,6 +438,8 @@ class NetworkPlan:
         the cache, so an empty dict — e.g. state produced by the legacy
         path — is always valid.  Returns the logits of ``to_subnet``.
         """
+        timer = self.timer
+        t0 = perf_counter() if timer is not None else 0.0
         current = inputs
         if self.flatten_input and current.ndim == 4:
             current = current.reshape(current.shape[0], -1)
@@ -465,6 +474,8 @@ class NetworkPlan:
         if out is None:
             raise RuntimeError("network has no output layer")
         aux["level"] = to_subnet
+        if timer is not None:
+            timer.record(f"level{to_subnet}", perf_counter() - t0)
         return out
 
     def _run_conv(
@@ -633,6 +644,8 @@ class NetworkPlan:
                     from_subnet, to_subnet,
                 )
             ]
+        timer = self.timer
+        t0 = perf_counter() if timer is not None else 0.0
         currents: List[np.ndarray] = []
         for member in members:
             current = member.inputs
@@ -667,6 +680,8 @@ class NetworkPlan:
             raise RuntimeError("network has no output layer")
         for member in members:
             member.aux["level"] = to_subnet
+        if timer is not None:
+            timer.record(f"batch_level{to_subnet}", perf_counter() - t0)
         return outs  # type: ignore[return-value]
 
     @staticmethod

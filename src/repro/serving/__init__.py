@@ -42,6 +42,15 @@ configs.
   capped-exponential-backoff :class:`RetryPolicy` — the cluster layer
   survives them with checkpointed failover (bit-exact replay on a
   surviving node) and degrade-before-reject admission control;
+* :mod:`repro.serving.observe` — zero-overhead-when-disabled
+  observability: the :class:`TraceRecorder` of typed, timestamped
+  events (:data:`EVENT_TYPES`) behind pluggable sinks
+  (:class:`MemorySink` ring buffer, :class:`JSONLSink` file), the
+  :class:`ObservabilitySpec` switch carried on both spec levels,
+  exporters (:func:`to_chrome_trace` for ``chrome://tracing``,
+  :func:`timeline_frames`) and trace replay
+  (:func:`replay_queue_depth`, :func:`staleness_curve` — the routing
+  signal-staleness study's data source);
 * :mod:`repro.serving.spec` — declarative configs:
   :class:`ServingSpec` (one node), :class:`ClusterSpec` (a fleet) and
   :class:`StreamSpec`, each JSON-round-trippable via
@@ -118,6 +127,19 @@ from .memory import (
     LRUEviction,
     MemoryBudget,
     get_eviction_policy,
+)
+from .observe import (
+    EVENT_TYPES,
+    JSONLSink,
+    MemorySink,
+    ObservabilitySpec,
+    TraceRecorder,
+    TraceSink,
+    load_jsonl,
+    replay_queue_depth,
+    staleness_curve,
+    timeline_frames,
+    to_chrome_trace,
 )
 from .request import (
     STREAMS,
@@ -222,4 +244,15 @@ __all__ = [
     "fault_from_dict",
     "AdmissionController",
     "ADMISSION_POLICIES",
+    "ObservabilitySpec",
+    "TraceRecorder",
+    "TraceSink",
+    "MemorySink",
+    "JSONLSink",
+    "EVENT_TYPES",
+    "to_chrome_trace",
+    "timeline_frames",
+    "load_jsonl",
+    "replay_queue_depth",
+    "staleness_curve",
 ]

@@ -401,6 +401,25 @@ class ExecutionBackend:
         return ExecutionSession(self, np.asarray(inputs), start_subnet)
 
     # ------------------------------------------------------------------
+    # Observability: per-level wall-clock timing on the compiled plan.
+    def attach_plan_timer(self, timer) -> None:
+        """Point the compiled plan's per-level timer at ``timer``.
+
+        The plan is shared per ``(network, dtype, prune)`` platform, so
+        while attached *every* sharer's executes are timed into the one
+        recorder — which is exactly what a fleet-wide trace wants.  The
+        run that attached the timer detaches it when it finishes.
+        """
+        plan = getattr(self, "plan", None)
+        if plan is not None:
+            plan.timer = timer
+
+    def detach_plan_timer(self) -> None:
+        plan = getattr(self, "plan", None)
+        if plan is not None:
+            plan.timer = None
+
+    # ------------------------------------------------------------------
     def group_edge(self, sessions: Sequence[ExecutionSession]) -> tuple:
         """The single ``(current, next)`` subnet edge shared by ``sessions``.
 

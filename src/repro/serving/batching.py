@@ -58,10 +58,15 @@ class BatchDecision:
     list (execute these jobs as one step now) or a ``wait_until`` time
     (execute nothing; let simulated time advance so more compatible
     requests can arrive).
+
+    ``reason`` explains the decision for the observability layer (it is
+    forwarded into ``coalesce_wait`` trace events) and never affects
+    execution.
     """
 
     members: List[ServingJob] = field(default_factory=list)
     wait_until: Optional[float] = None
+    reason: str = ""
 
 
 class BatchPolicy:
@@ -184,7 +189,9 @@ class WindowedBatching(SameLevelBatching):
             # feasible request must not expire under the batcher's wait.
             and (not deadlines or next_arrival < min(deadlines))
         ):
-            return BatchDecision(wait_until=next_arrival)
+            return BatchDecision(
+                wait_until=next_arrival, reason="under-full first step; imminent arrival"
+            )
         return BatchDecision(members=list(candidates[: self.max_batch_size]))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

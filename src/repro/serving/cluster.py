@@ -56,16 +56,34 @@ import numpy as np
 from ..analysis.metrics import deadline_miss_rate as _deadline_miss_rate
 from ..analysis.metrics import percentile
 from ..utils.errors import ConfigError
+from ..utils.logging import get_logger
+from ..utils.metrics import MetricsRegistry, merge_snapshots
 from .engine import (
     InterruptedJob,
     JobRecord,
     ServingEngine,
     ServingReport,
     ServingRun,
+    _json_safe,
 )
 from .faults import FaultInjector, FaultSpec, RetryPolicy
+from .observe import ObservabilitySpec, TraceRecorder, _coerce_observe
 from .request import Request
 from .spec import ClusterSpec
+
+_LOG = get_logger("repro.serving")
+
+#: Scalar coordinator counters every :class:`ClusterReport` consumes
+#: from the cluster metrics registry (all zero outside fault-tolerant
+#: serving, so the registry-backed path is bit-identical to the old
+#: hand-counted one).
+_COORDINATOR_COUNTERS = (
+    "migrations",
+    "failovers",
+    "degraded_admissions",
+    "rejected",
+    "lost",
+)
 
 
 class NodeState:
@@ -488,6 +506,12 @@ class ClusterReport:
     rejected: int = 0
     #: Requests that never reached any node and never will.
     lost: int = 0
+    #: Snapshot of the coordinator's metrics registry
+    #: (:class:`~repro.utils.metrics.MetricsRegistry`): the scalar
+    #: counters above are *consumed* from it, never recomputed.  Always
+    #: populated by ``serve()`` regardless of observability, so enabling
+    #: tracing cannot change the report.
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -689,6 +713,7 @@ class ClusterReport:
             "rejected": self.rejected,
             "lost": self.lost,
             "load_imbalance": self.load_imbalance,
+            "metrics": self.metrics,
             "node_jobs": self.node_jobs,
             "node_utilisation": self.node_utilisation,
             "nodes": [
@@ -699,6 +724,16 @@ class ClusterReport:
             ],
         }
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Strict-JSON form of :meth:`as_dict`.
+
+        Numpy scalars/arrays become native types and non-finite floats
+        become ``None``, so ``json.dumps(report.to_dict())`` always
+        succeeds — the single serialisation path the benchmark scripts
+        share.
+        """
+        return _json_safe(self.as_dict())
+
 
 def _merge_incarnation_reports(reports: List[ServingReport]) -> ServingReport:
     """Merge the reports of one node's successive run incarnations.
@@ -706,8 +741,10 @@ def _merge_incarnation_reports(reports: List[ServingReport]) -> ServingReport:
     A node that crashes and recovers serves through several
     :class:`~repro.serving.engine.ServingRun` instances; the fleet
     report presents them as one node.  Job lists and batch logs
-    concatenate, counters add, the residency peak is the max, and jobs
-    are re-sorted by request id so the merged report is deterministic.
+    concatenate, counters add, the residency peak is the max, metrics
+    snapshots merge (:func:`~repro.utils.metrics.merge_snapshots`), and
+    jobs are re-sorted by request id so the merged report is
+    deterministic.
     """
     if len(reports) == 1:
         return reports[0]
@@ -732,8 +769,45 @@ def _merge_incarnation_reports(reports: List[ServingReport]) -> ServingReport:
         merged.peak_resident_bytes = max(
             merged.peak_resident_bytes, report.peak_resident_bytes
         )
+    merged.metrics = merge_snapshots(
+        report.metrics for report in reports if report.metrics
+    )
     merged.jobs.sort(key=lambda job: job.request.request_id)
     return merged
+
+
+def _publish_signals(
+    recorder: TraceRecorder,
+    nodes: Sequence[NodeState],
+    request: Request,
+    now: float,
+) -> None:
+    """Record every node's advertised load at one routing decision.
+
+    One ``publish`` event per candidate node, carrying both the
+    fluid-model jobs-in-system estimate (``fluid_depth``) and the node's
+    actual published scheduler depth (``live_depth``).  The per-sample
+    gap between the two is the routing signal's staleness;
+    :func:`~repro.serving.observe.staleness_curve` aggregates it.
+
+    Only emitted during live (interleaved / fault-tolerant) serving:
+    each event is stamped at the node's visible clock — a node cannot
+    observe a routing consult before its own time, which keeps per-node
+    timestamps monotone even when a consult lands mid-step — and
+    two-phase serving routes everything before any node loop runs, so
+    its fluid-only samples have no node timeline to live on.
+    """
+    for node in nodes:
+        if node.run is None:
+            continue
+        recorder.emit(
+            "publish",
+            max(now, node.run.now),
+            node=node.name,
+            request_id=request.request_id,
+            fluid_depth=int(node.queue_length(now)),
+            live_depth=int(node.run.queue_depth),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -764,10 +838,14 @@ class ServingCluster:
         spec: Optional[ClusterSpec] = None,
         faults: Optional[Union[FaultSpec, Mapping[str, Any]]] = None,
         admission: str = "none",
+        observe: Optional[Union[ObservabilitySpec, Mapping[str, Any]]] = None,
     ) -> None:
         if not engines:
             raise ValueError("a ServingCluster needs at least one engine")
         self.engines = list(engines)
+        #: Fleet-wide observability: one shared recorder per ``serve()``
+        #: call (single global event sequence across every node).
+        self.observe = _coerce_observe(observe)
         self.router = get_router(router) if isinstance(router, str) else router
         if names is None:
             names = [f"node{index}" for index in range(len(self.engines))]
@@ -826,6 +904,7 @@ class ServingCluster:
             spec=spec,
             faults=spec.faults,
             admission=spec.admission,
+            observe=spec.observe,
         )
 
     @property
@@ -837,6 +916,7 @@ class ServingCluster:
         self,
         requests: Sequence[Request],
         runs: Optional[List[ServingRun]] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> List[NodeState]:
         """The shared routing loop behind both serving modes.
 
@@ -860,6 +940,8 @@ class ServingCluster:
             if runs is not None:
                 for run in runs:
                     run.run_until(now)
+            if recorder is not None:
+                _publish_signals(recorder, nodes, request, now)
             index = self.router.route(request, nodes, now)
             if not 0 <= index < len(nodes):
                 raise IndexError(
@@ -887,7 +969,9 @@ class ServingCluster:
             )
 
     def _serve_interleaved(
-        self, requests: Sequence[Request]
+        self,
+        requests: Sequence[Request],
+        recorder: Optional[TraceRecorder] = None,
     ) -> Tuple[List[List[Request]], List[ServingReport]]:
         """Route from live queue state: one resumable run per node.
 
@@ -901,8 +985,11 @@ class ServingCluster:
         see arrivals only once they are routed, so their decisions carry
         the same one-event staleness as the routing signal itself.
         """
-        runs = [engine.open_run() for engine in self.engines]
-        nodes = self._route(requests, runs=runs)
+        runs = [
+            engine.open_run(node=name, recorder=recorder)
+            for name, engine in zip(self.node_names, self.engines)
+        ]
+        nodes = self._route(requests, runs=runs, recorder=recorder)
         reports = [run.finish() for run in runs]
         return [node.assigned for node in nodes], reports
 
@@ -910,8 +997,11 @@ class ServingCluster:
     # Fault-tolerant serving
     # ------------------------------------------------------------------
     def _serve_fault_tolerant(
-        self, requests: Sequence[Request]
-    ) -> Tuple[List[ServingReport], List[JobRecord], Dict[str, int]]:
+        self,
+        requests: Sequence[Request],
+        registry: Optional[MetricsRegistry] = None,
+        recorder: Optional[TraceRecorder] = None,
+    ) -> Tuple[List[ServingReport], List[JobRecord]]:
         """Interleaved serving under a chaos schedule, with failover.
 
         One event heap drives arrivals, injected crash/recover
@@ -946,20 +1036,19 @@ class ServingCluster:
         ]
         runs: List[ServingRun] = []
         for name, engine, node in zip(self.node_names, self.engines, nodes):
-            run = engine.open_run(fault_injector=injector, node=name)
+            run = engine.open_run(fault_injector=injector, node=name, recorder=recorder)
             node.attach_run(run)
             runs.append(run)
         alive = [True] * len(nodes)
         finished: List[List[ServingRun]] = [[] for _ in nodes]
         self.router.reset(nodes)
         admission = AdmissionController() if self.admission == "degrade" else None
-        counters = {
-            "migrations": 0,
-            "failovers": 0,
-            "degraded_admissions": 0,
-            "rejected": 0,
-            "lost": 0,
-        }
+        # Coordinator counters live in the cluster metrics registry; the
+        # ClusterReport consumes their final values instead of keeping a
+        # parallel set of hand-maintained ints.
+        if registry is None:
+            registry = MetricsRegistry()
+        counters = {name: registry.counter(name) for name in _COORDINATOR_COUNTERS}
         extra: List[JobRecord] = []
 
         events: List[Tuple[float, int, str, Any]] = []
@@ -975,18 +1064,28 @@ class ServingCluster:
         for request in sorted(requests, key=lambda r: (r.arrival_time, r.request_id)):
             push_event(request.arrival_time, "arrival", request)
 
-        def best_effort(checkpoint: InterruptedJob, reason: str) -> None:
+        def best_effort(checkpoint: InterruptedJob, reason: str, now: float) -> None:
             """Finalise a checkpoint with its best-so-far anytime result."""
+            status = "completed" if checkpoint.steps else "dropped"
             extra.append(
                 JobRecord(
                     request=checkpoint.request,
                     steps=list(checkpoint.steps),
-                    status="completed" if checkpoint.steps else "dropped",
+                    status=status,
                     stop_reason=reason,
                     final_logits=checkpoint.logits,
                     retries=checkpoint.retries,
                 )
             )
+            if recorder is not None:
+                recorder.emit(
+                    "finalize",
+                    now,
+                    request_id=checkpoint.request.request_id,
+                    status=status,
+                    reason=reason,
+                    best_effort=True,
+                )
 
         def place(
             request: Request,
@@ -1014,6 +1113,7 @@ class ServingCluster:
                     best_effort(
                         checkpoint,
                         "no surviving node serves the checkpoint's subnet levels",
+                        now,
                     )
                     return
                 horizon = (
@@ -1026,9 +1126,9 @@ class ServingCluster:
                         push_event(horizon, "reroute", request)
                     return
                 if checkpoint is not None:
-                    best_effort(checkpoint, "fleet never reachable again")
+                    best_effort(checkpoint, "fleet never reachable again", now)
                 else:
-                    counters["lost"] += 1
+                    counters["lost"].add()
                     extra.append(
                         JobRecord(
                             request=request,
@@ -1036,7 +1136,17 @@ class ServingCluster:
                             stop_reason="no serving node ever reachable",
                         )
                     )
+                    if recorder is not None:
+                        recorder.emit(
+                            "finalize",
+                            now,
+                            request_id=request.request_id,
+                            status="lost",
+                            reason="no serving node ever reachable",
+                        )
                 return
+            if recorder is not None:
+                _publish_signals(recorder, candidates, request, now)
             # Routers answer with NodeState.index; renumber the filtered
             # candidate list positionally for the call (order-preserving,
             # so index tie-breaks are unchanged) and restore afterwards.
@@ -1067,7 +1177,14 @@ class ServingCluster:
                             node = other
                             break
                 if verdict == "reject":
-                    counters["rejected"] += 1
+                    counters["rejected"].add()
+                    _LOG.warning(
+                        "admission: rejected request %s at t=%.6f — minimum "
+                        "subnet predicted to miss the deadline on every "
+                        "reachable node",
+                        request.request_id,
+                        now,
+                    )
                     extra.append(
                         JobRecord(
                             request=request,
@@ -1078,15 +1195,57 @@ class ServingCluster:
                             ),
                         )
                     )
+                    if recorder is not None:
+                        recorder.emit(
+                            "reject",
+                            now,
+                            request_id=request.request_id,
+                            reason="minimum subnet misses deadline everywhere",
+                        )
                     return
                 if verdict == "degrade":
-                    counters["degraded_admissions"] += 1
+                    counters["degraded_admissions"].add()
                     assert admitted is not None
+                    _LOG.warning(
+                        "admission: degraded request %s to max_subnet=%s on "
+                        "node '%s' at t=%.6f",
+                        request.request_id,
+                        admitted.max_subnet,
+                        node.name,
+                        now,
+                    )
+                    if recorder is not None:
+                        # Clamped like every node-attributed coordinator
+                        # event: the node learns of the verdict no
+                        # earlier than its own clock.
+                        recorder.emit(
+                            "degrade",
+                            max(now, node.run.now),
+                            node=node.name,
+                            request_id=request.request_id,
+                            max_subnet=admitted.max_subnet,
+                        )
                     request = admitted
+                elif recorder is not None:
+                    recorder.emit(
+                        "admit",
+                        max(now, node.run.now),
+                        node=node.name,
+                        request_id=request.request_id,
+                    )
             node.assign(request, push=False)
             if checkpoint is None:
                 node.run.push(request, not_before=now)
             else:
+                if recorder is not None:
+                    recorder.emit(
+                        "failover",
+                        max(now, node.run.now),
+                        node=node.name,
+                        request_id=request.request_id,
+                        resume_levels=len(checkpoint.history),
+                        attempt=checkpoint.retries,
+                    )
                 node.run.push_resumed(
                     request,
                     history=checkpoint.history,
@@ -1113,12 +1272,19 @@ class ServingCluster:
                 finished[index].append(runs[index])
                 alive[index] = False
                 for request in work.unstarted:
-                    counters["migrations"] += 1
+                    counters["migrations"].add()
+                    if recorder is not None:
+                        recorder.emit(
+                            "migrate",
+                            max(time, runs[index].now),
+                            node=self.node_names[index],
+                            request_id=request.request_id,
+                        )
                     place(request, time)
                 for checkpoint in work.interrupted:
                     if checkpoint.retries >= retry.budget:
                         best_effort(
-                            checkpoint, "retry budget exhausted at node failure"
+                            checkpoint, "retry budget exhausted at node failure", time
                         )
                         continue
                     delay = retry.backoff(checkpoint.retries)
@@ -1127,21 +1293,28 @@ class ServingCluster:
                     deadline = checkpoint.request.deadline
                     if enforce and deadline is not None and retry_at >= deadline:
                         best_effort(
-                            checkpoint, "deadline reached during failover backoff"
+                            checkpoint, "deadline reached during failover backoff", time
                         )
                         continue
-                    counters["failovers"] += 1
+                    counters["failovers"].add()
                     push_event(retry_at, "retry", checkpoint)
             elif kind == "recover":
                 index = payload
                 if alive[index]:
                     continue
                 run = self.engines[index].open_run(
-                    fault_injector=injector, node=self.node_names[index]
+                    fault_injector=injector,
+                    node=self.node_names[index],
+                    recorder=recorder,
                 )
                 nodes[index].attach_run(run)
                 runs[index] = run
                 alive[index] = True
+                _LOG.info(
+                    "node '%s' recovered at t=%.6f", self.node_names[index], time
+                )
+                if recorder is not None:
+                    recorder.emit("recover", time, node=self.node_names[index])
 
         node_reports: List[ServingReport] = []
         for index, run in enumerate(runs):
@@ -1151,9 +1324,14 @@ class ServingCluster:
             node_reports.append(
                 _merge_incarnation_reports([r.finish() for r in incarnations])
             )
-        return node_reports, extra, counters
+        return node_reports, extra
 
-    def serve(self, requests: Optional[Sequence[Request]] = None) -> ClusterReport:
+    def serve(
+        self,
+        requests: Optional[Sequence[Request]] = None,
+        *,
+        recorder: Optional[TraceRecorder] = None,
+    ) -> ClusterReport:
         """Route the workload and run every node's event loop.
 
         With no explicit ``requests`` the spec's declared streams are
@@ -1162,37 +1340,59 @@ class ServingCluster:
         resident bytes) serve interleaved — placements read measured
         per-node state; every other router uses the exact two-phase
         decomposition.
+
+        ``recorder`` attaches a caller-owned observability trace (the
+        caller closes it and keeps the events); without one, an enabled
+        ``observe`` spec builds a recorder owned — and closed — by this
+        call.
         """
         if requests is None:
             if self.spec is None:
                 raise ValueError("no requests given and no ClusterSpec to build them from")
             input_shape = self.engines[0].backend.network.spec.input_shape
             requests = self.spec.build_requests(input_shape=input_shape)
-        if self.faults is not None or self.admission != "none":
-            node_reports, extra_jobs, counters = self._serve_fault_tolerant(requests)
-            return ClusterReport(
-                node_reports=node_reports,
-                node_names=list(self.node_names),
-                router_name=self.router.name,
-                cluster_name=self.name,
-                extra_jobs=extra_jobs,
-                **counters,
-            )
-        if getattr(self.router, "needs_live_state", False) or getattr(
-            self.router, "uses_queue_depth", False
-        ):
-            _, node_reports = self._serve_interleaved(requests)
-        else:
-            partition = self.route_requests(requests)
-            node_reports = [
-                engine.serve(sub_stream)
-                for engine, sub_stream in zip(self.engines, partition)
-            ]
+        # One shared recorder per serve call: every node emits into the
+        # same globally sequenced stream (per-node ServingSpec.observe is
+        # superseded by the fleet-wide spec during cluster serving).
+        owned = None
+        if recorder is None and self.observe is not None and self.observe.enabled:
+            owned = recorder = self.observe.build()
+        # The coordinator registry is always on — the report's scalar
+        # counters are consumed from it, so enabling tracing cannot
+        # change a report.
+        registry = MetricsRegistry()
+        counters = {name: registry.counter(name) for name in _COORDINATOR_COUNTERS}
+        extra_jobs: List[JobRecord] = []
+        try:
+            if self.faults is not None or self.admission != "none":
+                node_reports, extra_jobs = self._serve_fault_tolerant(
+                    requests, registry=registry, recorder=recorder
+                )
+            elif getattr(self.router, "needs_live_state", False) or getattr(
+                self.router, "uses_queue_depth", False
+            ):
+                _, node_reports = self._serve_interleaved(requests, recorder=recorder)
+            else:
+                # Exact two-phase decomposition: route everything, then
+                # run each node's closed loop over its sub-stream.
+                nodes = self._route(requests, recorder=recorder)
+                node_reports = []
+                for name, engine, node in zip(self.node_names, self.engines, nodes):
+                    run = engine.open_run(node=name, recorder=recorder)
+                    for request in node.assigned:
+                        run.push(request)
+                    node_reports.append(run.finish())
+        finally:
+            if owned is not None:
+                owned.close()
         return ClusterReport(
             node_reports=node_reports,
             node_names=list(self.node_names),
             router_name=self.router.name,
             cluster_name=self.name,
+            extra_jobs=extra_jobs,
+            metrics=registry.snapshot(),
+            **{name: counter.value for name, counter in counters.items()},
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -52,14 +52,19 @@ from ..runtime.policies import (
     prediction_confidence,
     softmax,
 )
+from ..utils.logging import get_logger
+from ..utils.metrics import MetricsRegistry
 from .backend import ExecutionBackend, ServingJob, StepOutcome
 from .batching import BatchPolicy, NoBatching, get_batch_policy
 from .faults import FaultInjector, RetryPolicy
 from .memory import EvictionEvent, EvictionPolicy, MemoryBudget
+from .observe import ObservabilitySpec, TraceRecorder, _coerce_observe
 from .request import Request
 from .scheduler import FIFOScheduler, Scheduler, get_scheduler
 
 _TIME_EPS = 1e-12
+
+_LOG = get_logger("repro.serving")
 
 
 @dataclass
@@ -228,6 +233,10 @@ class ServingReport:
     #: accelerator time, executed nothing, and re-queued its job under
     #: the retry policy's backoff).
     retries: int = 0
+    #: Snapshot of the run's :class:`~repro.utils.metrics.MetricsRegistry`
+    #: (counters/gauges/histograms); the scalar report fields above are
+    #: *consumed* from these counters, not recomputed.
+    metrics: dict = field(default_factory=dict)
 
     def invalidate_caches(self) -> None:
         """Drop memoised derived lists after mutating ``jobs``."""
@@ -440,7 +449,29 @@ class ServingReport:
             "recompute_overhead": self.recompute_overhead,
             "retries": self.retries,
             "timed_out": self.timed_out,
+            "metrics": self.metrics,
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Strictly-JSON-safe :meth:`as_dict` (numpy scalars unwrapped,
+        non-finite floats mapped to None) for benchmark artifacts."""
+        return _json_safe(self.as_dict())
+
+
+def _json_safe(value):
+    """Recursively convert a report payload to strict-JSON types."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        return value if math.isfinite(value) else None
+    if isinstance(value, np.ndarray):
+        return _json_safe(value.tolist())
+    return value
 
 
 class ServingEngine:
@@ -512,6 +543,13 @@ class ServingEngine:
         Backoff/budget policy for transiently-failed steps (see
         :class:`~repro.serving.faults.RetryPolicy`); only consulted when
         the run is driven with a fault injector.
+    observe:
+        An :class:`~repro.serving.observe.ObservabilitySpec` (or its
+        mapping form).  When enabled, ``serve()`` builds a
+        :class:`~repro.serving.observe.TraceRecorder` from it and every
+        run event is traced; disabled (the default) leaves every hook a
+        ``None`` check.  ``open_run`` callers pass a recorder explicitly
+        instead (the fleet layer shares one across nodes).
     """
 
     def __init__(
@@ -529,6 +567,7 @@ class ServingEngine:
         store_logits: bool = True,
         max_service_time: Optional[float] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        observe: Optional[ObservabilitySpec] = None,
     ) -> None:
         if overhead_per_step < 0:
             raise ValueError("overhead_per_step must be non-negative")
@@ -561,6 +600,7 @@ class ServingEngine:
         self.store_logits = store_logits
         self.max_service_time = max_service_time
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.observe = _coerce_observe(observe)
 
     def _new_scheduler(self) -> Scheduler:
         """Instantiate a fresh ready queue from the configured factory."""
@@ -577,6 +617,7 @@ class ServingEngine:
         *,
         fault_injector: Optional[FaultInjector] = None,
         node: Optional[str] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> "ServingRun":
         """Start a resumable event loop (push / run_until / finish).
 
@@ -587,19 +628,38 @@ class ServingEngine:
         ``fault_injector`` (with this node's ``node`` name) wires the
         run into a chaos schedule: transient faults fail dispatched
         steps, and the cluster coordinator drives crash/recover events.
-        """
-        return ServingRun(self, fault_injector=fault_injector, node=node)
 
-    def serve(self, requests: Sequence[Request]) -> ServingReport:
+        ``recorder`` attaches an observability trace explicitly — open
+        runs never build one from the engine's spec because the caller
+        (the fleet layer) typically shares a recorder across nodes and
+        owns its lifecycle.
+        """
+        return ServingRun(self, fault_injector=fault_injector, node=node, recorder=recorder)
+
+    def serve(
+        self,
+        requests: Sequence[Request],
+        *,
+        recorder: Optional[TraceRecorder] = None,
+    ) -> ServingReport:
         """Run the event loop until every request has been finalised.
 
         Request ids must be unique within one call (``push`` raises on a
-        duplicate before any serving work happens).
+        duplicate before any serving work happens).  When the engine's
+        ``observe`` spec is enabled and no ``recorder`` is passed, one is
+        built for this call and closed with it.
         """
-        run = self.open_run()
-        for request in requests:
-            run.push(request)
-        return run.finish()
+        owned = None
+        if recorder is None and self.observe is not None and self.observe.enabled:
+            owned = recorder = self.observe.build()
+        run = self.open_run(recorder=recorder)
+        try:
+            for request in requests:
+                run.push(request)
+            return run.finish()
+        finally:
+            if owned is not None:
+                owned.close()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -776,9 +836,28 @@ class ServingRun:
         *,
         fault_injector: Optional[FaultInjector] = None,
         node: Optional[str] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         self.engine = engine
         self.now = 0.0
+        #: Observability hooks: ``None`` (default) keeps every emit site
+        #: a single attribute check — the zero-overhead-when-disabled
+        #: contract.  All event timestamps are simulated seconds.
+        self._obs = recorder
+        if recorder is not None and recorder.plan_timer is not None:
+            engine.backend.attach_plan_timer(recorder.plan_timer)
+        #: Always-on deterministic metrics; the report's scalar counters
+        #: are read off this registry at :meth:`finish`.
+        self.metrics = MetricsRegistry()
+        self._m_retries = self.metrics.counter("retries")
+        self._m_refills = self.metrics.counter("refilled_jobs")
+        self._m_dispatches = self.metrics.counter("dispatches")
+        self._m_steps = self.metrics.counter("steps_executed")
+        self._m_admitted = self.metrics.counter("jobs_admitted")
+        self._m_finalized = self.metrics.counter("jobs_finalized")
+        self._m_evictions = self.metrics.counter("evictions")
+        self._m_occupancy = self.metrics.histogram("batch_occupancy")
+        self._wave = 0
         #: Chaos wiring: the shared injector answers "does this node's
         #: next dispatch fail?"; ``node`` is this run's name in it.
         self.fault_injector = fault_injector
@@ -798,7 +877,6 @@ class ServingRun:
         # O(n) ready-set scan.
         self._expiry: List[Tuple[float, int]] = []
         self._batch_sizes: List[int] = []
-        self._refilled_jobs: int = 0
         #: Fresh per-run resident-context budget (counters start at zero);
         #: enforcement runs after every dispatch, so between events the
         #: residency never exceeds the configured bound.
@@ -823,8 +901,6 @@ class ServingRun:
         #: the steps it already served elsewhere.
         self._resume_jobs: Dict[int, ServingJob] = {}
         self._resume_steps: Dict[int, List[ServedStep]] = {}
-        #: Transient-fault attempts this run consumed (report counter).
-        self._retries: int = 0
         self._crashed = False
 
     # ------------------------------------------------------------------
@@ -851,6 +927,18 @@ class ServingRun:
         if not_before is not None:
             when = max(when, not_before)
         heapq.heappush(self._pending, (when, request.request_id, request))
+        if self._obs is not None:
+            # The node's perspective: it cannot learn of an arrival
+            # earlier than its own clock, which keeps per-node
+            # timestamps monotone under interleaved fleet driving.
+            self._obs.emit(
+                "arrive",
+                max(when, self.now),
+                node=self.node,
+                request_id=request.request_id,
+                arrival=float(request.arrival_time),
+                deadline=float(request.deadline) if request.deadline is not None else None,
+            )
 
     def push_resumed(
         self,
@@ -892,6 +980,17 @@ class ServingRun:
         self._resume_steps[request_id] = list(steps)
         when = request.arrival_time if resume_at is None else max(resume_at, request.arrival_time)
         heapq.heappush(self._pending, (when, request_id, request))
+        if self._obs is not None:
+            self._obs.emit(
+                "arrive",
+                max(when, self.now),
+                node=self.node,
+                request_id=request_id,
+                arrival=float(request.arrival_time),
+                deadline=float(request.deadline) if request.deadline is not None else None,
+                resumed=True,
+                resume_levels=len(session.level_history),
+            )
 
     @property
     def queue_depth(self) -> int:
@@ -974,7 +1073,10 @@ class ServingRun:
         )
         report.jobs = [self._records[request_id] for request_id in sorted(self._records)]
         report.batch_sizes = list(self._batch_sizes)
-        report.refilled_jobs = self._refilled_jobs
+        # Scalar counters are *consumed* from the metrics registry — the
+        # registry is the single writer, the report a snapshot reader.
+        report.refilled_jobs = self._m_refills.value
+        report.retries = self._m_retries.value
         report.memory_budget_bytes = self.memory.budget_bytes
         report.eviction_policy_name = self.memory.policy.name
         report.peak_resident_bytes = self.memory.peak_resident_bytes
@@ -982,8 +1084,10 @@ class ServingRun:
         report.cache_evictions = self.memory.cache_evictions
         report.bytes_evicted = self.memory.bytes_evicted
         report.eviction_events = list(self.memory.events)
-        report.retries = self._retries
+        report.metrics = self.metrics.snapshot()
         self._report = report
+        if self._obs is not None and self._obs.plan_timer is not None:
+            self.engine.backend.detach_plan_timer()
         return report
 
     # ------------------------------------------------------------------
@@ -1007,6 +1111,15 @@ class ServingRun:
             record.retries = job.retries
             self._records[request_id] = record
             self.scheduler.add(job)
+            self._m_admitted.add()
+            if self._obs is not None:
+                self._obs.emit(
+                    "enqueue",
+                    until,
+                    node=self.node,
+                    request_id=request_id,
+                    queue_depth=len(self.scheduler),
+                )
             if engine.drop_expired and request.deadline is not None and not job.started:
                 heapq.heappush(self._expiry, (request.deadline, request_id))
             if engine.max_service_time is not None:
@@ -1034,6 +1147,18 @@ class ServingRun:
         # The job left the system: release its resident context so the
         # memory accounting (and any bounded budget) sees it gone.
         job.session.close()
+        self._m_finalized.add()
+        if self._obs is not None:
+            self._obs.emit(
+                "finalize",
+                self.now,
+                node=self.node,
+                request_id=request_id,
+                status=status,
+                reason=reason,
+                timed_out=timed_out,
+                queue_depth=len(self.scheduler),
+            )
 
     def _release_delayed(self) -> None:
         """Re-queue delayed jobs whose retry backoff has elapsed."""
@@ -1055,6 +1180,12 @@ class ServingRun:
                 job = self._delayed_jobs.get(request_id)
             if job is None:
                 continue  # stale entry: already finalised
+            _LOG.warning(
+                "watchdog: request %s exceeded max_service_time on node '%s' at t=%.6f",
+                request_id,
+                self.node,
+                self.now,
+            )
             if job.started:
                 self._finalize(
                     job, "completed", "max service time exceeded", timed_out=True
@@ -1083,7 +1214,7 @@ class ServingRun:
             return
         self.now = finish + engine.overhead_per_step
         job.retries += 1
-        self._retries += 1
+        self._m_retries.add()
         policy = engine.retry_policy
         status = "completed" if job.started else "dropped"
         if job.retries > policy.budget:
@@ -1104,6 +1235,15 @@ class ServingRun:
         self.scheduler.discard(job)
         self._delayed_jobs[request_id] = job
         heapq.heappush(self._delayed_heap, (retry_at, request_id))
+        if self._obs is not None:
+            self._obs.emit(
+                "retry",
+                self.now,
+                node=self.node,
+                request_id=request_id,
+                attempt=job.retries,
+                retry_at=retry_at,
+            )
 
     def crash(self, now: float) -> CrashedNodeWork:
         """Kill this run: drop every resident context, hand back the work.
@@ -1166,6 +1306,23 @@ class ServingRun:
             else:
                 unstarted.append(request)
             self._ids.discard(request_id)
+        _LOG.warning(
+            "node '%s' crashed at t=%.6f (%d unstarted migrate, %d in-flight fail over)",
+            self.node,
+            self.now,
+            len(unstarted),
+            len(interrupted),
+        )
+        if self._obs is not None:
+            self._obs.emit(
+                "crash",
+                self.now,
+                node=self.node,
+                unstarted=len(unstarted),
+                interrupted=len(interrupted),
+            )
+            if self._obs.plan_timer is not None:
+                self.engine.backend.detach_plan_timer()
         return CrashedNodeWork(unstarted=unstarted, interrupted=interrupted)
 
     def _batch_candidates(self, winner: ServingJob) -> List[ServingJob]:
@@ -1379,6 +1536,15 @@ class ServingRun:
                 # Bounded coalescing wait: let the next arrival land and
                 # re-enter the dispatch with a fuller candidate set.  The
                 # arrival is strictly in the future, so time always moves.
+                if self._obs is not None:
+                    self._obs.emit(
+                        "coalesce_wait",
+                        self.now,
+                        node=self.node,
+                        wait_until=decision.wait_until,
+                        pending=len(scheduler),
+                        reason=decision.reason,
+                    )
                 self.now = max(self.now, decision.wait_until)
                 return
             members = list(decision.members) or [job]
@@ -1392,6 +1558,8 @@ class ServingRun:
         # the MACs the dispatch actually charges are only known after the
         # passes ran.  Execution consumes no *simulated* time (the trace
         # query is pure), so the reorder changes no timing.
+        self._wave += 1
+        wave = self._wave
         group = list(members)
         executed: List[Tuple[ServingJob, "StepOutcome"]] = []
         early_stops: List[Tuple[ServingJob, str]] = []
@@ -1426,6 +1594,17 @@ class ServingRun:
                         )
                         engine._fill_group_confidences(outcomes)
                     self._batch_sizes.append(len(cohort))
+                    self._m_dispatches.add()
+                    self._m_occupancy.observe(len(cohort))
+                    if self._obs is not None:
+                        self._obs.emit(
+                            "batch_pass",
+                            self.now,
+                            node=self.node,
+                            wave=wave,
+                            size=len(cohort),
+                            catch_up=True,
+                        )
                     for laggard, outcome in zip(cohort, outcomes):
                         laggard.steps_executed += 1
                         executed.append((laggard, outcome))
@@ -1448,7 +1627,7 @@ class ServingRun:
                 # instead of few wide entry waves — measurably more
                 # passes, not fewer.
                 more = self._refill_laggards(job, group, limit - len(group))
-                self._refilled_jobs += len(more)
+                self._m_refills.add(len(more))
                 for member in more:
                     if member.first_scheduled_at is None:
                         member.first_scheduled_at = self.now
@@ -1465,7 +1644,29 @@ class ServingRun:
             member.steps_executed += 1
             executed.append((member, outcome))
         self._batch_sizes.append(len(group))
+        self._m_dispatches.add()
+        self._m_occupancy.observe(len(group))
+        self._m_steps.add(len(executed))
         self._sync_resident([job_ for job_, _ in executed])
+        if self._obs is not None:
+            self._obs.emit(
+                "batch_pass", self.now, node=self.node, wave=wave, size=len(group)
+            )
+            resident = (
+                self._resident_total
+                if self.memory.budget_bytes is None
+                else self.memory.resident_after
+            )
+            self._obs.emit(
+                "dispatch",
+                self.now,
+                node=self.node,
+                wave=wave,
+                edge=from_level,
+                members=[member.request.request_id for member in group],
+                queue_depth=len(scheduler),
+                resident_bytes=int(resident),
+            )
 
         total_macs = sum(outcome.macs_charged for _, outcome in executed)
         finish = engine.trace.time_to_execute(total_macs, self.now)
@@ -1491,6 +1692,28 @@ class ServingRun:
                 )
             )
             record.final_logits = outcome.logits
+            if self._obs is not None:
+                request_id = member.request.request_id
+                self._obs.emit(
+                    "step",
+                    self.now,
+                    node=self.node,
+                    request_id=request_id,
+                    wave=wave,
+                    subnet=outcome.subnet,
+                    finish=float(finish) if math.isfinite(finish) else None,
+                    macs_charged=float(outcome.macs_charged),
+                    macs_reused=float(outcome.macs_reused),
+                    macs_recomputed=float(outcome.macs_recomputed),
+                )
+                if outcome.macs_recomputed:
+                    self._obs.emit(
+                        "replay",
+                        self.now,
+                        node=self.node,
+                        request_id=request_id,
+                        macs_recomputed=float(outcome.macs_recomputed),
+                    )
 
         if not math.isfinite(finish):
             # The trace never grants enough throughput again; the jobs
@@ -1568,7 +1791,20 @@ class ServingRun:
         # the budget even though the scheduler cannot see them.
         jobs = list(self.scheduler.jobs()) + list(self._delayed_jobs.values())
         self.memory.enforce(jobs, protected=protected, now=self.now)
-        for event in self.memory.events[before:]:
+        new_events = self.memory.events[before:]
+        if new_events:
+            self._m_evictions.add(len(new_events))
+        for event in new_events:
             evicted = self.scheduler.get(event.request_id)
             if evicted is not None:
                 self.scheduler.reindex(evicted)
+            if self._obs is not None:
+                self._obs.emit(
+                    "evict",
+                    event.time,
+                    node=self.node,
+                    request_id=event.request_id,
+                    tier=event.tier,
+                    bytes_freed=int(event.bytes_freed),
+                    protected=event.protected,
+                )

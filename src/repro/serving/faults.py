@@ -42,6 +42,9 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..runtime.platform import ResourcePhase, ResourceTrace
 from ..utils import new_generator
 from ..utils.errors import ConfigError
+from ..utils.logging import get_logger
+
+_LOG = get_logger("repro.serving")
 
 __all__ = [
     "CrashFault",
@@ -503,6 +506,13 @@ class FaultInjector:
         cursor = self._transient_cursor[node]
         if cursor < len(times) and times[cursor] <= time + _TIME_EPS:
             self._transient_cursor[node] = cursor + 1
+            _LOG.warning(
+                "transient fault injected on node '%s' at t=%.6f "
+                "(scheduled t=%.6f): next dispatched step fails",
+                node,
+                time,
+                times[cursor],
+            )
             return True
         return False
 

@@ -184,6 +184,10 @@ class MemoryBudget:
         #: High-water mark of post-enforcement residency: the budget
         #: promise is that this never exceeds ``budget_bytes``.
         self.peak_resident_bytes = 0
+        #: Residency after the most recent :meth:`enforce` — the
+        #: observability layer samples this as the resident-bytes
+        #: signal instead of re-scanning every queued context.
+        self.resident_after = 0
 
     @property
     def bounded(self) -> bool:
@@ -224,6 +228,7 @@ class MemoryBudget:
         if self.budget_bytes is None or resident <= self.budget_bytes:
             if resident > self.peak_resident_bytes:
                 self.peak_resident_bytes = resident
+            self.resident_after = resident
             return 0
         protected_ids = {id(job) for job in protected}
         candidates = [job for job in jobs if sizes[id(job)] > 0]
@@ -262,6 +267,7 @@ class MemoryBudget:
                     )
         if resident > self.peak_resident_bytes:
             self.peak_resident_bytes = resident
+        self.resident_after = resident
         return freed_total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -50,6 +50,7 @@ from .backend import ExecutionBackend, get_backend
 from .batching import BATCH_POLICIES, get_batch_policy
 from .faults import FaultSpec
 from .memory import MemoryBudget
+from .observe import ObservabilitySpec, _coerce_observe
 from .request import Request, get_stream
 from .scheduler import SCHEDULERS, Scheduler, get_scheduler
 
@@ -228,8 +229,13 @@ class ServingSpec:
     #: this long after arrival is finalised with its best-so-far anytime
     #: prediction and flagged ``timed_out``.  ``None`` disables it.
     max_service_time: Optional[float] = None
+    #: Observability switch (:class:`~repro.serving.observe.ObservabilitySpec`
+    #: or its dict form).  ``None``/disabled builds no recorder at all —
+    #: every instrumentation hook stays a no-op ``None`` check.
+    observe: Optional[ObservabilitySpec] = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "observe", _coerce_observe(self.observe))
         # Fail at config load, not mid-simulation.
         backend_cls = get_backend(self.backend)
         # Instantiating validates both the name and the params (a typo'd
@@ -348,6 +354,7 @@ class ServingSpec:
             enforce_deadline=self.enforce_deadline,
             store_logits=self.store_logits,
             max_service_time=self.max_service_time,
+            observe=self.observe,
         )
 
     # ------------------------------------------------------------------
@@ -357,6 +364,7 @@ class ServingSpec:
         data = {f.name: getattr(self, f.name) for f in fields(self)}
         data["policy_params"] = dict(self.policy_params)
         data["scheduler_params"] = dict(self.scheduler_params)
+        data["observe"] = None if self.observe is None else self.observe.to_dict()
         return data
 
     @classmethod
@@ -393,8 +401,14 @@ class ClusterSpec:
     #: thrash a bounded memory budget) and rejects only when even the
     #: minimum subnet cannot land.
     admission: str = "none"
+    #: Fleet-wide observability
+    #: (:class:`~repro.serving.observe.ObservabilitySpec` or its dict
+    #: form): one shared recorder per ``serve()`` call, all nodes
+    #: emitting into a single globally sequenced event stream.
+    observe: Optional[ObservabilitySpec] = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "observe", _coerce_observe(self.observe))
         if not self.nodes:
             raise ValueError("a ClusterSpec needs at least one node")
         # Lazy import: cluster.py imports this module at load time.
@@ -496,6 +510,7 @@ class ClusterSpec:
             "name": self.name,
             "faults": None if self.faults is None else self.faults.to_dict(),
             "admission": self.admission,
+            "observe": None if self.observe is None else self.observe.to_dict(),
         }
 
     @staticmethod

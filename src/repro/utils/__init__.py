@@ -1,7 +1,15 @@
-"""Shared utilities: RNG management, checkpoints, logging and timing."""
+"""Shared utilities: RNG management, checkpoints, logging, timing, metrics."""
 
 from .io import load_checkpoint, load_json, save_checkpoint, save_json
 from .logging import MetricHistory, get_logger
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
 from .rng import derive_generator, get_seed, new_generator, set_seed
 from .timing import Timer
 
@@ -17,4 +25,10 @@ __all__ = [
     "get_logger",
     "MetricHistory",
     "Timer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "merge_snapshots",
 ]

@@ -1,21 +1,39 @@
-"""Lightweight structured logging for training and construction loops."""
+"""Lightweight structured logging for training, construction and serving."""
 
 from __future__ import annotations
 
 import logging
+import os
 import sys
 import time
 from typing import Dict, List, Optional
 
 
-def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
-    """Return a configured logger that writes single-line records to stderr."""
+def _level_from_env(default: int = logging.INFO) -> int:
+    """Resolve the ``REPRO_LOG_LEVEL`` env knob (name or number)."""
+    raw = os.environ.get("REPRO_LOG_LEVEL")
+    if not raw:
+        return default
+    raw = raw.strip()
+    if raw.isdigit():
+        return int(raw)
+    value = logging.getLevelName(raw.upper())
+    return value if isinstance(value, int) else default
+
+
+def get_logger(name: str = "repro", level: Optional[int] = None) -> logging.Logger:
+    """Return a configured logger that writes single-line records to stderr.
+
+    When ``level`` is not given, the ``REPRO_LOG_LEVEL`` environment
+    variable selects it (a name like ``WARNING`` or a number), falling
+    back to ``INFO``.  Configuration happens once per logger name.
+    """
     logger = logging.getLogger(name)
     if not logger.handlers:
         handler = logging.StreamHandler(sys.stderr)
         handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
         logger.addHandler(handler)
-        logger.setLevel(level)
+        logger.setLevel(_level_from_env() if level is None else level)
         logger.propagate = False
     return logger
 

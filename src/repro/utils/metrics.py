@@ -1,0 +1,208 @@
+"""Deterministic metrics primitives for the observability layer.
+
+The serving stack records *what happened* in two complementary shapes:
+events (see :mod:`repro.serving.observe`) and metrics — monotone
+counters, last-value gauges and fixed-bucket histograms.  Everything
+here is deliberately boring: plain python scalars, fixed bucket
+boundaries chosen at construction time, and sorted snapshot output, so
+two runs of the same simulated workload produce byte-identical
+snapshots.  ``ServingReport``/``ClusterReport`` consume these values
+instead of recomputing them, which is what keeps the reports bit-exact
+whether observability is on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "merge_snapshots",
+]
+
+#: Power-of-two boundaries: right choice for batch sizes / queue depths.
+DEFAULT_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+class Counter:
+    """A monotone additive counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self):
+        return self.value
+
+
+class Gauge:
+    """Latest-value gauge that also tracks its running maximum."""
+
+    __slots__ = ("name", "value", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+
+    def as_dict(self):
+        return {"last": self.value, "max": self.max}
+
+
+class Histogram:
+    """Histogram over fixed bucket boundaries.
+
+    ``boundaries`` are upper-inclusive edges; a value ``v`` lands in the
+    first bucket with ``v <= boundary``, or the overflow bucket.  The
+    boundaries are frozen at construction so snapshots are deterministic
+    regardless of the values observed.
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "total", "count", "min", "max")
+
+    def __init__(self, name: str, boundaries: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.boundaries = tuple(float(b) for b in boundaries)
+        if list(self.boundaries) != sorted(self.boundaries):
+            raise ValueError(f"histogram boundaries must be sorted: {boundaries!r}")
+        self.counts: List[int] = [0] * (len(self.boundaries) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.boundaries)
+        for i, boundary in enumerate(self.boundaries):
+            if value <= boundary:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def as_dict(self):
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with a deterministic snapshot.
+
+    Lookups create on first use, so instrumentation sites never have to
+    pre-declare the metrics they touch.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, boundaries: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, boundaries)
+        return metric
+
+    def snapshot(self) -> dict:
+        """All metrics as a plain, sorted, JSON-serialisable dict."""
+        return {
+            "counters": {k: self._counters[k].as_dict() for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].as_dict() for k in sorted(self._gauges)},
+            "histograms": {k: self._histograms[k].as_dict() for k in sorted(self._histograms)},
+        }
+
+
+def _merge_histograms(a: dict, b: dict) -> dict:
+    if a["boundaries"] != b["boundaries"]:
+        raise ValueError("cannot merge histograms with differing boundaries")
+    mins = [m for m in (a["min"], b["min"]) if m is not None]
+    maxs = [m for m in (a["max"], b["max"]) if m is not None]
+    return {
+        "boundaries": list(a["boundaries"]),
+        "counts": [x + y for x, y in zip(a["counts"], b["counts"])],
+        "sum": a["sum"] + b["sum"],
+        "count": a["count"] + b["count"],
+        "min": min(mins) if mins else None,
+        "max": max(maxs) if maxs else None,
+    }
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Fold several :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    Counters and histograms add; gauges keep the last value seen (in
+    iteration order) and the max of maxes.  Used when a node restarts
+    after a crash and its incarnations' reports are merged.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, dict] = {}
+    histograms: Dict[str, dict] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            prior = gauges.get(name)
+            if prior is None:
+                gauges[name] = dict(value)
+            else:
+                gauges[name] = {"last": value["last"], "max": max(prior["max"], value["max"])}
+        for name, value in snap.get("histograms", {}).items():
+            prior = histograms.get(name)
+            if prior is None:
+                histograms[name] = {
+                    "boundaries": list(value["boundaries"]),
+                    "counts": list(value["counts"]),
+                    "sum": value["sum"],
+                    "count": value["count"],
+                    "min": value["min"],
+                    "max": value["max"],
+                }
+            else:
+                histograms[name] = _merge_histograms(prior, value)
+    return {
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "gauges": {k: gauges[k] for k in sorted(gauges)},
+        "histograms": {k: histograms[k] for k in sorted(histograms)},
+    }

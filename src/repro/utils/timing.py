@@ -31,6 +31,11 @@ class Timer:
             elapsed = time.perf_counter() - start
             self._durations.setdefault(name, []).append(elapsed)
 
+    def record(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration (hot paths avoid the
+        contextmanager frame)."""
+        self._durations.setdefault(name, []).append(float(seconds))
+
     def total(self, name: str) -> float:
         return float(sum(self._durations.get(name, [])))
 
