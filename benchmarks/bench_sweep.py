@@ -1,0 +1,240 @@
+"""Benchmark: the ClusterSpec grid-sweep harness and the staleness study.
+
+Expands ``configs/cluster_sweep.json`` (a three-node batched fleet
+behind the published-queue-depth router, carrying its own SLO) across
+config grids and reduces every cell's traced run to a scorecard row:
+
+* **smoke grid** (always, and the CI regression anchor): publish
+  granularity x router, 2x2.  Every metric in these rows is simulated
+  time derived deterministically from MAC counts, so the rows are
+  platform-independent and ``bench_check.py`` compares them *exactly*
+  against the checked-in baseline.
+* **staleness study** (full mode): publish interval swept over two
+  decades x {depth router, round-robin control}.  The depth router's
+  rows correlate routing-signal staleness (mean absolute published-depth
+  error) with placement quality (p95 latency, load imbalance) — the
+  ROADMAP's staleness-vs-placement-quality curve.  The round-robin rows
+  are the control: a router that never reads the signal is flat in it.
+* **pressure study** (full mode): arrival rate x batch policy x fault
+  intensity — the cost axes of the sweep harness exercised end to end.
+
+Regenerated artifact: ``results/BENCH_sweep.json``::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py --smoke
+"""
+
+import argparse
+import json
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_CLUSTER = Path(__file__).parent / "configs" / "cluster_sweep.json"
+
+#: The 2x2 CI anchor grid: the staleness knob on and off, against a
+#: router that reads the published signal and one that ignores it.
+SMOKE_GRID = {
+    "publish_interval": (0.0, 0.02),
+    "router": ("round-robin", "least-loaded-depth"),
+}
+
+#: Publish intervals of the full staleness study (simulated seconds).
+STALENESS_INTERVALS = (0.0, 0.002, 0.005, 0.01, 0.02, 0.05)
+
+#: A small chaos schedule for the pressure study's fault axis (node
+#: names match ``cluster_sweep.json``).
+CHAOS_FAULTS = {
+    "events": [
+        {"kind": "transient", "node": "soc-a", "time": 0.005},
+        {"kind": "crash", "node": "soc-b", "time": 0.01, "recover_time": 0.03},
+        {"kind": "slowdown", "node": "soc-c", "time": 0.0, "duration": 0.02, "factor": 0.6},
+    ],
+    "retry": {
+        "kind": "exponential",
+        "base_delay": 0.001,
+        "multiplier": 2.0,
+        "max_delay": 0.01,
+        "max_retries": 4,
+    },
+}
+
+
+def _correlation(xs, ys):
+    """Pearson correlation, ``None`` when either side is degenerate."""
+    import numpy as np
+
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size < 2 or float(xs.std()) == 0.0 or float(ys.std()) == 0.0:
+        return None
+    return float(np.corrcoef(xs, ys)[0, 1])
+
+
+def run_smoke_grid(base, network=None):
+    from repro.serving import SweepSpec, run_sweep
+
+    sweep = SweepSpec(base=base, grid=SMOKE_GRID, name="sweep-smoke")
+    return run_sweep(sweep, network)
+
+
+def run_staleness_study(base, network=None):
+    """Publish-granularity sweep + the staleness <-> quality correlation."""
+    from repro.serving import SweepSpec, run_sweep
+
+    sweep = SweepSpec(
+        base=base,
+        grid={
+            "router": ("least-loaded-depth", "round-robin"),
+            "publish_interval": STALENESS_INTERVALS,
+        },
+        name="staleness-study",
+    )
+    result = run_sweep(sweep, network)
+    depth_rows = [
+        row for row in result.rows if row["overrides"]["router"] == "least-loaded-depth"
+    ]
+    staleness = [row["staleness"]["mean_abs_published_error"] for row in depth_rows]
+    payload = result.to_dict()
+    payload["correlation"] = {
+        "rows": "least-loaded-depth",
+        "staleness_vs_p95_latency": _correlation(
+            staleness, [row["metrics"]["p95_latency"] for row in depth_rows]
+        ),
+        "staleness_vs_load_imbalance": _correlation(
+            staleness, [row["metrics"]["load_imbalance"] for row in depth_rows]
+        ),
+        "staleness_by_interval": {
+            f"{row['overrides']['publish_interval']:g}": row["staleness"][
+                "mean_abs_published_error"
+            ]
+            for row in depth_rows
+        },
+    }
+    return payload
+
+
+def run_pressure_study(base, network=None):
+    from repro.serving import SweepSpec, run_sweep
+
+    sweep = SweepSpec(
+        base=base,
+        grid={
+            "streams.0.params.rate": (400.0, 900.0),
+            "nodes.*.batch_policy": ("none", "same-level"),
+            "faults": (None, CHAOS_FAULTS),
+        },
+        name="pressure-study",
+    )
+    result = run_sweep(sweep, network)
+    payload = result.to_dict()
+    for row in payload["rows"]:
+        # The fault-schedule override is bulky and binary; flatten it to
+        # a readable label in the artifact.
+        row["overrides"]["faults"] = (
+            "chaos" if row["overrides"]["faults"] else "none"
+        )
+    return payload
+
+
+def check_smoke(payload) -> None:
+    """The assertions CI runs against the smoke grid."""
+    rows = payload["rows"]
+    assert len(rows) == 4, f"expected a 2x2 smoke grid, got {len(rows)} rows"
+    for row in rows:
+        metrics = row["metrics"]
+        assert metrics["completed"] > 0, f"cell {row['cell']} completed nothing"
+        assert row["scorecard"] is not None, "base spec carries an SLO; scorecard missing"
+        assert row["scorecard"]["ok"], (
+            f"cell {row['cell']} missed its SLO: {row['scorecard']['failed']}"
+        )
+        decomposition = row["decomposition"]
+        assert decomposition["num_requests"] == metrics["num_jobs"], (
+            "every finalized request must decompose"
+        )
+        fraction_sum = sum(decomposition["phase_fractions"].values())
+        assert abs(fraction_sum - 1.0) < 1e-9, (
+            f"phase fractions must sum to 1, got {fraction_sum}"
+        )
+    stale = {
+        (row["overrides"]["router"], row["overrides"]["publish_interval"]): row[
+            "staleness"
+        ]["mean_abs_published_error"]
+        for row in rows
+    }
+    assert stale[("least-loaded-depth", 0.02)] > 0.0, (
+        "a positive publish interval must make the depth router's signal stale"
+    )
+    assert stale[("least-loaded-depth", 0.0)] == 0.0, (
+        "live publishing must have zero published-depth error"
+    )
+
+
+def main() -> None:
+    from repro.serving import ClusterSpec
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--cluster",
+        type=Path,
+        default=DEFAULT_CLUSTER,
+        help="base ClusterSpec JSON (default: the checked-in sweep fleet)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="2x2 anchor grid only + assertions (CI gate)"
+    )
+    parser.add_argument(
+        "--out-dir", type=Path, default=RESULTS_DIR, help="artifact directory"
+    )
+    args = parser.parse_args()
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+
+    base = ClusterSpec.from_json(args.cluster)
+    network = base.build_network()
+
+    smoke = run_smoke_grid(base, network).to_dict()
+    check_smoke(smoke)
+    payload = {"config": {"cluster": str(args.cluster.name)}, "smoke": smoke}
+
+    if not args.smoke:
+        payload["staleness_study"] = run_staleness_study(base, network)
+        payload["pressure_study"] = run_pressure_study(base, network)
+
+    out = args.out_dir / "BENCH_sweep.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    for row in smoke["rows"]:
+        stale = row["staleness"]["mean_abs_published_error"]
+        print(
+            f"smoke cell {row['cell']}: {row['overrides']} "
+            f"p95={row['metrics']['p95_latency']:.4f} "
+            # Routers that never consult the published signal have no
+            # staleness samples at all.
+            f"stale={'n/a' if stale is None else format(stale, '.3f')} "
+            f"slo_ok={row['scorecard']['ok']}"
+        )
+    if "staleness_study" in payload:
+        correlation = payload["staleness_study"]["correlation"]
+        print(
+            "staleness correlation: "
+            f"p95 {correlation['staleness_vs_p95_latency']}, "
+            f"imbalance {correlation['staleness_vs_load_imbalance']}"
+        )
+    print(f"wrote {out}")
+
+
+# ----------------------------------------------------------------------
+# Pytest face: the anchor grid at smoke scale
+# ----------------------------------------------------------------------
+def test_sweep_smoke_grid():
+    """2x2 sweep: deterministic rows, exact decompositions, SLOs hold."""
+    from repro.serving import ClusterSpec
+
+    base = ClusterSpec.from_json(DEFAULT_CLUSTER)
+    network = base.build_network()
+    first = run_smoke_grid(base, network).to_dict()
+    check_smoke(first)
+    again = run_smoke_grid(base, network).to_dict()
+    assert json.dumps(first, sort_keys=True) == json.dumps(again, sort_keys=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@ from typing import List, Sequence, Tuple, Union
 import numpy as np
 
 from ..nn.tensor import Tensor
+from ..utils.metrics import percentile
 
 
 def _as_array(logits: Union[Tensor, np.ndarray]) -> np.ndarray:
@@ -97,18 +98,9 @@ class AccuracyMacCurve:
         ]
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile of ``values`` (NaN when empty).
-
-    The serving metrics (p50/p95/p99 latency) go through this helper so
-    every report uses the same interpolation convention.
-    """
-    if not 0.0 <= q <= 100.0:
-        raise ValueError("q must be in [0, 100]")
-    array = np.asarray(list(values), dtype=float)
-    if array.size == 0:
-        return float("nan")
-    return float(np.percentile(array, q))
+# ``percentile`` used to live here; it is now canonical in
+# :mod:`repro.utils.metrics` (shared with the SLO scorecards and sweep
+# rows) and re-exported for the existing import surface.
 
 
 def latency_summary(values: Sequence[float], quantiles: Sequence[float] = (50.0, 95.0, 99.0)) -> dict:

@@ -51,6 +51,18 @@ configs.
   :func:`timeline_frames`) and trace replay
   (:func:`replay_queue_depth`, :func:`staleness_curve` — the routing
   signal-staleness study's data source);
+* :mod:`repro.serving.analyze` — trace analytics: exact per-request
+  latency decompositions (:func:`decompose_latency` — queue wait,
+  coalesce wait, compute, replay recompute, retry backoff, partition
+  hold, summing to each request's residence time), fleet
+  :func:`utilization_timeline`, :func:`critical_path` of the p99
+  request, and JSON-round-trippable :class:`SLOSpec` objectives scored
+  into :class:`SLOScorecard`\\ s against any report;
+* :mod:`repro.serving.sweep` — the grid-sweep harness:
+  :class:`SweepSpec` expands a base :class:`ClusterSpec` times a grid
+  of dotted-path overrides into one traced run per cell, each reduced
+  to a scorecard row (:func:`run_sweep`) — the engine behind the
+  staleness-vs-placement-quality study;
 * :mod:`repro.serving.spec` — declarative configs:
   :class:`ServingSpec` (one node), :class:`ClusterSpec` (a fleet) and
   :class:`StreamSpec`, each JSON-round-trippable via
@@ -65,6 +77,17 @@ The documented front door is :func:`serve`::
     report = serve(result, ClusterSpec.from_json("fleet.json"))
 """
 
+from .analyze import (
+    PHASES,
+    RequestDecomposition,
+    SLOScorecard,
+    SLOSpec,
+    critical_path,
+    decompose_latency,
+    decomposition_summary,
+    evaluate_slo,
+    utilization_timeline,
+)
 from .backend import (
     BACKENDS,
     DEFAULT_SERVING_DTYPE,
@@ -135,6 +158,9 @@ from .observe import (
     ObservabilitySpec,
     TraceRecorder,
     TraceSink,
+    coerce_events,
+    events_by_request,
+    events_by_type,
     load_jsonl,
     replay_queue_depth,
     staleness_curve,
@@ -163,6 +189,7 @@ from .scheduler import (
     get_scheduler,
 )
 from .spec import POLICIES, ClusterSpec, ServingSpec, StreamSpec, get_policy
+from .sweep import SweepResult, SweepSpec, run_sweep
 
 __all__ = [
     "DEFAULT_SERVING_DTYPE",
@@ -253,6 +280,21 @@ __all__ = [
     "to_chrome_trace",
     "timeline_frames",
     "load_jsonl",
+    "coerce_events",
+    "events_by_request",
+    "events_by_type",
     "replay_queue_depth",
     "staleness_curve",
+    "PHASES",
+    "RequestDecomposition",
+    "decompose_latency",
+    "decomposition_summary",
+    "utilization_timeline",
+    "critical_path",
+    "SLOSpec",
+    "SLOScorecard",
+    "evaluate_slo",
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
 ]

@@ -54,10 +54,9 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type, Un
 import numpy as np
 
 from ..analysis.metrics import deadline_miss_rate as _deadline_miss_rate
-from ..analysis.metrics import percentile
 from ..utils.errors import ConfigError
 from ..utils.logging import get_logger
-from ..utils.metrics import MetricsRegistry, merge_snapshots
+from ..utils.metrics import MetricsRegistry, merge_snapshots, percentile
 from .engine import (
     InterruptedJob,
     JobRecord,
@@ -100,10 +99,25 @@ class NodeState:
     at its last step boundary instead of the analytic estimate.
     """
 
-    def __init__(self, index: int, name: str, engine: ServingEngine) -> None:
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        engine: ServingEngine,
+        publish_interval: float = 0.0,
+    ) -> None:
         self.index = index
         self.name = name
         self.engine = engine
+        #: Publish granularity: how often (simulated seconds) the node
+        #: refreshes the queue-depth snapshot it advertises to the
+        #: router.  ``0`` publishes at every consult (the freshest
+        #: signal the event loop can give); larger intervals let the
+        #: advertised depth go stale between epochs — the knob the
+        #: staleness-vs-placement-quality sweep turns.
+        self.publish_interval = float(publish_interval)
+        self._published_epoch = -1
+        self._published_snapshot = 0
         num_subnets = engine.backend.num_subnets
         #: Advertised service demand per request: the full largest-subnet
         #: cost — what a run-to-completion job costs on this backend.
@@ -145,11 +159,38 @@ class NodeState:
         With a live run attached this is the *actual* scheduler depth as
         of the node's last step boundary — stale by at most the one step
         currently in flight, like a real load balancer's published queue
-        length.  Without one (analytic two-phase serving) it falls back
-        to the fluid-model jobs-in-system estimate.
+        length.  A positive :attr:`publish_interval` coarsens the
+        signal: the depth is snapshotted once per interval epoch and the
+        router reads the last snapshot between epochs, exactly like a
+        load balancer polling node stats on a timer.  Without a live run
+        (analytic two-phase serving) it falls back to the fluid-model
+        jobs-in-system estimate.
         """
         if self.run is not None:
-            return self.run.queue_depth
+            if self.publish_interval <= 0.0:
+                return self.run.queue_depth
+            epoch = math.floor(now / self.publish_interval)
+            if epoch > self._published_epoch:
+                self._published_epoch = epoch
+                self._published_snapshot = self.run.queue_depth
+            return self._published_snapshot
+        return self.queue_length(now)
+
+    def peek_published_depth(self, now: float) -> int:
+        """What :meth:`published_depth` would answer, without refreshing.
+
+        Trace instrumentation (``publish`` events) records the signal a
+        router *would* consult; reading through this peek keeps the
+        snapshot epoch state byte-identical between traced and untraced
+        runs even for routers that never consult the depth at all.
+        """
+        if self.run is not None:
+            if self.publish_interval <= 0.0:
+                return self.run.queue_depth
+            epoch = math.floor(now / self.publish_interval)
+            if epoch > self._published_epoch:
+                return self.run.queue_depth
+            return self._published_snapshot
         return self.queue_length(now)
 
     def resident_bytes(self, now: float) -> int:
@@ -784,11 +825,15 @@ def _publish_signals(
 ) -> None:
     """Record every node's advertised load at one routing decision.
 
-    One ``publish`` event per candidate node, carrying both the
-    fluid-model jobs-in-system estimate (``fluid_depth``) and the node's
-    actual published scheduler depth (``live_depth``).  The per-sample
-    gap between the two is the routing signal's staleness;
-    :func:`~repro.serving.observe.staleness_curve` aggregates it.
+    One ``publish`` event per candidate node, carrying the fluid-model
+    jobs-in-system estimate (``fluid_depth``), the node's actual live
+    scheduler depth (``live_depth``) and the snapshot the router would
+    consult under the node's publish granularity (``published_depth`` —
+    equal to ``live_depth`` when :attr:`NodeState.publish_interval` is
+    zero).  The per-sample gaps are the routing signal's staleness;
+    :func:`~repro.serving.observe.staleness_curve` aggregates them.
+    The published value is read through a mutation-free peek so tracing
+    cannot perturb the snapshot epochs a depth router will refresh.
 
     Only emitted during live (interleaved / fault-tolerant) serving:
     each event is stamped at the node's visible clock — a node cannot
@@ -807,6 +852,7 @@ def _publish_signals(
             request_id=request.request_id,
             fluid_depth=int(node.queue_length(now)),
             live_depth=int(node.run.queue_depth),
+            published_depth=int(node.peek_published_depth(now)),
         )
 
 
@@ -839,9 +885,15 @@ class ServingCluster:
         faults: Optional[Union[FaultSpec, Mapping[str, Any]]] = None,
         admission: str = "none",
         observe: Optional[Union[ObservabilitySpec, Mapping[str, Any]]] = None,
+        publish_interval: float = 0.0,
     ) -> None:
         if not engines:
             raise ValueError("a ServingCluster needs at least one engine")
+        if not (isinstance(publish_interval, (int, float)) and publish_interval >= 0.0):
+            raise ConfigError(
+                f"publish_interval must be a non-negative number, got {publish_interval!r}"
+            )
+        self.publish_interval = float(publish_interval)
         self.engines = list(engines)
         #: Fleet-wide observability: one shared recorder per ``serve()``
         #: call (single global event sequence across every node).
@@ -905,6 +957,7 @@ class ServingCluster:
             faults=spec.faults,
             admission=spec.admission,
             observe=spec.observe,
+            publish_interval=spec.publish_interval,
         )
 
     @property
@@ -928,7 +981,7 @@ class ServingCluster:
         """
         self._check_unique_ids(requests)
         nodes = [
-            NodeState(index, name, engine)
+            NodeState(index, name, engine, publish_interval=self.publish_interval)
             for index, (name, engine) in enumerate(zip(self.node_names, self.engines))
         ]
         if runs is not None:
@@ -1031,7 +1084,7 @@ class ServingCluster:
         retry = self.faults.retry if self.faults is not None else RetryPolicy()
         enforce = all(engine.enforce_deadline for engine in self.engines)
         nodes = [
-            NodeState(index, name, engine)
+            NodeState(index, name, engine, publish_interval=self.publish_interval)
             for index, (name, engine) in enumerate(zip(self.node_names, self.engines))
         ]
         runs: List[ServingRun] = []
@@ -1085,6 +1138,7 @@ class ServingCluster:
                     status=status,
                     reason=reason,
                     best_effort=True,
+                    arrival=float(checkpoint.request.arrival_time),
                 )
 
         def place(
@@ -1143,6 +1197,7 @@ class ServingCluster:
                             request_id=request.request_id,
                             status="lost",
                             reason="no serving node ever reachable",
+                            arrival=float(request.arrival_time),
                         )
                 return
             if recorder is not None:

@@ -44,7 +44,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Type, Union
 import numpy as np
 
 from ..analysis.metrics import deadline_miss_rate as _deadline_miss_rate
-from ..analysis.metrics import percentile
+from ..utils.metrics import percentile
 from ..runtime.platform import ResourceTrace
 from ..runtime.policies import (
     PolicyState,

@@ -50,9 +50,16 @@ __all__ = [
     "to_chrome_trace",
     "timeline_frames",
     "load_jsonl",
+    "coerce_events",
+    "events_by_request",
+    "events_by_type",
     "replay_queue_depth",
     "staleness_curve",
 ]
+
+#: Anything the trace reducers accept as "a trace": a recorder (its
+#: first memory sink), an already-loaded event list, or a JSONL path.
+EventSource = Union["TraceRecorder", Sequence[dict], str, Path]
 
 #: Every event type the serving stack can emit.  ``TraceRecorder.emit``
 #: rejects anything else so a typo in an instrumentation site fails
@@ -468,6 +475,39 @@ def load_jsonl(path: Union[str, Path]) -> List[dict]:
     return events
 
 
+def coerce_events(source: EventSource) -> List[dict]:
+    """Normalise any event source into a plain event list.
+
+    The reducers in :mod:`repro.serving.analyze` (and the exporters
+    here) accept a live :class:`TraceRecorder`, an already-materialised
+    event sequence, or a path to a JSONL trace — this is the single
+    front door that makes them interchangeable.
+    """
+    if isinstance(source, TraceRecorder):
+        return source.events
+    if isinstance(source, (str, Path)):
+        return load_jsonl(source)
+    return list(source)
+
+
+def events_by_request(events: EventSource) -> Dict[int, List[dict]]:
+    """Group request-attributed events by ``request_id`` (seq order kept)."""
+    grouped: Dict[int, List[dict]] = {}
+    for event in coerce_events(events):
+        request_id = event.get("request_id")
+        if request_id is not None:
+            grouped.setdefault(int(request_id), []).append(event)
+    return grouped
+
+
+def events_by_type(events: EventSource) -> Dict[str, List[dict]]:
+    """Group events by their ``type`` (seq order kept within each type)."""
+    grouped: Dict[str, List[dict]] = {}
+    for event in coerce_events(events):
+        grouped.setdefault(event["type"], []).append(event)
+    return grouped
+
+
 def replay_queue_depth(events: Sequence[dict]) -> Dict[str, List[List[float]]]:
     """Reconstruct each node's live queue-depth signal over time.
 
@@ -484,19 +524,24 @@ def replay_queue_depth(events: Sequence[dict]) -> Dict[str, List[List[float]]]:
     return series
 
 
-def staleness_curve(events: Sequence[dict]) -> dict:
+def staleness_curve(events: EventSource) -> dict:
     """Quantify routing-signal staleness from ``publish`` events.
 
-    Each ``publish`` event records, at a routing decision, both the
-    fluid-model estimate the router consulted (``fluid_depth``, the
-    analytic ``NodeState.queue_length``) and — when the node had a live
-    run attached — the actual queue depth at that instant
-    (``live_depth``).  The per-sample error between the two *is* the
-    staleness of the routing signal; the ROADMAP's
-    placement-quality-vs-signal-staleness study starts from this curve.
+    Each ``publish`` event records, at a routing decision, the
+    fluid-model estimate (``fluid_depth``, the analytic
+    ``NodeState.queue_length``), the node's actual queue depth at that
+    instant (``live_depth``) and — since the publish-granularity knob —
+    the snapshot a depth router would consult (``published_depth``,
+    refreshed once per ``publish_interval`` epoch).  Two staleness
+    series fall out: ``error`` (fluid vs live, how wrong the analytic
+    model is) and ``published_error`` (published vs live, how stale the
+    coarsened publish signal is — identically zero at interval 0).  The
+    ROADMAP's placement-quality-vs-signal-staleness study reduces the
+    second one against placement quality across a publish-interval
+    sweep.
     """
     samples: Dict[str, List[dict]] = {}
-    for event in events:
+    for event in coerce_events(events):
         if event["type"] != "publish":
             continue
         node = event.get("node", "?")
@@ -507,24 +552,43 @@ def staleness_curve(events: Sequence[dict]) -> dict:
         }
         if sample["fluid_depth"] is not None and sample["live_depth"] is not None:
             sample["error"] = sample["fluid_depth"] - sample["live_depth"]
+        published = event.get("published_depth")
+        if published is not None:
+            sample["published_depth"] = published
+            if sample["live_depth"] is not None:
+                sample["published_error"] = published - sample["live_depth"]
         samples.setdefault(node, []).append(sample)
+
+    def _stats(errors: List[float]) -> Tuple[Optional[float], Optional[float]]:
+        if not errors:
+            return None, None
+        return sum(abs(e) for e in errors) / len(errors), max(abs(e) for e in errors)
 
     per_node = {}
     all_errors: List[float] = []
+    all_published: List[float] = []
     for node, rows in sorted(samples.items()):
         errors = [row["error"] for row in rows if "error" in row]
+        published_errors = [row["published_error"] for row in rows if "published_error" in row]
         all_errors.extend(errors)
+        all_published.extend(published_errors)
+        mean_abs, max_abs = _stats(errors)
+        mean_pub, max_pub = _stats(published_errors)
         per_node[node] = {
             "samples": rows,
             "num_samples": len(rows),
-            "mean_abs_error": (sum(abs(e) for e in errors) / len(errors)) if errors else None,
-            "max_abs_error": max((abs(e) for e in errors), default=None),
+            "mean_abs_error": mean_abs,
+            "max_abs_error": max_abs,
+            "mean_abs_published_error": mean_pub,
+            "max_abs_published_error": max_pub,
         }
+    mean_abs, max_abs = _stats(all_errors)
+    mean_pub, max_pub = _stats(all_published)
     return {
         "nodes": per_node,
         "num_samples": sum(len(rows) for rows in samples.values()),
-        "mean_abs_error": (
-            sum(abs(e) for e in all_errors) / len(all_errors) if all_errors else None
-        ),
-        "max_abs_error": max((abs(e) for e in all_errors), default=None),
+        "mean_abs_error": mean_abs,
+        "max_abs_error": max_abs,
+        "mean_abs_published_error": mean_pub,
+        "max_abs_published_error": max_pub,
     }

@@ -50,6 +50,7 @@ from .backend import ExecutionBackend, get_backend
 from .batching import BATCH_POLICIES, get_batch_policy
 from .faults import FaultSpec
 from .memory import MemoryBudget
+from .analyze import SLOSpec, _coerce_slo
 from .observe import ObservabilitySpec, _coerce_observe
 from .request import Request, get_stream
 from .scheduler import SCHEDULERS, Scheduler, get_scheduler
@@ -406,9 +407,35 @@ class ClusterSpec:
     #: form): one shared recorder per ``serve()`` call, all nodes
     #: emitting into a single globally sequenced event stream.
     observe: Optional[ObservabilitySpec] = None
+    #: Queue-depth publish granularity (simulated seconds).  ``0.0``
+    #: publishes live depths on every router consult; a positive
+    #: interval makes depth-reading routers see epoch snapshots that
+    #: refresh only once per interval — the staleness knob of the
+    #: staleness-vs-placement-quality study.
+    publish_interval: float = 0.0
+    #: Optional service-level objectives
+    #: (:class:`~repro.serving.analyze.SLOSpec` or its dict form)
+    #: carried with the deployment so sweeps and benchmarks can score
+    #: every run against the same declarative targets.
+    slo: Optional[SLOSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "observe", _coerce_observe(self.observe))
+        try:
+            object.__setattr__(self, "slo", _coerce_slo(self.slo))
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from None
+        interval = self.publish_interval
+        if (
+            isinstance(interval, bool)
+            or not isinstance(interval, (int, float))
+            or not np.isfinite(interval)
+            or interval < 0.0
+        ):
+            raise ConfigError(
+                f"publish_interval must be a finite non-negative number, got {interval!r}"
+            )
+        object.__setattr__(self, "publish_interval", float(interval))
         if not self.nodes:
             raise ValueError("a ClusterSpec needs at least one node")
         # Lazy import: cluster.py imports this module at load time.
@@ -511,6 +538,8 @@ class ClusterSpec:
             "faults": None if self.faults is None else self.faults.to_dict(),
             "admission": self.admission,
             "observe": None if self.observe is None else self.observe.to_dict(),
+            "publish_interval": self.publish_interval,
+            "slo": None if self.slo is None else self.slo.to_dict(),
         }
 
     @staticmethod

@@ -4,11 +4,14 @@ from .io import load_checkpoint, load_json, save_checkpoint, save_json
 from .logging import MetricHistory, get_logger
 from .metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_QUANTILES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     merge_snapshots,
+    percentile,
+    quantile_summary,
 )
 from .rng import derive_generator, get_seed, new_generator, set_seed
 from .timing import Timer
@@ -30,5 +33,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "LATENCY_QUANTILES",
     "merge_snapshots",
+    "percentile",
+    "quantile_summary",
 ]

@@ -15,17 +15,52 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "LATENCY_QUANTILES",
     "merge_snapshots",
+    "percentile",
+    "quantile_summary",
 ]
 
 #: Power-of-two boundaries: right choice for batch sizes / queue depths.
 DEFAULT_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: The latency quantiles every serving report (and SLO scorecard) quotes.
+LATENCY_QUANTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of ``values`` (NaN when empty).
+
+    The single percentile convention for the whole stack:
+    ``ServingReport``, ``ClusterReport``, the SLO scorecards and the
+    sweep harness all route their p50/p95/p99 math through this helper
+    so every artifact quotes the same interpolation.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return float("nan")
+    return float(np.percentile(array, q))
+
+
+def quantile_summary(
+    values: Sequence[float], quantiles: Sequence[float] = LATENCY_QUANTILES
+) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` over ``values``.
+
+    NaN entries when ``values`` is empty, matching :func:`percentile`.
+    """
+    array = np.asarray(values, dtype=float)
+    return {f"p{q:g}": percentile(array, q) for q in quantiles}
 
 
 class Counter:
@@ -99,6 +134,40 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate in ``[0, 100]``.
+
+        The histogram only keeps per-bucket counts, so the answer is an
+        estimate: the target rank is located in its bucket and linearly
+        interpolated across the bucket's span, clamped to the exact
+        observed ``[min, max]`` envelope (which makes empty → NaN and a
+        single sample → that sample exact rather than a bucket edge).
+        Non-finite observations land in the overflow bucket; the
+        interpolation skips their contribution by clamping to ``max``
+        when it is finite.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if self.count == 0:
+            return float("nan")
+        if self.count == 1 or self.min == self.max:
+            return float(self.min)
+        target = q / 100.0 * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            lower = self.boundaries[index - 1] if index > 0 else self.min
+            upper = (
+                self.boundaries[index] if index < len(self.boundaries) else self.max
+            )
+            if cumulative + bucket_count >= target:
+                fraction = (target - cumulative) / bucket_count
+                value = lower + (upper - lower) * max(0.0, min(1.0, fraction))
+                return float(min(max(value, self.min), self.max))
+            cumulative += bucket_count
+        return float(self.max)
 
     def as_dict(self):
         return {

@@ -1,0 +1,161 @@
+"""Tests for the ClusterSpec grid-sweep harness (`repro.serving.sweep`)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.serving import ClusterSpec, SLOSpec, SweepSpec, run_sweep
+from repro.serving.sweep import apply_overrides
+from repro.utils.errors import ConfigError
+
+CONFIG_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "configs"
+
+
+@pytest.fixture(scope="module")
+def base_spec():
+    return ClusterSpec.from_json(CONFIG_DIR / "cluster_sweep.json")
+
+
+# ----------------------------------------------------------------------
+# Override application
+# ----------------------------------------------------------------------
+class TestApplyOverrides:
+    def test_top_level_scalar(self, base_spec):
+        spec = apply_overrides(base_spec, {"publish_interval": 0.01})
+        assert spec.publish_interval == 0.01
+        assert base_spec.publish_interval == 0.0  # base untouched
+
+    def test_wildcard_fans_over_nodes(self, base_spec):
+        spec = apply_overrides(base_spec, {"nodes.*.batch_policy": "none"})
+        assert all(node.batch_policy == "none" for node in spec.nodes)
+
+    def test_integer_index_into_list(self, base_spec):
+        spec = apply_overrides(base_spec, {"streams.0.params.rate": 123.0})
+        assert spec.streams[0].params["rate"] == 123.0
+
+    def test_missing_intermediate_key_rejected(self, base_spec):
+        with pytest.raises(ConfigError, match="no_such"):
+            apply_overrides(base_spec, {"no_such.thing": 1})
+
+    def test_wildcard_on_non_list_rejected(self, base_spec):
+        with pytest.raises(ConfigError, match=r"\*"):
+            apply_overrides(base_spec, {"model.*.levels": 2})
+
+    def test_final_wildcard_rejected(self, base_spec):
+        with pytest.raises(ConfigError, match=r"\*"):
+            apply_overrides(base_spec, {"nodes.*": {}})
+
+    def test_index_out_of_range_rejected(self, base_spec):
+        with pytest.raises(ConfigError, match="99"):
+            apply_overrides(base_spec, {"nodes.99.batch_policy": "none"})
+
+    def test_result_is_revalidated(self, base_spec):
+        # A structurally fine path whose value breaks spec validation
+        # must be caught by ClusterSpec.from_dict, not silently accepted.
+        with pytest.raises(ConfigError):
+            apply_overrides(base_spec, {"publish_interval": -1.0})
+
+
+# ----------------------------------------------------------------------
+# Grid expansion and spec round-trips
+# ----------------------------------------------------------------------
+class TestSweepSpec:
+    def test_cell_count_and_order(self, base_spec):
+        sweep = SweepSpec(
+            base=base_spec,
+            grid={"publish_interval": (0.0, 0.01), "router": ("round-robin", "edf")},
+        )
+        assert sweep.num_cells == 4
+        cells = list(sweep.cells())
+        # First axis varies slowest.
+        assert [cell["publish_interval"] for cell in cells] == [0.0, 0.0, 0.01, 0.01]
+        assert [cell["router"] for cell in cells] == ["round-robin", "edf"] * 2
+
+    def test_empty_grid_is_one_baseline_cell(self, base_spec):
+        sweep = SweepSpec(base=base_spec, grid={})
+        assert sweep.num_cells == 1
+        assert list(sweep.cells()) == [{}]
+
+    def test_empty_axis_rejected(self, base_spec):
+        with pytest.raises(ConfigError, match="no values"):
+            SweepSpec(base=base_spec, grid={"router": ()})
+
+    def test_non_sequence_axis_rejected(self, base_spec):
+        with pytest.raises(ConfigError, match="sequence"):
+            SweepSpec(base=base_spec, grid={"router": "round-robin"})
+
+    def test_bad_axis_path_rejected_at_construction(self, base_spec):
+        with pytest.raises(ConfigError, match="typo_field"):
+            SweepSpec(base=base_spec, grid={"typo_field": (1, 2)})
+
+    def test_json_round_trip(self, base_spec):
+        sweep = SweepSpec(
+            base=base_spec,
+            grid={"publish_interval": (0.0, 0.02)},
+            name="round-trip",
+            slo=SLOSpec(max_p99_latency=1.0),
+        )
+        recovered = SweepSpec.from_dict(json.loads(json.dumps(sweep.to_dict())))
+        assert recovered.name == sweep.name
+        assert recovered.slo == sweep.slo
+        assert recovered.num_cells == sweep.num_cells
+        assert list(recovered.cells()) == list(sweep.cells())
+        assert recovered.to_dict() == sweep.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Running sweeps
+# ----------------------------------------------------------------------
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def result(self, base_spec):
+        sweep = SweepSpec(
+            base=base_spec,
+            grid={"publish_interval": (0.0, 0.02)},
+            name="tiny",
+        )
+        return run_sweep(sweep, base_spec.build_network())
+
+    def test_one_row_per_cell_in_order(self, result):
+        assert len(result.rows) == 2
+        assert [row["cell"] for row in result.rows] == [0, 1]
+        assert result.rows[0]["overrides"] == {"publish_interval": 0.0}
+        assert result.rows[1]["overrides"] == {"publish_interval": 0.02}
+
+    def test_rows_carry_metrics_decomposition_scorecard(self, result):
+        for row in result.rows:
+            assert row["metrics"]["completed"] > 0
+            assert row["num_events"] > 0
+            decomposition = row["decomposition"]
+            assert decomposition["num_requests"] == row["metrics"]["num_jobs"]
+            assert sum(decomposition["phase_fractions"].values()) == pytest.approx(1.0)
+            # The base spec carries its own SLO.
+            assert row["scorecard"]["slo"]["name"] == "sweep-slo"
+
+    def test_staleness_tracks_the_publish_knob(self, result):
+        live, stale = result.column("staleness.mean_abs_published_error")
+        assert live == 0.0
+        assert stale > 0.0
+
+    def test_ok_reflects_scorecards(self, result):
+        assert result.ok == all(row["scorecard"]["ok"] for row in result.rows)
+
+    def test_deterministic(self, base_spec, result):
+        sweep = SweepSpec(
+            base=base_spec, grid={"publish_interval": (0.0, 0.02)}, name="tiny"
+        )
+        again = run_sweep(sweep, base_spec.build_network())
+        assert json.dumps(again.to_dict(), sort_keys=True) == json.dumps(
+            result.to_dict(), sort_keys=True
+        )
+
+    def test_to_dict_is_strict_json(self, result):
+        json.dumps(result.to_dict(), allow_nan=False)
+
+    def test_explicit_slo_overrides_base(self, base_spec):
+        sweep = SweepSpec(base=base_spec, grid={}, name="slo-override")
+        impossible = SLOSpec(name="impossible", max_p99_latency=1e-12)
+        result = run_sweep(sweep, base_spec.build_network(), slo=impossible)
+        assert result.rows[0]["scorecard"]["slo"]["name"] == "impossible"
+        assert not result.ok
