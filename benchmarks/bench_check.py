@@ -156,17 +156,51 @@ INVARIANTS = {
         ("smoke.rows.*.metrics.completed", "ge", 1),
         ("smoke.rows.*.scorecard.ok", "true"),
     ],
+    "BENCH_steal.json": [
+        ("smoke.control.metrics.steals", "eq", 0),
+        ("smoke.rebalance.metrics.steals", "ge", 1),
+        ("smoke.rebalance_p2c.metrics.steals", "ge", 1),
+        ("smoke.*.metrics.lost", "eq", 0),
+        ("smoke.bit_equal_to_solo", "true"),
+        ("smoke.macs_exact", "true"),
+        ("sharding.gathered_complete", "true"),
+        ("sharding.bit_equal_to_solo", "true"),
+        ("sharding.shards", "ge", 2),
+    ],
 }
+
+def _steal_improves_imbalance(artifact):
+    """Custom check: stealing strictly beats the no-rebalance control."""
+    failures = []
+    control = artifact["smoke"]["control"]["metrics"]["load_imbalance"]
+    for arm in ("rebalance", "rebalance_p2c"):
+        stolen = artifact["smoke"][arm]["metrics"]["load_imbalance"]
+        if not stolen < control:
+            failures.append(
+                f"smoke.{arm}: load imbalance {stolen} must be strictly "
+                f"below the no-rebalance control's {control}"
+            )
+    sharded = artifact["sharding"]["peak_context_bytes"]
+    if not sharded["sharded"] < sharded["whole"]:
+        failures.append(
+            "sharding: the sharded fleet's peak per-node context "
+            f"({sharded['sharded']}) must undercut the whole-batch run's "
+            f"({sharded['whole']})"
+        )
+    return failures
+
 
 #: Custom (whole-artifact) invariant callables per name.
 CUSTOM_INVARIANTS = {
     "BENCH_sweep.json": [_sweep_phase_fractions],
+    "BENCH_steal.json": [_steal_improves_imbalance],
 }
 
 #: Sections compared *exactly* between a fresh artifact and its
 #: baseline: deterministic simulated-time payloads only.
 EXACT_SECTIONS = {
     "BENCH_sweep.json": ["smoke"],
+    "BENCH_steal.json": ["smoke", "sharding"],
 }
 
 

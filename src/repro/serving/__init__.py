@@ -63,6 +63,14 @@ configs.
   of dotted-path overrides into one traced run per cell, each reduced
   to a scorecard row (:func:`run_sweep`) — the engine behind the
   staleness-vs-placement-quality study;
+* :mod:`repro.serving.rebalance` — proactive fleet rebalancing:
+  load-triggered work-stealing between healthy nodes (declared by
+  :class:`RebalanceSpec`, moving queued jobs wholesale and in-flight
+  jobs as bit-exact checkpoints over the failover path), the seeded
+  :class:`PowerOfTwoChoicesRouter`, and batch sharding
+  (:func:`shard_requests` / :func:`gather_shard_logits`) that splits
+  one oversized input batch into slice-view shard requests and
+  gathers their logits back at the coordinator;
 * :mod:`repro.serving.spec` — declarative configs:
   :class:`ServingSpec` (one node), :class:`ClusterSpec` (a fleet) and
   :class:`StreamSpec`, each JSON-round-trippable via
@@ -188,6 +196,13 @@ from .scheduler import (
     UtilityPerMacScheduler,
     get_scheduler,
 )
+from .rebalance import (
+    PowerOfTwoChoicesRouter,
+    RebalanceSpec,
+    gather_shard_logits,
+    shard_requests,
+    steal_plan,
+)
 from .spec import POLICIES, ClusterSpec, ServingSpec, StreamSpec, get_policy
 from .sweep import SweepResult, SweepSpec, run_sweep
 
@@ -297,4 +312,9 @@ __all__ = [
     "SweepSpec",
     "SweepResult",
     "run_sweep",
+    "RebalanceSpec",
+    "PowerOfTwoChoicesRouter",
+    "steal_plan",
+    "shard_requests",
+    "gather_shard_logits",
 ]

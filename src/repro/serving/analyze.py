@@ -46,8 +46,10 @@ __all__ = [
 
 #: Phase keys of the latency decomposition, in subtraction-priority order.
 #: ``compute`` intervals are claimed first, then ``retry_backoff``, then
-#: ``coalesce_wait``, then ``partition_hold``; ``queue_wait`` is the
-#: remainder of the residence horizon, so the six durations sum to
+#: ``coalesce_wait``, then the off-node holds — ``rebalance_hold`` (the
+#: share of off-node time that follows a work-steal, up to the request's
+#: re-admission) carved out of ``partition_hold``; ``queue_wait`` is the
+#: remainder of the residence horizon, so the seven durations sum to
 #: ``finish - arrival`` by construction.  ``replay_recompute`` is the
 #: recomputed-MAC share of the compute union (checkpointed-failover
 #: catch-up work), carved out of ``compute``.
@@ -57,6 +59,7 @@ PHASES = (
     "compute",
     "replay_recompute",
     "retry_backoff",
+    "rebalance_hold",
     "partition_hold",
 )
 
@@ -198,7 +201,7 @@ def decompose_latency(source: EventSource) -> List[RequestDecomposition]:
     """Exact per-request latency decompositions from a trace.
 
     Every request with at least one ``finalize`` event yields one
-    :class:`RequestDecomposition` whose six phase durations sum to its
+    :class:`RequestDecomposition` whose seven phase durations sum to its
     residence time ``finish - arrival``:
 
     * **compute** — union of the request's step intervals (batch members
@@ -212,9 +215,13 @@ def decompose_latency(source: EventSource) -> List[RequestDecomposition]:
     * **coalesce_wait** — node-level batch-coalescing hold windows
       overlapped with the spans in which this request sat queued on that
       node, minus time already claimed above.
-    * **partition_hold** — time spent on *no* node: between true arrival
-      and first node admission, between a node crash and re-placement,
-      or between the final crash and a best-effort/lost finalize.
+    * **rebalance_hold** — the share of off-node time that follows a
+      work-steal (``steal`` events): from leaving the victim node to
+      re-admission on the destination.
+    * **partition_hold** — remaining time spent on *no* node: between
+      true arrival and first node admission, between a node crash and
+      re-placement, or between the final crash and a best-effort/lost
+      finalize.
     * **queue_wait** — the exact remainder of the horizon: queued on a
       node, runnable, but not scheduled.
 
@@ -254,6 +261,22 @@ def decompose_latency(source: EventSource) -> List[RequestDecomposition]:
         for e in arrives:
             if e["node"] not in node_order:
                 node_order.append(e["node"])
+
+        # Work-steals end this request's stay on the victim node the
+        # same way a crash does, and open a rebalance-hold window that
+        # runs until the request is re-admitted somewhere.
+        steal_times_by_node: Dict[str, List[float]] = {}
+        steal_spans: List[Interval] = []
+        arrive_times = sorted(float(e["time"]) for e in arrives)
+        for e in mine:
+            if e["type"] != "steal":
+                continue
+            stolen_at = float(e["time"])
+            steal_times_by_node.setdefault(e.get("node"), []).append(stolen_at)
+            landed = _first_at_or_after(arrive_times, stolen_at)
+            steal_spans.append((stolen_at, finish if landed is None else landed))
+        for times in steal_times_by_node.values():
+            times.sort()
 
         horizon = finish - arrival
         if horizon <= 0.0:
@@ -321,6 +344,9 @@ def decompose_latency(source: EventSource) -> List[RequestDecomposition]:
             crash = _first_at_or_after(crashes.get(node, ()), start)
             if crash is not None:
                 ends.append(crash)
+            stolen = _first_at_or_after(steal_times_by_node.get(node, ()), start)
+            if stolen is not None:
+                ends.append(stolen)
             queued_spans.setdefault(node, []).append((start, min(ends)))
         coalesce_spans: List[Interval] = []
         for node, spans in queued_spans.items():
@@ -331,11 +357,11 @@ def decompose_latency(source: EventSource) -> List[RequestDecomposition]:
             _clip(coalesce_spans, arrival, finish), compute_iv + retry_iv
         )
 
-        # -- partition hold: the horizon minus every span spent resident
+        # -- off-node holds: the horizon minus every span spent resident
         #    on some node.  Residency runs from each arrive to the
         #    earliest of: the request's finalize on that node, the
-        #    node's next crash, the next arrive (migration), or the
-        #    horizon end.
+        #    node's next crash, a work-steal off that node, the next
+        #    arrive (migration), or the horizon end.
         resident_spans: List[Interval] = []
         for index, e in enumerate(arrives):
             node = e["node"]
@@ -347,6 +373,9 @@ def decompose_latency(source: EventSource) -> List[RequestDecomposition]:
             crash = _first_at_or_after(crashes.get(node, ()), start)
             if crash is not None:
                 ends.append(crash)
+            stolen = _first_at_or_after(steal_times_by_node.get(node, ()), start)
+            if stolen is not None:
+                ends.append(stolen)
             if index + 1 < len(arrives):
                 ends.append(float(arrives[index + 1]["time"]))
             resident_spans.append((start, min(ends)))
@@ -354,13 +383,24 @@ def decompose_latency(source: EventSource) -> List[RequestDecomposition]:
             _subtract([(arrival, finish)], _clip(resident_spans, arrival, finish)),
             compute_iv + retry_iv + coalesce_iv,
         )
+        # The steal-to-re-admission share of the off-node time is its own
+        # phase; subtract + intersect partition the hold exactly.
+        rebalance_iv = _intersect(hold_iv, _clip(steal_spans, arrival, finish))
+        hold_iv = _subtract(hold_iv, rebalance_iv)
 
         # -- queue wait: the exact remainder.  Computed in closed form so
-        #    the six phases sum to the residence time by construction.
-        claimed = compute_total + _measure(retry_iv) + _measure(coalesce_iv) + _measure(hold_iv)
+        #    the seven phases sum to the residence time by construction.
+        claimed = (
+            compute_total
+            + _measure(retry_iv)
+            + _measure(coalesce_iv)
+            + _measure(rebalance_iv)
+            + _measure(hold_iv)
+        )
         queue_wait = horizon - claimed
         queue_iv = _subtract(
-            [(arrival, finish)], compute_iv + retry_iv + coalesce_iv + hold_iv
+            [(arrival, finish)],
+            compute_iv + retry_iv + coalesce_iv + rebalance_iv + hold_iv,
         )
 
         phases = {
@@ -369,6 +409,7 @@ def decompose_latency(source: EventSource) -> List[RequestDecomposition]:
             "compute": compute_total - replay_recompute,
             "replay_recompute": replay_recompute,
             "retry_backoff": _measure(retry_iv),
+            "rebalance_hold": _measure(rebalance_iv),
             "partition_hold": _measure(hold_iv),
         }
         decompositions.append(
@@ -387,6 +428,7 @@ def decompose_latency(source: EventSource) -> List[RequestDecomposition]:
                     "coalesce_wait": coalesce_iv,
                     "compute": compute_iv,
                     "retry_backoff": retry_iv,
+                    "rebalance_hold": rebalance_iv,
                     "partition_hold": hold_iv,
                 },
             )

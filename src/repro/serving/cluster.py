@@ -82,6 +82,9 @@ _COORDINATOR_COUNTERS = (
     "degraded_admissions",
     "rejected",
     "lost",
+    "steals",
+    "inflight_steals",
+    "shards",
 )
 
 
@@ -124,6 +127,12 @@ class NodeState:
         self.expected_macs = float(engine.backend.subnet_macs(num_subnets - 1))
         self.assigned: List[Request] = []
         self._completions: List[float] = []  # predicted, non-decreasing
+        #: Predicted first-pass start time per assigned request (parallel
+        #: to ``_completions``, also non-decreasing under FIFO fluid
+        #: service): the entry-edge signal — a request whose predicted
+        #: start is still in the future has not left the entry subnet
+        #: edge yet.
+        self._starts: List[float] = []
         #: Predicted resident bytes per assigned in-system request
         #: (parallel to ``_completions``): the plan-based context
         #: footprint of each placed request, the analytic memory signal.
@@ -220,11 +229,15 @@ class NodeState:
         occupancy signal: routing a request to the node where the most
         first steps wait lets coalescing policies fill their shared
         passes instead of fragmenting waves across the fleet.  Without a
-        live run, the fluid-model jobs-in-system count.
+        live run, the fluid-model count of assigned requests whose
+        predicted first pass has not yet started — jobs already past
+        their predicted start are mid-ladder and cannot share an entry
+        pass, so counting them (as jobs-in-system would) over-reports
+        the coalescing opportunity on a busy node.
         """
         if self.run is not None:
             return self.run.entry_edge_depth
-        return self.queue_length(now)
+        return len(self._starts) - bisect_right(self._starts, now)
 
     # ------------------------------------------------------------------
     def attach_run(self, run: ServingRun) -> None:
@@ -239,13 +252,50 @@ class NodeState:
         enter via ``push_resumed``, not ``push``).
         """
         self.assigned.append(request)
+        self._charge(request)
+        if push and self.run is not None:
+            self.run.push(request)
+
+    def _charge(self, request: Request) -> None:
+        """Roll the fluid model forward by one placed request."""
+        start = max(request.arrival_time, self._busy_until)
         finish = self.predicted_finish(self.expected_macs, request.arrival_time)
         self._busy_until = finish
+        self._starts.append(start)
         self._completions.append(finish)
         context = self.engine.backend.context_nbytes(request.batch_size)
         self._resident.append(0 if context is None else context)
-        if push and self.run is not None:
-            self.run.push(request)
+
+    def retract(self, request_id: int) -> bool:
+        """Forget a placement: the request left this node before finishing.
+
+        Invoked by the coordinator whenever work departs a node early —
+        crash-driven migration, checkpointed failover, or a load-
+        triggered steal — so the fluid model stops charging the old node
+        for jobs it no longer holds (without this, analytic routers keep
+        avoiding a node that is actually idle).  Removes the *last*
+        matching placement (a request re-placed after failover may have
+        visited the same node twice) and rebuilds the predicted
+        start/completion/residency ledgers by replaying the remaining
+        placements in order — identical to a fresh model that never saw
+        the departed request.  Returns whether a placement was found.
+        """
+        for position in range(len(self.assigned) - 1, -1, -1):
+            if self.assigned[position].request_id == request_id:
+                del self.assigned[position]
+                break
+        else:
+            return False
+        remaining = self.assigned
+        self.assigned = []
+        self._starts = []
+        self._completions = []
+        self._resident = []
+        self._busy_until = 0.0
+        for request in remaining:
+            self.assigned.append(request)
+            self._charge(request)
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NodeState({self.name!r}, assigned={len(self.assigned)})"
@@ -547,6 +597,18 @@ class ClusterReport:
     rejected: int = 0
     #: Requests that never reached any node and never will.
     lost: int = 0
+    #: Jobs moved between *healthy* nodes by the load trigger (includes
+    #: the in-flight steals below).
+    steals: int = 0
+    #: Started jobs stolen as subnet-level checkpoints and resumed on
+    #: the destination through the bit-exact replay path.
+    inflight_steals: int = 0
+    #: Shard requests created by batch sharding (``0`` when no arriving
+    #: batch exceeded ``rebalance.shard_max_batch``).
+    shards: int = 0
+    #: Batch sharding's parent map: original request id -> the shard ids
+    #: that replaced it, in slice order.  Empty without sharding.
+    shard_groups: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
     #: Snapshot of the coordinator's metrics registry
     #: (:class:`~repro.utils.metrics.MetricsRegistry`): the scalar
     #: counters above are *consumed* from it, never recomputed.  Always
@@ -723,6 +785,21 @@ class ClusterReport:
         mean = float(np.mean(counts)) if counts else 0.0
         return float(max(counts) / mean) if mean > 0 else float("nan")
 
+    def gathered_logits(self) -> Dict[int, Optional[np.ndarray]]:
+        """Per-parent stacked logits for every sharded request.
+
+        Concatenates each parent's shard logits in slice order (row ``i``
+        answers sample ``i`` of the original batch); a parent whose
+        shards did not all complete gathers to ``None``.  Empty without
+        batch sharding.
+        """
+        if not self.shard_groups:
+            return {}
+        from .rebalance import gather_shard_logits
+
+        jobs_by_id = {job.request.request_id: job for job in self._jobs}
+        return gather_shard_logits(jobs_by_id, self.shard_groups)
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "cluster": self.cluster_name,
@@ -753,6 +830,13 @@ class ClusterReport:
             "degraded_admissions": self.degraded_admissions,
             "rejected": self.rejected,
             "lost": self.lost,
+            "steals": self.steals,
+            "inflight_steals": self.inflight_steals,
+            "shards": self.shards,
+            "shard_groups": {
+                str(parent): list(shards)
+                for parent, shards in sorted(self.shard_groups.items())
+            },
             "load_imbalance": self.load_imbalance,
             "metrics": self.metrics,
             "node_jobs": self.node_jobs,
@@ -886,6 +970,7 @@ class ServingCluster:
         admission: str = "none",
         observe: Optional[Union[ObservabilitySpec, Mapping[str, Any]]] = None,
         publish_interval: float = 0.0,
+        rebalance: Optional[Mapping[str, Any]] = None,
     ) -> None:
         if not engines:
             raise ValueError("a ServingCluster needs at least one engine")
@@ -894,6 +979,19 @@ class ServingCluster:
                 f"publish_interval must be a non-negative number, got {publish_interval!r}"
             )
         self.publish_interval = float(publish_interval)
+        from .rebalance import _coerce_rebalance
+
+        self.rebalance = _coerce_rebalance(rebalance)
+        if (
+            self.rebalance is not None
+            and self.rebalance.enabled
+            and self.rebalance.interval <= 0.0
+            and self.publish_interval <= 0.0
+        ):
+            raise ConfigError(
+                "rebalance.enabled needs a positive rebalance.interval or a "
+                "positive cluster publish_interval to evaluate its trigger at"
+            )
         self.engines = list(engines)
         #: Fleet-wide observability: one shared recorder per ``serve()``
         #: call (single global event sequence across every node).
@@ -958,6 +1056,7 @@ class ServingCluster:
             admission=spec.admission,
             observe=spec.observe,
             publish_interval=spec.publish_interval,
+            rebalance=spec.rebalance,
         )
 
     @property
@@ -1117,6 +1216,26 @@ class ServingCluster:
         for request in sorted(requests, key=lambda r: (r.arrival_time, r.request_id)):
             push_event(request.arrival_time, "arrival", request)
 
+        # Load-triggered work-stealing rides the same event heap: one
+        # self-rescheduling "rebalance" tick evaluates the trigger on
+        # published depths and moves work over the reroute path.
+        rebalance = (
+            self.rebalance
+            if self.rebalance is not None and self.rebalance.enabled
+            else None
+        )
+        tick = 0.0
+        if rebalance is not None and requests:
+            from .rebalance import steal_plan
+
+            tick = (
+                rebalance.interval
+                if rebalance.interval > 0
+                else self.publish_interval
+            )
+            first_arrival = min(request.arrival_time for request in requests)
+            push_event(first_arrival + tick, "rebalance", None)
+
         def best_effort(checkpoint: InterruptedJob, reason: str, now: float) -> None:
             """Finalise a checkpoint with its best-so-far anytime result."""
             status = "completed" if checkpoint.steps else "dropped"
@@ -1145,6 +1264,7 @@ class ServingCluster:
             request: Request,
             now: float,
             checkpoint: Optional[InterruptedJob] = None,
+            exclude: Optional[int] = None,
         ) -> None:
             reachable = [
                 node
@@ -1162,6 +1282,13 @@ class ServingCluster:
                     for node in reachable
                     if node.engine.backend.num_subnets > top
                 ]
+            if exclude is not None:
+                # Keep stolen work off its victim — unless the victim is
+                # the only node that can serve it (then a bounced steal
+                # beats losing the checkpoint).
+                others = [node for node in candidates if node.index != exclude]
+                if others:
+                    candidates = others
             if not candidates:
                 if checkpoint is not None and reachable:
                     best_effort(
@@ -1175,7 +1302,19 @@ class ServingCluster:
                 )
                 if math.isfinite(horizon):
                     if checkpoint is not None:
-                        push_event(horizon, "retry", checkpoint)
+                        # Clamp the retry heap to the hard deadline: a
+                        # retry scheduled past it could only be
+                        # discovered dead at dispatch, so finalise the
+                        # best-so-far anytime answer immediately.
+                        deadline = checkpoint.request.deadline
+                        if enforce and deadline is not None and horizon >= deadline:
+                            best_effort(
+                                checkpoint,
+                                "deadline reached before any node is reachable",
+                                now,
+                            )
+                        else:
+                            push_event(horizon, "retry", checkpoint)
                     else:
                         push_event(horizon, "reroute", request)
                     return
@@ -1319,6 +1458,59 @@ class ServingCluster:
                 place(payload, time)
             elif kind == "retry":
                 place(payload.request, time, checkpoint=payload)
+            elif kind == "rebalance":
+                ready = [
+                    node
+                    for index, node in enumerate(nodes)
+                    if alive[index]
+                    and (injector is None or injector.reachable(node.name, time))
+                ]
+                plan = None
+                if len(ready) >= 2:
+                    depths = [node.published_depth(time) for node in ready]
+                    plan = steal_plan(depths, rebalance)
+                if plan is not None:
+                    victim = ready[plan[0]]
+                    work = victim.run.steal(
+                        plan[1], time, include_started=rebalance.steal_in_flight
+                    )
+                    for request in work.unstarted:
+                        victim.retract(request.request_id)
+                        counters["steals"].add()
+                        if recorder is not None:
+                            recorder.emit(
+                                "steal",
+                                max(time, victim.run.now),
+                                node=victim.name,
+                                request_id=request.request_id,
+                                inflight=False,
+                            )
+                        place(request, time, exclude=victim.index)
+                    for checkpoint in work.interrupted:
+                        victim.retract(checkpoint.request.request_id)
+                        counters["steals"].add()
+                        counters["inflight_steals"].add()
+                        if recorder is not None:
+                            recorder.emit(
+                                "steal",
+                                max(time, victim.run.now),
+                                node=victim.name,
+                                request_id=checkpoint.request.request_id,
+                                inflight=True,
+                            )
+                        place(
+                            checkpoint.request,
+                            time,
+                            checkpoint=checkpoint,
+                            exclude=victim.index,
+                        )
+                # Re-arm while any work remains anywhere; the last tick
+                # dies with the fleet drained, ending the event loop.
+                if events or any(
+                    alive[index] and run.next_event_time() is not None
+                    for index, run in enumerate(runs)
+                ):
+                    push_event(time + tick, "rebalance", None)
             elif kind == "crash":
                 index = payload
                 if not alive[index]:
@@ -1326,6 +1518,13 @@ class ServingCluster:
                 work = runs[index].crash(time)
                 finished[index].append(runs[index])
                 alive[index] = False
+                # The fluid model forgets the departed work immediately:
+                # analytic routing signals must not keep charging a dead
+                # node for jobs the survivors are about to take.
+                for request in work.unstarted:
+                    nodes[index].retract(request.request_id)
+                for checkpoint in work.interrupted:
+                    nodes[index].retract(checkpoint.request.request_id)
                 for request in work.unstarted:
                     counters["migrations"].add()
                     if recorder is not None:
@@ -1418,8 +1617,36 @@ class ServingCluster:
         registry = MetricsRegistry()
         counters = {name: registry.counter(name) for name in _COORDINATOR_COUNTERS}
         extra_jobs: List[JobRecord] = []
+        # Batch sharding splits oversized input batches into slice-view
+        # shard requests before any placement; the report keeps the
+        # parent map so per-shard logits gather back into one answer.
+        shard_groups: Dict[int, Tuple[int, ...]] = {}
+        if (
+            self.rebalance is not None
+            and self.rebalance.shard_max_batch is not None
+        ):
+            from .rebalance import shard_requests
+
+            by_id = {request.request_id: request for request in requests}
+            requests, shard_groups = shard_requests(
+                requests, self.rebalance.shard_max_batch
+            )
+            for parent_id, shard_ids in sorted(
+                shard_groups.items(),
+                key=lambda item: (by_id[item[0]].arrival_time, item[0]),
+            ):
+                counters["shards"].add(len(shard_ids))
+                if recorder is not None:
+                    recorder.emit(
+                        "shard",
+                        float(by_id[parent_id].arrival_time),
+                        request_id=parent_id,
+                        shards=list(shard_ids),
+                        batch_size=by_id[parent_id].batch_size,
+                    )
+        rebalancing = self.rebalance is not None and self.rebalance.enabled
         try:
-            if self.faults is not None or self.admission != "none":
+            if self.faults is not None or self.admission != "none" or rebalancing:
                 node_reports, extra_jobs = self._serve_fault_tolerant(
                     requests, registry=registry, recorder=recorder
                 )
@@ -1446,6 +1673,7 @@ class ServingCluster:
             router_name=self.router.name,
             cluster_name=self.name,
             extra_jobs=extra_jobs,
+            shard_groups=shard_groups,
             metrics=registry.snapshot(),
             **{name: counter.value for name, counter in counters.items()},
         )

@@ -1325,6 +1325,78 @@ class ServingRun:
                 self.engine.backend.detach_plan_timer()
         return CrashedNodeWork(unstarted=unstarted, interrupted=interrupted)
 
+    def steal(
+        self, count: int, now: float, include_started: bool = False
+    ) -> CrashedNodeWork:
+        """Hand back up to ``count`` live jobs without killing the run.
+
+        The victim-side half of coordinator work-stealing: queued-but-
+        unstarted jobs leave wholesale, newest arrival first (the
+        classic steal-from-the-tail order — they have accrued the least
+        queue position), and with ``include_started`` the least-
+        progressed in-flight jobs are checkpointed through the same
+        interrupted-job shape the crash path uses, so the destination
+        replays them bit-exactly.  Unlike :meth:`crash` the run stays
+        healthy: its clock, pending arrivals, finalised records and
+        remaining queue are untouched, and stale delayed/watchdog heap
+        entries are skipped lazily like any finalised job's.
+        """
+        if self._report is not None:
+            raise RuntimeError("run already finished")
+        if self._crashed:
+            raise RuntimeError(f"node '{self.node}' already crashed")
+        if count <= 0:
+            return CrashedNodeWork(unstarted=[], interrupted=[])
+        live = list(self.scheduler.jobs()) + list(self._delayed_jobs.values())
+        waiting = [job for job in live if not job.started]
+        waiting.sort(
+            key=lambda job: (job.request.arrival_time, job.request.request_id),
+            reverse=True,
+        )
+        victims = waiting[:count]
+        if include_started and len(victims) < count:
+            inflight = [job for job in live if job.started]
+            inflight.sort(
+                key=lambda job: (
+                    len(job.session.level_history),
+                    job.request.arrival_time,
+                    job.request.request_id,
+                )
+            )
+            victims.extend(inflight[: count - len(victims)])
+        unstarted: List[Request] = []
+        interrupted: List[InterruptedJob] = []
+        for job in victims:
+            request_id = job.request.request_id
+            record = self._records.pop(request_id)
+            if job.started:
+                interrupted.append(
+                    InterruptedJob(
+                        request=job.request,
+                        history=job.session.level_history,
+                        steps=list(record.steps),
+                        logits=job.session.logits,
+                        retries=job.retries,
+                    )
+                )
+            else:
+                unstarted.append(job.request)
+            self.scheduler.discard(job)
+            self._delayed_jobs.pop(request_id, None)
+            if self.memory.budget_bytes is None:
+                self._resident_total -= self._resident_sizes.pop(request_id, 0)
+            job.session.close()
+            self._ids.discard(request_id)
+        if victims:
+            _LOG.debug(
+                "node '%s' yielded %d unstarted + %d in-flight jobs to steal at t=%.6f",
+                self.node,
+                len(unstarted),
+                len(interrupted),
+                now,
+            )
+        return CrashedNodeWork(unstarted=unstarted, interrupted=interrupted)
+
     def _batch_candidates(self, winner: ServingJob) -> List[ServingJob]:
         """Ready jobs that could share the winner's step, winner first.
 

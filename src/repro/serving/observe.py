@@ -80,6 +80,8 @@ EVENT_TYPES = frozenset(
         "replay",  # evicted state was recomputed on resume
         "migrate",  # unstarted job moved off a crashed node
         "failover",  # in-flight job resumed elsewhere from checkpoint
+        "steal",  # load trigger moved a job off a healthy node
+        "shard",  # oversized batch split into slice-view shard requests
         "retry",  # transient fault scheduled a backoff retry
         "crash",  # node crashed
         "recover",  # node came back
@@ -410,7 +412,16 @@ def to_chrome_trace(events: Sequence[dict]) -> dict:
                     "args": {"bytes": event["resident_bytes"]},
                 }
             )
-        if etype in ("crash", "recover", "finalize", "migrate", "failover", "retry"):
+        if etype in (
+            "crash",
+            "recover",
+            "finalize",
+            "migrate",
+            "failover",
+            "steal",
+            "shard",
+            "retry",
+        ):
             out.append(
                 {
                     "name": etype,

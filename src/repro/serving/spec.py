@@ -418,9 +418,19 @@ class ClusterSpec:
     #: carried with the deployment so sweeps and benchmarks can score
     #: every run against the same declarative targets.
     slo: Optional[SLOSpec] = None
+    #: Proactive fleet rebalancing
+    #: (:class:`~repro.serving.rebalance.RebalanceSpec` or its dict
+    #: form): load-triggered work-stealing between healthy nodes and
+    #: batch sharding of oversized arrivals.  ``None`` (the default)
+    #: keeps the fleet purely reactive, exactly as before.
+    rebalance: Optional[Any] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "observe", _coerce_observe(self.observe))
+        # Lazy import: rebalance.py imports cluster.py imports this module.
+        from .rebalance import _coerce_rebalance
+
+        object.__setattr__(self, "rebalance", _coerce_rebalance(self.rebalance))
         try:
             object.__setattr__(self, "slo", _coerce_slo(self.slo))
         except ValueError as exc:
@@ -540,6 +550,7 @@ class ClusterSpec:
             "observe": None if self.observe is None else self.observe.to_dict(),
             "publish_interval": self.publish_interval,
             "slo": None if self.slo is None else self.slo.to_dict(),
+            "rebalance": None if self.rebalance is None else self.rebalance.to_dict(),
         }
 
     @staticmethod

@@ -77,6 +77,9 @@ _ROW_METRICS = (
     "degraded_admissions",
     "rejected",
     "lost",
+    "steals",
+    "inflight_steals",
+    "shards",
     "load_imbalance",
 )
 

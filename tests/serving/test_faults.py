@@ -22,6 +22,7 @@ from repro.serving import (
     ClusterSpec,
     CrashFault,
     FaultSpec,
+    ObservabilitySpec,
     PartitionFault,
     Request,
     RetryPolicy,
@@ -398,6 +399,144 @@ class TestClusterFailover:
         assert json.dumps(first.as_dict(), sort_keys=True) == json.dumps(
             second.as_dict(), sort_keys=True
         )
+
+
+# ----------------------------------------------------------------------
+# Retry scheduling respects hard deadlines
+# ----------------------------------------------------------------------
+class TestRetryDeadlineClamp:
+    """A retry may never be scheduled at or past its request's deadline.
+
+    Under deadline enforcement a retry event firing past the deadline
+    could only discover the job dead at dispatch — so the coordinator
+    clamps ``not_before`` to the deadline and finalises the best-so-far
+    anytime answer immediately, both when the failover backoff
+    overshoots and when the reachability horizon does.
+    """
+
+    def _deadlined(self, images, deadline):
+        return [
+            Request(
+                request_id=0, arrival_time=0.0, inputs=images[0][None],
+                deadline=deadline,
+            )
+        ]
+
+    def test_backoff_overshoot_finalises_immediately(
+        self, stepping_network, sample_pool
+    ):
+        images, _ = sample_pool
+        # The in-flight job checkpoints at the crash; the 0.5 s backoff
+        # would land the retry past the 0.3 s deadline, so the job is
+        # finalised with its best-so-far step instead of waiting.
+        faults = FaultSpec(
+            events=(CrashFault(node="n0", time=0.15),),
+            retry=RetryPolicy(kind="fixed", base_delay=0.5, max_delay=0.5),
+        )
+        recorder = ObservabilitySpec(enabled=True).build()
+        try:
+            report = _cluster(
+                stepping_network, faults=faults, enforce_deadline=True
+            ).serve(self._deadlined(images, 0.3), recorder=recorder)
+        finally:
+            recorder.close()
+        job = report._jobs[0]
+        assert job.status == "completed"
+        assert job.stop_reason == "deadline reached during failover backoff"
+        assert job.steps  # best-so-far anytime answer, not a drop
+        finalizes = [e for e in recorder.events if e["type"] == "finalize"]
+        assert finalizes and all(float(e["time"]) < 0.3 for e in finalizes)
+        _assert_jobs_bit_equal_to_oracle(stepping_network, report._jobs)
+
+    def test_reachability_horizon_past_deadline_finalises_immediately(
+        self, stepping_network, sample_pool
+    ):
+        images, _ = sample_pool
+        # The crash survivor is partitioned until long past the
+        # deadline: the retry heap must not park the checkpoint on the
+        # heal horizon.
+        faults = FaultSpec(
+            events=(
+                CrashFault(node="n0", time=0.15),
+                PartitionFault(node="n1", time=0.0, duration=1.0),
+            ),
+            retry=RetryPolicy(kind="fixed", base_delay=0.01, max_delay=0.01),
+        )
+        report = _cluster(
+            stepping_network, faults=faults, enforce_deadline=True
+        ).serve(self._deadlined(images, 0.3))
+        job = report._jobs[0]
+        assert job.status == "completed"
+        assert job.stop_reason == "deadline reached before any node is reachable"
+        assert job.steps
+
+    def test_without_enforcement_the_retry_still_waits(
+        self, stepping_network, sample_pool
+    ):
+        # The clamp is an enforcement feature: best-effort fleets keep
+        # retrying past soft deadlines exactly as before.
+        images, _ = sample_pool
+        faults = FaultSpec(
+            events=(CrashFault(node="n0", time=0.15),),
+            retry=RetryPolicy(kind="fixed", base_delay=0.5, max_delay=0.5),
+        )
+        report = _cluster(stepping_network, faults=faults).serve(
+            self._deadlined(images, 0.3)
+        )
+        job = report._jobs[0]
+        assert job.status == "completed"
+        assert job.retries > 0
+        assert job.final_subnet == stepping_network.num_subnets - 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_chaos_never_fires_a_retry_past_the_deadline(
+        self, stepping_network, sample_pool, seed
+    ):
+        images, _ = sample_pool
+        faults = FaultSpec.random(
+            ["n0", "n1", "n2"], horizon=1.5, seed=seed,
+            crash_rate=1.2, recover_fraction=0.3, partition_rate=1.0,
+            retry=RetryPolicy(base_delay=0.1, max_delay=0.4, max_retries=5),
+        )
+        requests = _requests(images, count=12, gap=0.04, deadline=0.5)
+        engines = [
+            _engine(stepping_network, enforce_deadline=True) for _ in range(3)
+        ]
+        cluster = ServingCluster(
+            engines, names=["n0", "n1", "n2"], faults=faults
+        )
+        recorder = ObservabilitySpec(enabled=True).build()
+        try:
+            report = cluster.serve(requests, recorder=recorder)
+        finally:
+            recorder.close()
+        deadlines = {r.request_id: r.deadline for r in requests}
+        # The retry heap never parks a checkpoint past its request's
+        # hard deadline: whenever the backoff or the reachability
+        # horizon would overshoot, the coordinator finalises on the
+        # spot.  Observable two ways: a horizon clamp fires at a retry
+        # dispatch, which is itself always scheduled before the
+        # deadline; and any clamp finalize is *terminal* — no failover
+        # resume for that request ever follows it.
+        clamped = [
+            e for e in recorder.events
+            if e["type"] == "finalize" and "deadline reached" in str(e.get("reason"))
+        ]
+        for event in clamped:
+            if "reachable" in event["reason"]:
+                assert float(event["time"]) < deadlines[event["request_id"]]
+        for event in clamped:
+            later = [
+                e for e in recorder.events
+                if e.get("request_id") == event["request_id"]
+                and e["type"] in ("failover", "arrive", "admit")
+                and float(e["time"]) >= float(event["time"])
+            ]
+            assert later == []
+        # One record per request survives the chaos, as ever.
+        ids = sorted(job.request.request_id for job in report._jobs)
+        assert ids == list(range(12))
+        _assert_jobs_bit_equal_to_oracle(stepping_network, report._jobs)
 
 
 # ----------------------------------------------------------------------
